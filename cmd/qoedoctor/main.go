@@ -1,0 +1,248 @@
+// Command qoedoctor runs one QoE measurement scenario end-to-end on the
+// simulated testbed — the equivalent of deploying the paper's tool against
+// a phone: the QoE-aware UI controller replays a user behaviour while
+// tcpdump and QxDM log below it, then the multi-layer analyzer prints the
+// per-layer report.
+//
+// Usage:
+//
+//	qoedoctor -scenario facebook-post   [-network lte|3g|3g-simple|wifi]
+//	qoedoctor -scenario facebook-update
+//	qoedoctor -scenario youtube         [-throttle 128000]
+//	qoedoctor -scenario browse
+//	qoedoctor -pcap trace.pcap -qxdm radio.json   # save raw logs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/facebook"
+	"repro/internal/apps/serversim"
+	"repro/internal/core/analyzer"
+	"repro/internal/core/controller"
+	"repro/internal/core/qoe"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/radio"
+	"repro/internal/testbed"
+)
+
+func profileByName(name string) *radio.Profile {
+	switch name {
+	case "3g":
+		return radio.Profile3G()
+	case "3g-simple":
+		return radio.ProfileSimplified3G()
+	case "wifi":
+		return radio.ProfileWiFi()
+	case "lte", "":
+		return radio.ProfileLTE()
+	}
+	fmt.Fprintf(os.Stderr, "qoedoctor: unknown network %q\n", name)
+	os.Exit(1)
+	return nil
+}
+
+func main() {
+	scenario := flag.String("scenario", "facebook-post", "facebook-post | facebook-update | youtube | browse")
+	specPath := flag.String("spec", "", "JSON control specification to replay instead of a built-in scenario")
+	network := flag.String("network", "lte", "lte | 3g | 3g-simple | wifi")
+	throttle := flag.Float64("throttle", 0, "downlink throttle in bps (0 = none)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	reps := flag.Int("reps", 5, "repetitions of the replayed behaviour")
+	pcapOut := flag.String("pcap", "", "write the captured trace to this libpcap file")
+	qxdmOut := flag.String("qxdm", "", "write the radio log to this JSON file")
+	flag.Parse()
+
+	b := testbed.New(testbed.Options{Seed: *seed, Profile: profileByName(*network)})
+	if *throttle > 0 {
+		b.Throttle(*throttle)
+	}
+	log := &qoe.BehaviorLog{}
+
+	if *specPath != "" {
+		runSpec(b, log, *specPath)
+	} else {
+		switch *scenario {
+		case "facebook-post":
+			runFacebookPost(b, log, *reps)
+		case "facebook-update":
+			runFacebookUpdate(b, log, *reps)
+		case "youtube":
+			runYouTube(b, log, *reps)
+		case "browse":
+			runBrowse(b, log, *reps)
+		default:
+			fmt.Fprintf(os.Stderr, "qoedoctor: unknown scenario %q\n", *scenario)
+			os.Exit(1)
+		}
+	}
+
+	report(b, log)
+
+	if *pcapOut != "" {
+		if err := b.Capture.WriteFile(*pcapOut); err != nil {
+			fmt.Fprintf(os.Stderr, "qoedoctor: writing pcap: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d captured frames to %s\n", b.Capture.Len(), *pcapOut)
+	}
+	if *qxdmOut != "" && b.QxDM != nil {
+		if err := b.QxDM.Log().WriteFile(*qxdmOut); err != nil {
+			fmt.Fprintf(os.Stderr, "qoedoctor: writing qxdm log: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote radio log (%d PDUs) to %s\n", len(b.QxDM.Log().PDUs), *qxdmOut)
+	}
+}
+
+// runSpec replays a user-authored control specification (§4.1) across all
+// three apps.
+func runSpec(b *testbed.Bed, log *qoe.BehaviorLog, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoedoctor: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	spec, err := controller.ParseSpec(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoedoctor: %v\n", err)
+		os.Exit(1)
+	}
+	b.Facebook.Connect()
+	b.YouTube.Connect()
+	b.K.RunUntil(3 * time.Second)
+	fbCtl := controller.New(b.K, b.Facebook.Screen, log)
+	ytCtl := controller.New(b.K, b.YouTube.Screen, log)
+	ytCtl.Timeout = time.Hour
+	ytCtl.Instrumentation().SetPollInterval(100 * time.Millisecond)
+	brCtl := controller.New(b.K, b.Browser.Screen, log)
+	script, err := spec.Compile(controller.Drivers{
+		Facebook: controller.NewFacebookDriver(fbCtl, false),
+		YouTube:  &controller.YouTubeDriver{C: ytCtl, SkipAds: true},
+		Browser:  &controller.BrowserDriver{C: brCtl},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoedoctor: %v\n", err)
+		os.Exit(1)
+	}
+	done := false
+	script.Play(b.K, func() { done = true })
+	b.K.RunUntil(b.K.Now() + 4*time.Hour)
+	if !done {
+		fmt.Fprintln(os.Stderr, "qoedoctor: warning: spec replay did not finish within the time horizon")
+	}
+}
+
+func runFacebookPost(b *testbed.Bed, log *qoe.BehaviorLog, reps int) {
+	b.Facebook.Connect()
+	b.K.RunUntil(3 * time.Second)
+	c := controller.New(b.K, b.Facebook.Screen, log)
+	d := controller.NewFacebookDriver(c, false)
+	kinds := []string{facebook.PostStatus, facebook.PostCheckin, facebook.PostPhotos}
+	var run func(i int)
+	run = func(i int) {
+		if i >= reps*len(kinds) {
+			return
+		}
+		d.UploadPost(kinds[i%len(kinds)], i, func(qoe.BehaviorEntry) {
+			b.K.After(2*time.Second, func() { run(i + 1) })
+		})
+	}
+	run(0)
+	b.K.RunUntil(b.K.Now() + time.Duration(reps)*2*time.Minute)
+}
+
+func runFacebookUpdate(b *testbed.Bed, log *qoe.BehaviorLog, reps int) {
+	b.Facebook.Connect()
+	b.K.RunUntil(3 * time.Second)
+	c := controller.New(b.K, b.Facebook.Screen, log)
+	d := controller.NewFacebookDriver(c, false)
+	var run func(i int)
+	run = func(i int) {
+		if i >= reps {
+			return
+		}
+		d.PullToUpdate(func(qoe.BehaviorEntry) {
+			b.K.After(5*time.Second, func() { run(i + 1) })
+		})
+	}
+	run(0)
+	b.K.RunUntil(b.K.Now() + time.Duration(reps)*time.Minute)
+}
+
+func runYouTube(b *testbed.Bed, log *qoe.BehaviorLog, reps int) {
+	b.YouTube.Connect()
+	b.K.RunUntil(2 * time.Second)
+	c := controller.New(b.K, b.YouTube.Screen, log)
+	c.Timeout = time.Hour
+	c.Instrumentation().SetPollInterval(100 * time.Millisecond)
+	d := &controller.YouTubeDriver{C: c}
+	var run func(i int)
+	run = func(i int) {
+		if i >= reps {
+			return
+		}
+		kw := string(rune('a' + i%26))
+		d.SearchAndPlay(kw, i%10, func(controller.WatchStats) {
+			b.K.After(3*time.Second, func() { run(i + 1) })
+		})
+	}
+	run(0)
+	b.K.RunUntil(b.K.Now() + time.Duration(reps)*30*time.Minute)
+}
+
+func runBrowse(b *testbed.Bed, log *qoe.BehaviorLog, reps int) {
+	c := controller.New(b.K, b.Browser.Screen, log)
+	d := &controller.BrowserDriver{C: c}
+	urls := make([]string, reps)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("%s/page-%d", serversim.WebHostBase, i)
+	}
+	d.LoadPages(urls, 10*time.Second, nil)
+	b.K.RunUntil(time.Duration(reps) * 2 * time.Minute)
+}
+
+// report prints the multi-layer analysis.
+func report(b *testbed.Bed, log *qoe.BehaviorLog) {
+	sess := b.Session(log)
+	app := analyzer.AnalyzeApp(log)
+	cl := analyzer.NewCrossLayer(sess)
+
+	fmt.Println("== Application layer (user-perceived latency) ==")
+	tbl := &metrics.Table{Headers: []string{"App", "Action", "Kind", "Raw", "Calibrated", "Device", "Network", "Flow host"}}
+	for _, l := range app.Latencies {
+		s := cl.SplitDeviceNetwork(l)
+		host := ""
+		if s.Flow != nil {
+			host = s.Flow.Host
+		}
+		tbl.AddRow(l.Entry.App, l.Entry.Action, l.Entry.Kind.String(),
+			fmt.Sprintf("%.3fs", l.Raw.Seconds()), fmt.Sprintf("%.3fs", l.Calibrated.Seconds()),
+			fmt.Sprintf("%.3fs", s.Device.Seconds()), fmt.Sprintf("%.3fs", s.Network.Seconds()), host)
+	}
+	fmt.Print(tbl.String())
+
+	fmt.Println("\n== Transport/network layer ==")
+	ftbl := &metrics.Table{Headers: []string{"Flow", "Host", "UL bytes", "DL bytes", "Retx", "Mean RTT"}}
+	for _, f := range cl.Flows.Flows {
+		ftbl.AddRow(fmt.Sprintf("%s > %s", f.Device, f.Server), f.Host,
+			fmt.Sprintf("%d", f.ULBytes), fmt.Sprintf("%d", f.DLBytes),
+			fmt.Sprintf("%d", f.Retransmissions), fmt.Sprintf("%.0fms", f.MeanRTT().Seconds()*1000))
+	}
+	fmt.Print(ftbl.String())
+
+	if sess.Radio != nil {
+		fmt.Println("\n== RRC/RLC layer ==")
+		fmt.Printf("RRC transitions: %d; data PDUs: %d; STATUS PDUs: %d\n",
+			len(sess.Radio.Transitions), len(sess.Radio.PDUs), len(sess.Radio.Statuses))
+		fmt.Printf("IP-to-RLC mapping: UL %.2f%%, DL %.2f%%\n", 100*cl.ULMap.Ratio(), 100*cl.DLMap.Ratio())
+		rep := power.Analyze(sess.Profile, sess.Radio, 0, b.K.Now())
+		fmt.Printf("Radio energy: %.1f J active (%.1f J tail, %.1f J transfer) + %.1f J idle floor\n",
+			rep.ActiveJ(), rep.TailJ, rep.NonTailJ, rep.BaseJ)
+	}
+}

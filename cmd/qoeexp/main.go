@@ -1,0 +1,54 @@
+// Command qoeexp runs the paper-reproduction experiments: every table and
+// figure of QoE Doctor's evaluation (§7), regenerated on the simulated
+// testbed.
+//
+// Usage:
+//
+//	qoeexp -list                 # show the experiment index (Table 2)
+//	qoeexp -run fig7 [-seed N]   # run one experiment
+//	qoeexp -all [-seed N]        # run everything in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	runID := flag.String("run", "", "experiment id to run (e.g. fig7, table3, sec7.7)")
+	all := flag.Bool("all", false, "run every experiment")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	switch {
+	case *list:
+		tbl := &metrics.Table{
+			Title:   "Experiment index (paper Table 2 + §7.1)",
+			Headers: []string{"ID", "Artifact", "Goal"},
+		}
+		for _, e := range experiments.Registry() {
+			tbl.AddRow(e.ID, e.Title, e.Goal)
+		}
+		fmt.Print(tbl.String())
+	case *runID != "":
+		e, ok := experiments.Lookup(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "qoeexp: unknown experiment %q (try -list)\n", *runID)
+			os.Exit(1)
+		}
+		fmt.Print(e.Run(*seed).Render())
+	case *all:
+		for _, e := range experiments.Registry() {
+			fmt.Print(e.Run(*seed).Render())
+			fmt.Println()
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

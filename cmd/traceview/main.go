@@ -1,0 +1,170 @@
+// Command traceview inspects the raw logs qoedoctor writes: libpcap traces
+// (flows, DNS associations, retransmissions) and QxDM radio logs (RRC
+// timeline, PDU statistics, first-hop OTA RTT). Given both, it also runs
+// the IP-to-RLC long-jump mapping and reports the per-direction ratios and
+// failure diagnostics.
+//
+// Usage:
+//
+//	traceview -pcap trace.pcap [-device 10.20.0.2]
+//	traceview -qxdm radio.json
+//	traceview -pcap trace.pcap -qxdm radio.json    # adds cross-layer mapping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"repro/internal/core/analyzer"
+	"repro/internal/metrics"
+	"repro/internal/pcap"
+	"repro/internal/qxdm"
+	"repro/internal/radio"
+)
+
+func main() {
+	pcapPath := flag.String("pcap", "", "libpcap trace to inspect")
+	qxdmPath := flag.String("qxdm", "", "QxDM JSON log to inspect")
+	device := flag.String("device", "10.20.0.2", "device address (orients flows)")
+	flag.Parse()
+	if *pcapPath == "" && *qxdmPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	devAddr, err := netip.ParseAddr(*device)
+	if err != nil {
+		fatal("bad device address: %v", err)
+	}
+
+	var records []pcap.Record
+	if *pcapPath != "" {
+		records, err = pcap.ReadFile(*pcapPath)
+		if err != nil {
+			fatal("reading pcap: %v", err)
+		}
+		showFlows(records, devAddr)
+	}
+
+	var log *qxdm.Log
+	if *qxdmPath != "" {
+		log, err = qxdm.ReadFile(*qxdmPath)
+		if err != nil {
+			fatal("reading qxdm log: %v", err)
+		}
+		showRadio(log)
+	}
+
+	if records != nil && log != nil {
+		showMapping(records, log, devAddr)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceview: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func showFlows(records []pcap.Record, dev netip.Addr) {
+	rep := analyzer.ExtractFlows(records, dev)
+	fmt.Printf("== %d frames, %d TCP flows, %d resolved hostnames ==\n",
+		len(records), len(rep.Flows), len(rep.DNSNames))
+	tbl := &metrics.Table{Headers: []string{
+		"Start", "Flow", "Host", "UL B", "DL B", "Retx", "HS RTT", "Mean RTT", "Duration"}}
+	for _, f := range rep.Flows {
+		tbl.AddRow(
+			fmt.Sprintf("%.3fs", time.Duration(f.Start).Seconds()),
+			fmt.Sprintf("%s>%s", f.Device, f.Server), f.Host,
+			fmt.Sprintf("%d", f.ULBytes), fmt.Sprintf("%d", f.DLBytes),
+			fmt.Sprintf("%d", f.Retransmissions),
+			fmt.Sprintf("%.0fms", f.HandshakeRTT.Seconds()*1000),
+			fmt.Sprintf("%.0fms", f.MeanRTT().Seconds()*1000),
+			fmt.Sprintf("%.1fs", f.Duration().Seconds()))
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("totals: UL %d bytes, DL %d bytes\n\n", rep.TotalUL, rep.TotalDL)
+}
+
+func showRadio(log *qxdm.Log) {
+	fmt.Printf("== QxDM log (%s): %d transitions, %d PDUs, %d STATUS ==\n",
+		log.Profile, len(log.Transitions), len(log.PDUs), len(log.Statuses))
+	tbl := &metrics.Table{Headers: []string{"At", "Transition", "Trigger"}}
+	for i, tr := range log.Transitions {
+		if i >= 30 {
+			tbl.AddRow("...", fmt.Sprintf("(%d more)", len(log.Transitions)-30), "")
+			break
+		}
+		trigger := "demotion timer"
+		if tr.Promotion {
+			trigger = "data activity"
+		}
+		tbl.AddRow(fmt.Sprintf("%.3fs", time.Duration(tr.At).Seconds()),
+			fmt.Sprintf("%v -> %v", tr.From, tr.To), trigger)
+	}
+	fmt.Print(tbl.String())
+
+	for _, dir := range []radio.Direction{radio.Uplink, radio.Downlink} {
+		n, bytes, polls, retx := 0, 0, 0, 0
+		for _, p := range log.PDUs {
+			if p.Dir != dir {
+				continue
+			}
+			n++
+			bytes += p.Size
+			if p.Poll {
+				polls++
+			}
+			if p.Retx {
+				retx++
+			}
+		}
+		samples := analyzer.OTARTTSamples(log, dir)
+		var mean time.Duration
+		for _, s := range samples {
+			mean += s
+		}
+		if len(samples) > 0 {
+			mean /= time.Duration(len(samples))
+		}
+		fmt.Printf("%s: %d PDUs (%d bytes), %d polls, %d retx, first-hop OTA RTT mean %.0fms over %d samples\n",
+			dir, n, bytes, polls, retx, mean.Seconds()*1000, len(samples))
+	}
+	fmt.Println()
+}
+
+func showMapping(records []pcap.Record, log *qxdm.Log, dev netip.Addr) {
+	var ul, dl []analyzer.MappedPacket
+	for i := range records {
+		p, err := records[i].Packet()
+		if err != nil {
+			continue
+		}
+		mp := analyzer.MappedPacket{At: records[i].At, Data: records[i].Data}
+		if p.Src.Addr == dev {
+			ul = append(ul, mp)
+		} else {
+			dl = append(dl, mp)
+		}
+	}
+	var ulPDUs, dlPDUs []qxdm.PDURecord
+	for _, p := range log.PDUs {
+		if p.Dir == radio.Uplink {
+			ulPDUs = append(ulPDUs, p)
+		} else {
+			dlPDUs = append(dlPDUs, p)
+		}
+	}
+	fmt.Println("== IP-to-RLC long-jump mapping ==")
+	for _, c := range []struct {
+		name    string
+		packets []analyzer.MappedPacket
+		pdus    []qxdm.PDURecord
+	}{{"uplink", ul, ulPDUs}, {"downlink", dl, dlPDUs}} {
+		res := analyzer.LongJumpMap(c.packets, c.pdus)
+		fmt.Printf("%s: %d/%d packets mapped (%.2f%%); cursor-walk diagnostics: %v\n",
+			c.name, res.Mapped, res.Total, 100*res.Ratio(),
+			analyzer.DiagnoseMap(c.packets, c.pdus))
+	}
+}

@@ -1,0 +1,53 @@
+// facebook_background reproduces the §7.3 study interactively: how much
+// mobile data and radio energy does the Facebook app burn in the background,
+// and how does the "refresh interval" setting change the bill?
+//
+// A friend (the paper's device A) posts every 30 minutes; the app under
+// test sits backgrounded for 8 simulated hours per configuration. Output is
+// the per-configuration data/energy table of Fig. 12/13.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/facebook"
+	"repro/internal/apps/serversim"
+	"repro/internal/core/analyzer"
+	"repro/internal/power"
+	"repro/internal/radio"
+	"repro/internal/testbed"
+)
+
+func main() {
+	const horizon = 8 * time.Hour
+	fmt.Println("Facebook background traffic vs refresh interval")
+	fmt.Printf("(friend posts every 30 min; %v window; LTE)\n\n", horizon)
+	fmt.Println("refresh    data (KB)   energy (J)   tail share")
+
+	for _, interval := range []time.Duration{30 * time.Minute, time.Hour, 2 * time.Hour, 4 * time.Hour} {
+		cfg := facebook.Config{
+			Variant:         serversim.VariantListView,
+			RefreshInterval: interval,
+			Subscribe:       true,
+		}
+		bed := testbed.New(testbed.Options{Seed: 99, Profile: radio.ProfileLTE(), Facebook: cfg})
+		bed.Facebook.Connect()
+		bed.K.RunUntil(7 * time.Minute) // de-phase friend posts from refreshes
+		n := 0
+		bed.K.Ticker(30*time.Minute, func() {
+			n++
+			bed.Servers.Facebook.InjectFriendPost(fmt.Sprintf("f%d", n), 4000)
+		})
+		bed.K.RunUntil(horizon)
+
+		sess := bed.Session(nil)
+		flows := analyzer.ExtractFlows(sess.Packets, sess.DeviceAddr)
+		ul, dl := flows.HostBytes(serversim.FacebookHost)
+		rep := power.Analyze(sess.Profile, sess.Radio, 0, horizon)
+		fmt.Printf("%-9v  %8.0f    %8.1f     %4.0f%%\n",
+			interval, float64(ul+dl)/1024, rep.ActiveJ(), 100*rep.TailJ/rep.ActiveJ())
+	}
+	fmt.Println("\nFinding 4: stretching the default 1h interval to 2h cuts both data")
+	fmt.Println("and energy by ~20-27% while delaying only non-time-sensitive content.")
+}

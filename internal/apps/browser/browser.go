@@ -1,0 +1,264 @@
+// Package browser models the three web browsing apps of §4.2.3 (Chrome,
+// Firefox, and the stock "Internet" browser): a URL bar whose ENTER key
+// starts a page load, a progress bar that disappears when the page — HTML
+// plus all sub-resources — has loaded, and per-browser differences in
+// connection parallelism and parsing speed.
+package browser
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/apps/serversim"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/uisim"
+)
+
+// View IDs for signature-based control.
+const (
+	IDURLBar   = "com.android.browser:id/url_bar"
+	IDProgress = "com.android.browser:id/load_progress"
+	IDPageView = "com.android.browser:id/page_view"
+)
+
+// Profile captures per-browser behaviour differences.
+type Profile struct {
+	Name          string
+	ParallelConns int
+	ParseBase     time.Duration // HTML parse fixed cost
+	ParsePerKB    time.Duration // HTML parse per-KB cost
+	RenderDelay   time.Duration // final layout/paint before "loaded"
+}
+
+// The three browsers studied by the paper.
+func Chrome() Profile {
+	return Profile{Name: "chrome", ParallelConns: 4, ParseBase: 60 * time.Millisecond, ParsePerKB: 800 * time.Microsecond, RenderDelay: 50 * time.Millisecond}
+}
+func Firefox() Profile {
+	return Profile{Name: "firefox", ParallelConns: 4, ParseBase: 80 * time.Millisecond, ParsePerKB: time.Millisecond, RenderDelay: 60 * time.Millisecond}
+}
+func Stock() Profile {
+	return Profile{Name: "internet", ParallelConns: 2, ParseBase: 110 * time.Millisecond, ParsePerKB: 1300 * time.Microsecond, RenderDelay: 80 * time.Millisecond}
+}
+
+// App is the device-side browser model.
+type App struct {
+	k        *simtime.Kernel
+	stack    *netsim.Stack
+	resolver *netsim.Resolver
+	prof     Profile
+
+	Screen *uisim.Screen
+
+	urlBar   *uisim.View
+	progress *uisim.View
+	page     *uisim.View
+
+	conns   []*netsim.MsgConn
+	pending map[string]*pageLoad // keyed by host (one active load)
+
+	onLoaded func(url string, at simtime.Time)
+}
+
+type pageLoad struct {
+	url     string
+	spec    serversim.PageSpec
+	resLeft int
+	nextRes int
+	active  bool
+	// Visual progress, feeding the Speed Index frame recording.
+	htmlParsed bool
+	resDone    int
+	rendered   bool
+}
+
+// completeness estimates the page's visual completeness in [0, 1]: the
+// parsed HTML paints the first quarter, each sub-resource a share of the
+// rest, and the final render pass completes the frame.
+func (l *pageLoad) completeness() float64 {
+	if l.rendered {
+		return 1
+	}
+	c := 0.0
+	if l.htmlParsed {
+		c = 0.25
+	}
+	if n := len(l.spec.Resources); n > 0 {
+		c += 0.65 * float64(l.resDone) / float64(n)
+	}
+	return c
+}
+
+// New builds the browser UI for a profile.
+func New(k *simtime.Kernel, stack *netsim.Stack, resolver *netsim.Resolver, prof Profile) *App {
+	a := &App{k: k, stack: stack, resolver: resolver, prof: prof, pending: map[string]*pageLoad{}}
+	root := uisim.NewView(uisim.ClassView, "com.android.browser:id/root", prof.Name+" root")
+	a.Screen = uisim.NewScreen(k, root)
+
+	a.urlBar = uisim.NewView(uisim.ClassEditText, IDURLBar, "url bar")
+	a.urlBar.OnEnter = func() { a.LoadPage(a.urlBar.Text()) }
+	root.AddChild(a.urlBar)
+
+	a.progress = uisim.NewView(uisim.ClassProgressBar, IDProgress, "page load progress")
+	a.progress.SetVisible(false)
+	root.AddChild(a.progress)
+
+	a.page = uisim.NewView(uisim.ClassWebView, IDPageView, "page content")
+	root.AddChild(a.page)
+	return a
+}
+
+// OnLoaded registers a page-load completion callback (tests; QoE Doctor
+// observes the progress bar instead).
+func (a *App) OnLoaded(fn func(url string, at simtime.Time)) { a.onLoaded = fn }
+
+// LoadPage starts loading url ("host/path"). The progress bar shows until
+// the HTML and every sub-resource have arrived and rendered.
+func (a *App) LoadPage(url string) {
+	host, path := splitURL(url)
+	a.progress.SetVisible(true)
+	load := &pageLoad{url: url, active: true}
+	a.pending[host] = load
+	a.resolver.Resolve(host, func(addr netip.Addr, ok bool) {
+		if !ok {
+			a.progress.SetVisible(false)
+			load.active = false
+			return
+		}
+		a.ensureConns(addr)
+		req, _ := json.Marshal(struct {
+			Path string `json:"path"`
+		}{path})
+		a.conns[0].Send(serversim.WebGetPage, req)
+	})
+}
+
+// ensureConns opens the browser's connection pool to the server on first
+// use (kept alive across page loads, like real browsers).
+func (a *App) ensureConns(addr netip.Addr) {
+	if len(a.conns) > 0 {
+		return
+	}
+	for i := 0; i < a.prof.ParallelConns; i++ {
+		c := a.stack.Dial(netsim.Endpoint{Addr: addr, Port: 80})
+		mc := netsim.NewMsgConn(c)
+		mc.OnMessage(a.onMessage)
+		a.conns = append(a.conns, mc)
+	}
+}
+
+func (a *App) onMessage(kind byte, payload []byte) {
+	switch kind {
+	case serversim.WebPageData:
+		spec, ok := serversim.DecodePageSpec(payload)
+		if !ok {
+			return
+		}
+		load := a.activeLoad()
+		if load == nil {
+			return
+		}
+		load.spec = spec
+		load.resLeft = len(spec.Resources)
+		parse := a.prof.ParseBase + time.Duration(spec.HTMLBytes/1024)*a.prof.ParsePerKB
+		a.Screen.AddAppCPU(parse)
+		a.k.After(parse, func() {
+			load.htmlParsed = true
+			a.page.SetText("loaded html for " + load.url)
+			if load.resLeft == 0 {
+				a.finishLoad(load)
+				return
+			}
+			// Kick one fetch per connection; each completion pulls the next.
+			n := len(a.conns)
+			if n > load.resLeft {
+				n = load.resLeft
+			}
+			for i := 0; i < n; i++ {
+				a.fetchNextRes(load, i)
+			}
+		})
+	case serversim.WebResData:
+		load := a.activeLoad()
+		if load == nil {
+			return
+		}
+		load.resLeft--
+		load.resDone++
+		// Each arrived resource paints: update the page view so the change
+		// reaches the screen (and any Speed Index recorder) as a frame.
+		a.page.SetText(fmt.Sprintf("%s: %d resources painted", load.url, load.resDone))
+		if load.nextRes < len(load.spec.Resources) {
+			a.fetchNextRes(load, load.nextRes%len(a.conns))
+		} else if load.resLeft == 0 {
+			a.finishLoad(load)
+		}
+	}
+}
+
+func (a *App) fetchNextRes(load *pageLoad, connIdx int) {
+	if load.nextRes >= len(load.spec.Resources) {
+		return
+	}
+	idx := load.nextRes
+	load.nextRes++
+	_, path := splitURL(load.url)
+	req, _ := json.Marshal(struct {
+		Path  string `json:"path"`
+		Index int    `json:"index"`
+	}{path, idx})
+	a.conns[connIdx%len(a.conns)].Send(serversim.WebGetRes, req)
+}
+
+func (a *App) finishLoad(load *pageLoad) {
+	load.active = false
+	a.Screen.AddAppCPU(a.prof.RenderDelay)
+	a.k.After(a.prof.RenderDelay, func() {
+		load.rendered = true
+		a.page.SetText("rendered " + load.url)
+		a.progress.SetVisible(false)
+		if a.onLoaded != nil {
+			a.onLoaded(load.url, a.k.Now())
+		}
+	})
+}
+
+// Completeness reports the visual completeness of what is on screen: 1 when
+// no load is active, the active load's paint progress otherwise. It is the
+// screen-content signal a Speed Index frame recorder samples.
+func (a *App) Completeness() float64 {
+	if l := a.activeLoad(); l != nil {
+		return l.completeness()
+	}
+	// A finished load may still be waiting for its final render pass.
+	for _, l := range a.pending {
+		if !l.active && !l.rendered {
+			return l.completeness()
+		}
+	}
+	return 1
+}
+
+func (a *App) activeLoad() *pageLoad {
+	for _, l := range a.pending {
+		if l.active {
+			return l
+		}
+	}
+	return nil
+}
+
+// splitURL splits "host/path..." into host and "/path...". A bare host gets
+// path "/".
+func splitURL(url string) (host, path string) {
+	url = strings.TrimPrefix(url, "http://")
+	url = strings.TrimPrefix(url, "https://")
+	if i := strings.IndexByte(url, '/'); i >= 0 {
+		return url[:i], url[i:]
+	}
+	return url, "/"
+}

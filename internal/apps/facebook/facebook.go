@@ -1,0 +1,356 @@
+// Package facebook models the Facebook Android app as QoE Doctor sees it:
+// a news feed rendered either as a ListView (app 5.0.0.26.31) or a WebView
+// (app 1.8.3), a post composer, pull-to-update, background feed refresh with
+// a configurable "refresh interval", and push-notification-driven updates.
+//
+// The model reproduces the behaviours behind the paper's findings:
+//
+//   - Posting a status or check-in puts a local copy on the feed
+//     immediately, taking the network off the critical path (Finding 1).
+//   - Posting photos uploads ~380 KB and only shows the item after the
+//     server acknowledges (Finding 2's workload).
+//   - Background recommendation traffic continues even with no friend
+//     activity, controlled by the refresh interval (Findings 3-4).
+//   - The WebView feed downloads >77% more bytes and costs far more device
+//     CPU per update than the ListView feed (Finding 5).
+package facebook
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/apps/serversim"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/uisim"
+)
+
+// View IDs matching the real app's resource names closely enough for
+// signature-based control.
+const (
+	IDFeedList     = "com.facebook.katana:id/news_feed_list"
+	IDFeedWeb      = "com.facebook.katana:id/news_feed_web"
+	IDFeedItem     = "com.facebook.katana:id/feed_item"
+	IDFeedProgress = "com.facebook.katana:id/feed_progress"
+	IDComposerText = "com.facebook.katana:id/status_text"
+	IDPostButton   = "com.facebook.katana:id/post_button"
+)
+
+// Post kinds.
+const (
+	PostStatus  = "status"
+	PostCheckin = "checkin"
+	PostPhotos  = "photos"
+)
+
+// Upload payload sizes (§7.2 workload: posting 2 photos moves ~270 IP
+// packets ≈ 380 KB; status and check-in are small).
+const (
+	UploadBytesStatus  = 2_200
+	UploadBytesCheckin = 3_400
+	UploadBytesPhotos  = 380_000
+)
+
+// Config selects the app version's behaviour.
+type Config struct {
+	// Variant is serversim.VariantListView or serversim.VariantWebView.
+	Variant string
+	// RefreshInterval controls background recommendation refreshes (the
+	// §7.3 settings item). Zero disables background refresh.
+	RefreshInterval time.Duration
+	// SelfUpdateOnNotify: app 5.0 refreshes the feed by itself when a
+	// friend-post notification arrives; app 1.8.3 needs a pull gesture.
+	SelfUpdateOnNotify bool
+	// Subscribe opens the push-notification channel on connect.
+	Subscribe bool
+}
+
+// DefaultConfig is the modern (ListView) app with the 1-hour default
+// refresh interval the paper calls out.
+func DefaultConfig() Config {
+	return Config{
+		Variant:            serversim.VariantListView,
+		RefreshInterval:    time.Hour,
+		SelfUpdateOnNotify: true,
+		Subscribe:          true,
+	}
+}
+
+// App is the device-side Facebook model.
+type App struct {
+	k        *simtime.Kernel
+	stack    *netsim.Stack
+	resolver *netsim.Resolver
+	cfg      Config
+
+	Screen *uisim.Screen
+
+	feed     *uisim.View // ListView or WebView
+	progress *uisim.View
+	composer *uisim.View
+	postBtn  *uisim.View
+
+	conn      *netsim.MsgConn
+	connected bool
+	onConnect []func()
+
+	nextPost   int
+	updating   bool
+	stopBg     func()
+	webContent string // WebView variant: rendered HTML text blob
+	ackWaiters []ackWaiter
+}
+
+// ackWaiter tracks a photo upload awaiting its FBUploadAck.
+type ackWaiter struct {
+	id string
+	fn func()
+}
+
+// New builds the app UI and network client. Call Connect to go online.
+func New(k *simtime.Kernel, stack *netsim.Stack, resolver *netsim.Resolver, cfg Config) *App {
+	a := &App{k: k, stack: stack, resolver: resolver, cfg: cfg}
+	root := uisim.NewView(uisim.ClassView, "com.facebook.katana:id/root", "facebook root")
+	a.Screen = uisim.NewScreen(k, root)
+
+	a.progress = uisim.NewView(uisim.ClassProgressBar, IDFeedProgress, "feed loading spinner")
+	a.progress.SetVisible(false)
+	root.AddChild(a.progress)
+
+	if cfg.Variant == serversim.VariantWebView {
+		a.feed = uisim.NewView(uisim.ClassWebView, IDFeedWeb, "news feed web view")
+	} else {
+		a.feed = uisim.NewView(uisim.ClassListView, IDFeedList, "news feed list")
+	}
+	a.feed.OnScroll = func(dy int) {
+		if dy > 0 {
+			a.PullToUpdate()
+		}
+	}
+	root.AddChild(a.feed)
+
+	a.composer = uisim.NewView(uisim.ClassEditText, IDComposerText, "status composer")
+	root.AddChild(a.composer)
+	a.postBtn = uisim.NewView(uisim.ClassButton, IDPostButton, "post")
+	a.postBtn.OnClick = a.onPostClicked
+	root.AddChild(a.postBtn)
+	return a
+}
+
+// Connect resolves the API host, opens the persistent connection, and
+// starts background services per the config.
+func (a *App) Connect() {
+	a.resolver.Resolve(serversim.FacebookHost, func(addr netip.Addr, ok bool) {
+		if !ok {
+			panic("facebook: DNS resolution failed for " + serversim.FacebookHost)
+		}
+		c := a.stack.Dial(netsim.Endpoint{Addr: addr, Port: 443})
+		a.conn = netsim.NewMsgConn(c)
+		a.conn.OnMessage(a.onMessage)
+		c.OnEstablished(func() {
+			a.connected = true
+			if a.cfg.Subscribe {
+				a.conn.Send(serversim.FBSubscribe, serversim.EncodeMeta(serversim.FBMeta{}, 200))
+			}
+			for _, fn := range a.onConnect {
+				fn()
+			}
+			a.onConnect = nil
+		})
+	})
+	if a.cfg.RefreshInterval > 0 {
+		a.stopBg = a.k.Ticker(a.cfg.RefreshInterval, a.backgroundRefresh)
+	}
+}
+
+// Close stops background activity.
+func (a *App) Close() {
+	if a.stopBg != nil {
+		a.stopBg()
+		a.stopBg = nil
+	}
+}
+
+// whenConnected runs fn now or once the connection is up.
+func (a *App) whenConnected(fn func()) {
+	if a.connected {
+		fn()
+		return
+	}
+	a.onConnect = append(a.onConnect, fn)
+}
+
+// ComposePost stages a post of the given kind; the composer text carries
+// the stamp string the controller watches for. Clicking the post button
+// then uploads it.
+func (a *App) ComposePost(kind, stamp string) {
+	a.composer.SetText(kind + "|" + stamp)
+}
+
+// onPostClicked implements the post-button code path.
+func (a *App) onPostClicked() {
+	text := a.composer.Text()
+	kind, stamp := PostStatus, text
+	for i := 0; i < len(text); i++ {
+		if text[i] == '|' {
+			kind, stamp = text[:i], text[i+1:]
+			break
+		}
+	}
+	a.nextPost++
+	id := fmt.Sprintf("self-%d", a.nextPost)
+
+	prep, upload := a.prepCost(kind)
+	// Preparation CPU plus streaming/encoding work proportional to the
+	// upload size (photos keep the app busy during the transfer).
+	a.Screen.AddAppCPU(prep + time.Duration(upload)*300*time.Nanosecond)
+	a.k.After(prep, func() {
+		meta := serversim.FBMeta{PostID: id, Kind: kind, Stamp: stamp}
+		switch kind {
+		case PostPhotos:
+			// Item appears only after the server acknowledges the upload.
+			a.whenConnected(func() {
+				a.awaitAck(id, func() { a.addFeedItem("me: " + stamp) })
+				a.conn.Send(serversim.FBUpload, serversim.EncodeMeta(meta, upload))
+			})
+		default:
+			// Local echo: the feed shows the post immediately; the upload
+			// proceeds asynchronously (Finding 1).
+			a.addFeedItem("me: " + stamp)
+			a.whenConnected(func() {
+				a.conn.Send(serversim.FBUpload, serversim.EncodeMeta(meta, upload))
+			})
+		}
+	})
+}
+
+// prepCost returns the device-side preparation time and upload size for a
+// post kind. Photos pay image re-encoding.
+func (a *App) prepCost(kind string) (time.Duration, int) {
+	jitter := func(base time.Duration, spread time.Duration) time.Duration {
+		return base + time.Duration(a.k.Rand().Int63n(int64(spread)))
+	}
+	switch kind {
+	case PostCheckin:
+		return jitter(900*time.Millisecond, 200*time.Millisecond), UploadBytesCheckin
+	case PostPhotos:
+		return jitter(1000*time.Millisecond, 300*time.Millisecond), UploadBytesPhotos
+	default:
+		return jitter(700*time.Millisecond, 150*time.Millisecond), UploadBytesStatus
+	}
+}
+
+func (a *App) awaitAck(id string, fn func()) {
+	a.ackWaiters = append(a.ackWaiters, ackWaiter{id, fn})
+}
+
+// PullToUpdate refreshes the news feed: the loading spinner appears, a feed
+// fetch goes out, and the feed list updates when the response has been
+// processed. Device-side processing cost differs sharply between variants.
+func (a *App) PullToUpdate() {
+	if a.updating {
+		return
+	}
+	a.updating = true
+	a.progress.SetVisible(true)
+	a.whenConnected(func() {
+		a.conn.Send(serversim.FBFeedFetch,
+			serversim.EncodeMeta(serversim.FBMeta{Variant: a.cfg.Variant}, 1_600))
+	})
+}
+
+// backgroundRefresh fetches non-time-sensitive recommendations (§7.3); it
+// causes network traffic and radio activity but no foreground UI change.
+func (a *App) backgroundRefresh() {
+	a.whenConnected(func() {
+		a.conn.Send(serversim.FBFeedFetch,
+			serversim.EncodeMeta(serversim.FBMeta{Variant: a.cfg.Variant, Recommnd: true}, 1_200))
+	})
+}
+
+func (a *App) onMessage(kind byte, payload []byte) {
+	meta, _ := serversim.DecodeMeta(payload)
+	switch kind {
+	case serversim.FBUploadAck:
+		for i, w := range a.ackWaiters {
+			if w.id == meta.PostID {
+				a.ackWaiters = append(a.ackWaiters[:i], a.ackWaiters[i+1:]...)
+				w.fn()
+				break
+			}
+		}
+	case serversim.FBFeedData:
+		if meta.Recommnd {
+			return // background data, no UI effect
+		}
+		proc := a.updateCost(len(payload))
+		a.Screen.AddAppCPU(proc)
+		a.k.After(proc, func() {
+			a.applyFeedUpdate(fmt.Sprintf("feed update #%d", meta.FeedSeq))
+			a.progress.SetVisible(false)
+			a.updating = false
+		})
+	case serversim.FBNotify:
+		// A friend posted. Fetch the content (time-sensitive traffic);
+		// depending on the app version, also refresh the visible feed.
+		a.whenConnected(func() {
+			a.conn.Send(serversim.FBFetchPost,
+				serversim.EncodeMeta(serversim.FBMeta{PostID: meta.PostID}, 400))
+		})
+	case serversim.FBPostContent:
+		proc := a.updateCost(len(payload)) / 2
+		a.Screen.AddAppCPU(proc)
+		a.k.After(proc, func() {
+			a.addFeedItem("friend: " + meta.PostID)
+		})
+		if a.cfg.SelfUpdateOnNotify {
+			a.PullToUpdate()
+		}
+	}
+}
+
+// updateCost models the device CPU needed to apply a feed payload. The
+// WebView variant pays iterated HTML/CSS parsing and layout; the ListView
+// variant deserializes a compact feed (Finding 5's device-latency gap).
+func (a *App) updateCost(payloadLen int) time.Duration {
+	jit := func(base, spread time.Duration) time.Duration {
+		return base + time.Duration(a.k.Rand().Int63n(int64(spread)))
+	}
+	perKB := time.Duration(payloadLen/1024) * time.Millisecond
+	if a.cfg.Variant == serversim.VariantWebView {
+		return jit(500*time.Millisecond, 450*time.Millisecond) + 12*perKB
+	}
+	return jit(110*time.Millisecond, 60*time.Millisecond) + 2*perKB
+}
+
+// addFeedItem prepends a post to the visible feed.
+func (a *App) addFeedItem(text string) {
+	if a.cfg.Variant == serversim.VariantWebView {
+		a.webContent = text + "\n" + a.webContent
+		a.feed.SetText(a.webContent)
+		return
+	}
+	item := uisim.NewView(uisim.ClassTextView, IDFeedItem, "feed story")
+	item.SetText(text)
+	a.feed.PrependChild(item)
+}
+
+// applyFeedUpdate replaces/extends the feed after a fetch.
+func (a *App) applyFeedUpdate(text string) {
+	a.addFeedItem(text)
+}
+
+// FeedSize returns the number of visible feed stories (tests).
+func (a *App) FeedSize() int {
+	if a.cfg.Variant == serversim.VariantWebView {
+		n := 0
+		for _, c := range a.webContent {
+			if c == '\n' {
+				n++
+			}
+		}
+		return n
+	}
+	return len(a.feed.Children())
+}

@@ -1,0 +1,52 @@
+// Package serversim implements the server side of the simulated world: a
+// Facebook-like API/feed/notification service, a YouTube-like search and
+// media-streaming service, generic web servers, and the DNS zone tying
+// hostnames to all of them. The device apps in internal/apps/* speak these
+// wire protocols over simulated TCP; QoE Doctor itself never sees any of
+// this code — it only observes the UI tree, tcpdump, and QxDM logs, exactly
+// like the real tool.
+package serversim
+
+import (
+	"net/netip"
+
+	"repro/internal/netsim"
+)
+
+// Canonical server addresses and hostnames for the simulated internet.
+var (
+	DNSAddr      = netip.MustParseAddr("8.8.8.8")
+	FacebookAddr = netip.MustParseAddr("31.13.70.36")
+	YouTubeAddr  = netip.MustParseAddr("74.125.65.91")
+	WebAddr      = netip.MustParseAddr("93.184.216.34")
+)
+
+// Hostnames served by the DNS zone.
+const (
+	FacebookHost = "api.facebook.com"
+	YouTubeHost  = "r1---sn.googlevideo.com"
+	WebHostBase  = "www.example.com" // page paths select content
+)
+
+// Cluster bundles all installed servers.
+type Cluster struct {
+	Facebook *FacebookServer
+	YouTube  *YouTubeServer
+	Web      *WebServer
+	DNS      *netsim.DNSServer
+}
+
+// Install creates all servers on the network and returns the cluster.
+func Install(n *netsim.Network) *Cluster {
+	c := &Cluster{}
+	dnsStack := n.AddServer(DNSAddr)
+	c.DNS = netsim.AttachDNSServer(dnsStack, map[string]netip.Addr{
+		FacebookHost: FacebookAddr,
+		YouTubeHost:  YouTubeAddr,
+		WebHostBase:  WebAddr,
+	})
+	c.Facebook = NewFacebookServer(n.AddServer(FacebookAddr))
+	c.YouTube = NewYouTubeServer(n.AddServer(YouTubeAddr))
+	c.Web = NewWebServer(n.AddServer(WebAddr))
+	return c
+}

@@ -1,0 +1,154 @@
+package serversim
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// YouTube wire protocol message kinds.
+const (
+	// Client -> server.
+	YTSearch = 1 // JSON {keyword}
+	YTPlay   = 2 // JSON {video id}
+
+	// Server -> client.
+	YTSearchResults = 11 // JSON []VideoInfo
+	YTVideoHeader   = 12 // JSON VideoInfo (precedes the chunk stream)
+	YTChunk         = 13 // raw media bytes
+	YTEnd           = 14 // JSON {video id}
+)
+
+// ytChunkBytes is the media chunk size the server streams.
+const ytChunkBytes = 32 * 1024
+
+// VideoInfo describes one catalog entry.
+type VideoInfo struct {
+	ID         string `json:"id"`
+	Title      string `json:"title"`
+	DurationS  int    `json:"duration_s"`
+	BitrateBps int    `json:"bitrate_bps"`
+	IsAd       bool   `json:"is_ad,omitempty"`
+	// AdID, when set, is the pre-roll ad played before this video.
+	AdID string `json:"ad_id,omitempty"`
+}
+
+// TotalBytes is the full media size of the video.
+func (v VideoInfo) TotalBytes() int {
+	return v.DurationS * v.BitrateBps / 8
+}
+
+type ytRequest struct {
+	Keyword string `json:"keyword,omitempty"`
+	ID      string `json:"id,omitempty"`
+}
+
+// YouTubeServer serves a deterministic catalog: ten videos per keyword
+// letter ("a0".."z9"), the dataset shape of §7.5 scaled down so simulated
+// playback stays tractable (documented in DESIGN.md). A fraction of videos
+// carry a pre-roll ad.
+type YouTubeServer struct {
+	stack *netsim.Stack
+	k     *simtime.Kernel
+
+	// SearchProcDelay is server think-time for a search.
+	SearchProcDelay time.Duration
+	// AdEvery: every n-th video of a keyword has a pre-roll ad (0 = none).
+	AdEvery int
+}
+
+// NewYouTubeServer installs the YouTube protocol on a server stack.
+func NewYouTubeServer(s *netsim.Stack) *YouTubeServer {
+	srv := &YouTubeServer{
+		stack:           s,
+		k:               s.Kernel(),
+		SearchProcDelay: 180 * time.Millisecond,
+		AdEvery:         3,
+	}
+	s.Listen(443, srv.accept)
+	return srv
+}
+
+// Video returns the catalog entry for an id ("c7", or "ad-c7" for its ad).
+// Deterministic: duration 45-150 s, bitrate 250-400 kbps; ads are 15-30 s.
+func (srv *YouTubeServer) Video(id string) (VideoInfo, error) {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	x := h.Sum32()
+	if len(id) > 3 && id[:3] == "ad-" {
+		return VideoInfo{
+			ID:         id,
+			Title:      "ad for " + id[3:],
+			DurationS:  15 + int(x%16),
+			BitrateBps: 300_000,
+			IsAd:       true,
+		}, nil
+	}
+	if len(id) != 2 || id[0] < 'a' || id[0] > 'z' || id[1] < '0' || id[1] > '9' {
+		return VideoInfo{}, fmt.Errorf("serversim: unknown video %q", id)
+	}
+	v := VideoInfo{
+		ID:         id,
+		Title:      "video " + id,
+		DurationS:  45 + int(x%106),
+		BitrateBps: 250_000 + int(x%150_000)/1000*1000,
+	}
+	if srv.AdEvery > 0 && int(id[1]-'0')%srv.AdEvery == 0 {
+		v.AdID = "ad-" + id
+	}
+	return v, nil
+}
+
+// Search returns the 10 catalog entries for a one-letter keyword.
+func (srv *YouTubeServer) Search(keyword string) []VideoInfo {
+	if len(keyword) == 0 || keyword[0] < 'a' || keyword[0] > 'z' {
+		return nil
+	}
+	out := make([]VideoInfo, 0, 10)
+	for i := 0; i < 10; i++ {
+		v, err := srv.Video(fmt.Sprintf("%c%d", keyword[0], i))
+		if err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (srv *YouTubeServer) accept(c *netsim.Conn) {
+	mc := netsim.NewMsgConn(c)
+	mc.OnMessage(func(kind byte, payload []byte) { srv.handle(mc, kind, payload) })
+}
+
+func (srv *YouTubeServer) handle(mc *netsim.MsgConn, kind byte, payload []byte) {
+	var req ytRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return
+	}
+	switch kind {
+	case YTSearch:
+		results := srv.Search(req.Keyword)
+		data, _ := json.Marshal(results)
+		srv.k.After(srv.SearchProcDelay, func() { mc.Send(YTSearchResults, data) })
+	case YTPlay:
+		v, err := srv.Video(req.ID)
+		if err != nil {
+			return
+		}
+		hdr, _ := json.Marshal(v)
+		mc.Send(YTVideoHeader, hdr)
+		total := v.TotalBytes()
+		for off := 0; off < total; off += ytChunkBytes {
+			n := ytChunkBytes
+			if off+n > total {
+				n = total - off
+			}
+			mc.SendFiller(YTChunk, n)
+		}
+		end, _ := json.Marshal(ytRequest{ID: v.ID})
+		mc.Send(YTEnd, end)
+	}
+}

@@ -1,0 +1,509 @@
+// Package youtube models the YouTube Android app: keyword search, a results
+// list, and a progressive-download video player whose buffering behaviour
+// produces the two §7.5 QoE metrics — initial loading time (progress bar
+// from clicking a result until playback starts) and rebuffering ratio
+// (progress bar reappearing mid-playback). Pre-roll ads (§7.6) preload the
+// main video while the ad plays and expose a skip button after 5 seconds.
+package youtube
+
+import (
+	"encoding/json"
+	"net/netip"
+	"time"
+
+	"repro/internal/apps/serversim"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/uisim"
+)
+
+// View IDs for signature-based control.
+const (
+	IDSearchBox      = "com.google.android.youtube:id/search_edit"
+	IDResultsList    = "com.google.android.youtube:id/results_list"
+	IDResultItem     = "com.google.android.youtube:id/result_item"
+	IDPlayerView     = "com.google.android.youtube:id/player_view"
+	IDPlayerProgress = "com.google.android.youtube:id/player_progress"
+	IDSkipAd         = "com.google.android.youtube:id/skip_ad_button"
+)
+
+// Player tuning.
+const (
+	// startBufferSeconds is how much media the 2014 YouTube app buffers
+	// before starting playback; on an unthrottled link it fills in well
+	// under a second, but at a 128 kbps throttle it is what turns a ~2 s
+	// initial loading time into tens of seconds (Fig. 17/20).
+	startBufferSeconds  = 15.0
+	resumeBufferSeconds = 5.0 // stall ends with this much buffered ahead
+	adSkippableAfter    = 5 * time.Second
+	// adPreloadLead: the app requests the main video this long before the
+	// ad finishes (§7.6's partial preload — the main video's own loading
+	// shrinks, but the total time to content roughly doubles on cellular).
+	adPreloadLead = 6 * time.Second
+)
+
+// Config selects app behaviour.
+type Config struct {
+	// AdsEnabled plays pre-roll ads on videos that carry one.
+	AdsEnabled bool
+	// PreloadDuringAd starts fetching the main video adPreloadLead before
+	// the ad ends. The 2014 app did this only on unmetered (WiFi)
+	// networks; on cellular the main video is requested when the ad
+	// finishes, which is why §7.6 finds the total loading time roughly
+	// doubled there.
+	PreloadDuringAd bool
+}
+
+// PlaybackStats summarizes one finished playback, as ground truth for tests
+// (QoE Doctor itself derives these numbers from UI events).
+type PlaybackStats struct {
+	VideoID        string
+	InitialLoading time.Duration // click -> main playback start (includes ad time if any)
+	MainLoading    time.Duration // ad end (or click) -> main playback start
+	AdLoading      time.Duration // click -> ad playback start (when an ad ran)
+	PlayTime       time.Duration
+	StallTime      time.Duration
+	Stalls         int
+	AdPlayed       bool
+	Done           bool
+}
+
+// RebufferRatio is stall/(play+stall) after initial loading (§4.2.2).
+func (s PlaybackStats) RebufferRatio() float64 {
+	total := s.PlayTime + s.StallTime
+	if total <= 0 {
+		return 0
+	}
+	return s.StallTime.Seconds() / total.Seconds()
+}
+
+// stream is one progressive download in flight.
+type stream struct {
+	info     serversim.VideoInfo
+	haveInfo bool
+	buffered int // bytes received
+	total    int
+	ended    bool
+	onChunk  func()
+	onHeader func()
+}
+
+// App is the device-side YouTube model.
+type App struct {
+	k        *simtime.Kernel
+	stack    *netsim.Stack
+	resolver *netsim.Resolver
+	cfg      Config
+
+	Screen *uisim.Screen
+
+	searchBox *uisim.View
+	results   *uisim.View
+	player    *uisim.View
+	progress  *uisim.View
+	skipBtn   *uisim.View
+
+	conn      *netsim.MsgConn
+	connected bool
+	onConnect []func()
+	streams   map[string]*stream
+
+	// Player state.
+	current     *stream
+	ad          *stream
+	clickAt     simtime.Time
+	playing     bool
+	stalled     bool
+	playedBytes float64
+	lastTick    simtime.Time
+	dryEv       *simtime.Event
+	stats       PlaybackStats
+	onDone      func(PlaybackStats)
+
+	playStart  simtime.Time
+	stallStart simtime.Time
+	adTimerEv  *simtime.Event
+	skipEv     *simtime.Event
+	adStartAt  simtime.Time
+	adEndAt    simtime.Time
+	// mainInfo and mainRequested defer the main video's stream request
+	// until near the end of the pre-roll ad.
+	mainInfo      serversim.VideoInfo
+	mainRequested bool
+
+	// expectChunksFor names the stream whose chunks are currently arriving
+	// (the server serializes one YTPlay response at a time per connection).
+	expectChunksFor string
+}
+
+// New builds the app UI and network client.
+func New(k *simtime.Kernel, stack *netsim.Stack, resolver *netsim.Resolver, cfg Config) *App {
+	a := &App{k: k, stack: stack, resolver: resolver, cfg: cfg, streams: make(map[string]*stream)}
+	root := uisim.NewView(uisim.ClassView, "com.google.android.youtube:id/root", "youtube root")
+	a.Screen = uisim.NewScreen(k, root)
+
+	a.searchBox = uisim.NewView(uisim.ClassEditText, IDSearchBox, "search box")
+	a.searchBox.OnEnter = func() { a.Search(a.searchBox.Text()) }
+	root.AddChild(a.searchBox)
+
+	a.results = uisim.NewView(uisim.ClassListView, IDResultsList, "search results")
+	root.AddChild(a.results)
+
+	a.player = uisim.NewView(uisim.ClassVideoView, IDPlayerView, "video player")
+	a.player.SetVisible(false)
+	root.AddChild(a.player)
+
+	a.progress = uisim.NewView(uisim.ClassProgressBar, IDPlayerProgress, "player spinner")
+	a.progress.SetVisible(false)
+	root.AddChild(a.progress)
+
+	a.skipBtn = uisim.NewView(uisim.ClassButton, IDSkipAd, "skip ad")
+	a.skipBtn.SetVisible(false)
+	a.skipBtn.OnClick = a.skipAd
+	root.AddChild(a.skipBtn)
+	return a
+}
+
+// Connect opens the media connection.
+func (a *App) Connect() {
+	a.resolver.Resolve(serversim.YouTubeHost, func(addr netip.Addr, ok bool) {
+		if !ok {
+			panic("youtube: DNS resolution failed")
+		}
+		c := a.stack.Dial(netsim.Endpoint{Addr: addr, Port: 443})
+		a.conn = netsim.NewMsgConn(c)
+		a.conn.OnMessage(a.onMessage)
+		c.OnEstablished(func() {
+			a.connected = true
+			for _, fn := range a.onConnect {
+				fn()
+			}
+			a.onConnect = nil
+		})
+	})
+}
+
+func (a *App) whenConnected(fn func()) {
+	if a.connected {
+		fn()
+		return
+	}
+	a.onConnect = append(a.onConnect, fn)
+}
+
+// OnPlaybackDone registers the completion callback.
+func (a *App) OnPlaybackDone(fn func(PlaybackStats)) { a.onDone = fn }
+
+// Search issues a keyword search; results populate the results list.
+func (a *App) Search(keyword string) {
+	req, _ := json.Marshal(struct {
+		Keyword string `json:"keyword"`
+	}{keyword})
+	a.whenConnected(func() { a.conn.Send(serversim.YTSearch, req) })
+}
+
+// play requests a media stream.
+func (a *App) requestStream(id string) *stream {
+	st := &stream{}
+	a.streams[id] = st
+	req, _ := json.Marshal(struct {
+		ID string `json:"id"`
+	}{id})
+	a.whenConnected(func() { a.conn.Send(serversim.YTPlay, req) })
+	return st
+}
+
+// PlayVideo is the result-item click path: show the player and spinner,
+// start streaming (ad first when present and enabled).
+func (a *App) PlayVideo(v serversim.VideoInfo) {
+	a.clickAt = a.k.Now()
+	a.stats = PlaybackStats{VideoID: v.ID}
+	a.player.SetVisible(true)
+	a.progress.SetVisible(true)
+	a.playing, a.stalled = false, false
+	a.playedBytes = 0
+	a.adStartAt, a.adEndAt = 0, 0
+	a.streams = make(map[string]*stream)
+	a.current = nil
+	a.mainRequested = false
+
+	// With a pre-roll ad, the main video is requested only near the end of
+	// the ad (adPreloadLead before it finishes, or when it is skipped) —
+	// the app does not fetch two streams at once.
+	if a.cfg.AdsEnabled && v.AdID != "" {
+		a.stats.AdPlayed = true
+		a.mainInfo = v
+		a.mainRequested = false
+		a.ad = a.requestStream(v.AdID)
+		a.ad.onHeader = func() { a.maybeStartAd() }
+		a.ad.onChunk = func() { a.maybeStartAd() }
+		return
+	}
+	a.startMainRequest(v)
+}
+
+// startMainRequest opens the main video's stream (idempotent).
+func (a *App) startMainRequest(v serversim.VideoInfo) {
+	if a.mainRequested && a.current != nil {
+		return
+	}
+	a.mainRequested = true
+	a.current = a.requestStream(v.ID)
+	a.current.onHeader = func() { a.maybeStartMain() }
+	a.current.onChunk = func() { a.onMainChunk() }
+}
+
+// --- ad phase ---
+
+// maybeStartAd begins ad playback once enough of the ad is buffered. Ads
+// are short; playback is modeled stall-free once started.
+func (a *App) maybeStartAd() {
+	if a.ad == nil || !a.ad.haveInfo || a.adStarted() {
+		return
+	}
+	need := int(startBufferSeconds * float64(a.ad.info.BitrateBps) / 8)
+	if a.ad.buffered < need && !a.ad.ended {
+		return
+	}
+	// Ad starts: spinner off, skip button after 5s, ad ends after duration.
+	a.adStartAt = a.k.Now()
+	a.stats.AdLoading = time.Duration(a.adStartAt - a.clickAt)
+	a.progress.SetVisible(false)
+	a.skipEv = a.k.After(adSkippableAfter, func() { a.skipBtn.SetVisible(true) })
+	adLen := time.Duration(a.ad.info.DurationS) * time.Second
+	a.adTimerEv = a.k.After(adLen, a.finishAd)
+	if a.cfg.PreloadDuringAd {
+		// Unmetered network: kick off the main video before the ad ends.
+		lead := adLen - adPreloadLead
+		if lead < 0 {
+			lead = 0
+		}
+		v := a.mainInfo
+		a.k.After(lead, func() {
+			if a.stats.VideoID == v.ID && !a.mainRequested {
+				a.startMainRequest(v)
+			}
+		})
+	}
+}
+
+func (a *App) adStarted() bool { return a.adStartAt > 0 }
+
+// skipAd is the skip-button click path.
+func (a *App) skipAd() {
+	a.finishAd()
+}
+
+// finishAd ends the ad phase and hands over to the main video.
+func (a *App) finishAd() {
+	if a.ad == nil {
+		return
+	}
+	if a.adTimerEv != nil {
+		a.adTimerEv.Cancel()
+		a.adTimerEv = nil
+	}
+	if a.skipEv != nil {
+		a.skipEv.Cancel()
+		a.skipEv = nil
+	}
+	a.skipBtn.SetVisible(false)
+	a.ad = nil
+	a.adStartAt = 0
+	a.adEndAt = a.k.Now()
+	// Main video may have partially preloaded during the ad; otherwise
+	// (e.g. an early skip) request it now and spin.
+	a.progress.SetVisible(true)
+	if !a.mainRequested {
+		a.startMainRequest(a.mainInfo)
+	}
+	a.maybeStartMain()
+}
+
+// --- main video phase ---
+
+// maybeStartMain begins playback once the ad is done and the start buffer
+// is reached.
+func (a *App) maybeStartMain() {
+	if a.playing || a.current == nil || !a.current.haveInfo || a.ad != nil || a.adStartAt > 0 {
+		return
+	}
+	need := int(startBufferSeconds * float64(a.current.info.BitrateBps) / 8)
+	if a.current.buffered < need && !a.current.ended {
+		return
+	}
+	// Initial loading complete.
+	a.playing = true
+	a.progress.SetVisible(false)
+	a.stats.InitialLoading = time.Duration(a.k.Now() - a.clickAt)
+	if a.stats.AdPlayed {
+		a.stats.MainLoading = time.Duration(a.k.Now() - a.adEndAt)
+	} else {
+		a.stats.MainLoading = a.stats.InitialLoading
+	}
+	a.playStart = a.k.Now()
+	a.lastTick = a.k.Now()
+	a.scheduleDry()
+}
+
+// onMainChunk handles media arrival for the main video.
+func (a *App) onMainChunk() {
+	if a.ad != nil || a.adStartAt > 0 {
+		return // preloading during the ad
+	}
+	if !a.playing && !a.stalled {
+		a.maybeStartMain()
+		return
+	}
+	if a.stalled {
+		ahead := float64(a.current.buffered) - a.playedBytes
+		need := resumeBufferSeconds * float64(a.current.info.BitrateBps) / 8
+		if ahead >= need || a.current.ended {
+			// Stall over.
+			a.stalled = false
+			a.playing = true
+			a.stats.StallTime += time.Duration(a.k.Now() - a.stallStart)
+			a.progress.SetVisible(false)
+			a.lastTick = a.k.Now()
+			a.scheduleDry()
+		}
+		return
+	}
+	a.scheduleDry()
+}
+
+// advance accounts for media consumed since the last tick.
+func (a *App) advance() {
+	if !a.playing {
+		return
+	}
+	elapsed := time.Duration(a.k.Now() - a.lastTick).Seconds()
+	a.lastTick = a.k.Now()
+	a.playedBytes += elapsed * float64(a.current.info.BitrateBps) / 8
+	if a.playedBytes > float64(a.current.total) {
+		a.playedBytes = float64(a.current.total)
+	}
+}
+
+// scheduleDry (re)schedules the next buffer-exhaustion or end-of-video
+// event.
+func (a *App) scheduleDry() {
+	if a.dryEv != nil {
+		a.dryEv.Cancel()
+		a.dryEv = nil
+	}
+	a.advance()
+	rate := float64(a.current.info.BitrateBps) / 8
+	remainingPlayable := float64(a.current.buffered) - a.playedBytes
+	untilEnd := float64(a.current.total) - a.playedBytes
+	if untilEnd <= 0.5 {
+		a.finishPlayback()
+		return
+	}
+	horizon := remainingPlayable
+	if untilEnd < horizon {
+		horizon = untilEnd
+	}
+	delay := simtime.Time(horizon / rate * float64(time.Second))
+	if delay < 0 {
+		delay = 0
+	}
+	a.dryEv = a.k.After(delay, a.onDry)
+}
+
+// onDry fires when the buffer runs out (or the video finishes).
+func (a *App) onDry() {
+	a.dryEv = nil
+	a.advance()
+	if a.playedBytes >= float64(a.current.total)-0.5 {
+		a.finishPlayback()
+		return
+	}
+	// Buffer exhausted: rebuffering stall.
+	a.playing = false
+	a.stalled = true
+	a.stats.Stalls++
+	a.stallStart = a.k.Now()
+	a.progress.SetVisible(true)
+	if a.current.ended {
+		// Nothing more will arrive; treat as done (truncated stream).
+		a.stalled = false
+		a.finishPlayback()
+	}
+}
+
+// finishPlayback ends the session and reports stats.
+func (a *App) finishPlayback() {
+	if a.current == nil {
+		return
+	}
+	a.advance()
+	a.playing = false
+	a.stats.PlayTime = time.Duration(a.k.Now()-a.playStart) - a.stats.StallTime
+	a.stats.Done = true
+	a.player.SetVisible(false)
+	a.progress.SetVisible(false)
+	if a.dryEv != nil {
+		a.dryEv.Cancel()
+		a.dryEv = nil
+	}
+	st := a.stats
+	a.current = nil
+	if a.onDone != nil {
+		a.onDone(st)
+	}
+}
+
+// --- network ---
+
+func (a *App) onMessage(kind byte, payload []byte) {
+	switch kind {
+	case serversim.YTSearchResults:
+		var results []serversim.VideoInfo
+		if err := json.Unmarshal(payload, &results); err != nil {
+			return
+		}
+		a.results.ClearChildren()
+		for _, v := range results {
+			v := v
+			item := uisim.NewView(uisim.ClassTextView, IDResultItem, v.ID)
+			item.SetText(v.Title)
+			item.OnClick = func() { a.PlayVideo(v) }
+			a.results.AddChild(item)
+		}
+	case serversim.YTVideoHeader:
+		var v serversim.VideoInfo
+		if err := json.Unmarshal(payload, &v); err != nil {
+			return
+		}
+		if st, ok := a.streams[v.ID]; ok {
+			st.info = v
+			st.haveInfo = true
+			st.total = v.TotalBytes()
+			if st.onHeader != nil {
+				st.onHeader()
+			}
+		}
+		a.expectChunksFor = v.ID
+	case serversim.YTChunk:
+		if st, ok := a.streams[a.expectChunksFor]; ok {
+			st.buffered += len(payload)
+			if st.onChunk != nil {
+				st.onChunk()
+			}
+		}
+	case serversim.YTEnd:
+		var req struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return
+		}
+		if st, ok := a.streams[req.ID]; ok {
+			st.ended = true
+			if st.onChunk != nil {
+				st.onChunk()
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package analyzer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core/qoe"
+	"repro/internal/qxdm"
+	"repro/internal/simtime"
+)
+
+func TestCalibrateUserTriggered(t *testing.T) {
+	e := qoe.BehaviorEntry{
+		Kind: qoe.UserTriggered, Start: 0, End: simtime.Time(1000 * time.Millisecond),
+		Observed: true, ParseTime: 10 * time.Millisecond,
+	}
+	l := Calibrate(e)
+	if l.Raw != time.Second {
+		t.Fatalf("raw = %v", l.Raw)
+	}
+	if want := time.Second - 15*time.Millisecond; l.Calibrated != want {
+		t.Fatalf("calibrated = %v, want %v (raw - 3/2 parse)", l.Calibrated, want)
+	}
+}
+
+func TestCalibrateAppTriggered(t *testing.T) {
+	e := qoe.BehaviorEntry{
+		Kind: qoe.AppTriggered, Start: 0, End: simtime.Time(500 * time.Millisecond),
+		Observed: true, ParseTime: 8 * time.Millisecond,
+	}
+	l := Calibrate(e)
+	if want := 500*time.Millisecond - 8*time.Millisecond; l.Calibrated != want {
+		t.Fatalf("calibrated = %v, want %v (raw - parse)", l.Calibrated, want)
+	}
+}
+
+func TestCalibrateNeverNegative(t *testing.T) {
+	e := qoe.BehaviorEntry{Kind: qoe.UserTriggered, End: simtime.Time(time.Millisecond),
+		Observed: true, ParseTime: 10 * time.Millisecond}
+	if l := Calibrate(e); l.Calibrated < 0 {
+		t.Fatalf("negative calibrated latency %v", l.Calibrated)
+	}
+}
+
+func TestAnalyzeAppSkipsUnobserved(t *testing.T) {
+	log := &qoe.BehaviorLog{}
+	log.Add(qoe.BehaviorEntry{Action: "a", Observed: true, End: 1000})
+	log.Add(qoe.BehaviorEntry{Action: "a", Observed: false, End: 2000})
+	r := AnalyzeApp(log)
+	if len(r.Latencies) != 1 {
+		t.Fatalf("latencies = %d, want 1", len(r.Latencies))
+	}
+	if got := r.ByAction("a"); len(got) != 1 {
+		t.Fatalf("ByAction = %d", len(got))
+	}
+	if got := r.ByAction("b"); len(got) != 0 {
+		t.Fatalf("ByAction(b) = %d", len(got))
+	}
+}
+
+// --- long-jump mapping unit tests on hand-built PDU streams ---
+
+// segment builds the PDU records QxDM would log for packets laid out
+// back-to-back with the given PDU payload size.
+func segment(packets [][]byte, payloadSize int) []qxdm.PDURecord {
+	var stream []byte
+	var boundaries []int // cumulative end offsets
+	for _, p := range packets {
+		stream = append(stream, p...)
+		boundaries = append(boundaries, len(stream))
+	}
+	var pdus []qxdm.PDURecord
+	for off := 0; off < len(stream); off += payloadSize {
+		end := off + payloadSize
+		if end > len(stream) {
+			end = len(stream)
+		}
+		rec := qxdm.PDURecord{
+			Seq:  uint32(len(pdus)),
+			Size: end - off,
+			At:   simtime.Time(len(pdus)) * simtime.Time(time.Millisecond),
+		}
+		rec.Head[0] = stream[off]
+		if end-off >= 2 {
+			rec.Head[1] = stream[off+1]
+		}
+		for _, b := range boundaries {
+			if b > off && b <= end {
+				rec.LI = append(rec.LI, b-off)
+			}
+		}
+		pdus = append(pdus, rec)
+	}
+	return pdus
+}
+
+func mkPackets(seed int64, sizes ...int) []MappedPacket {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]MappedPacket, len(sizes))
+	for i, n := range sizes {
+		data := make([]byte, n)
+		rng.Read(data)
+		out[i] = MappedPacket{At: simtime.Time(i) * simtime.Time(time.Millisecond), Data: data}
+	}
+	return out
+}
+
+func rawData(ps []MappedPacket) [][]byte {
+	out := make([][]byte, len(ps))
+	for i, p := range ps {
+		out[i] = p.Data
+	}
+	return out
+}
+
+func TestLongJumpMapsCleanStream(t *testing.T) {
+	packets := mkPackets(1, 100, 50, 40, 7, 1400)
+	pdus := segment(rawData(packets), 40)
+	res := LongJumpMap(packets, pdus)
+	if res.Mapped != len(packets) {
+		t.Fatalf("mapped %d of %d", res.Mapped, res.Total)
+	}
+	if res.Ratio() != 1 {
+		t.Fatalf("ratio = %v", res.Ratio())
+	}
+	// First packet: 100 bytes over 40B PDUs -> PDUs 0..2.
+	if m := res.Packets[0]; m.FirstPDU != 0 || m.LastPDU != 2 || m.PDUs != 3 {
+		t.Fatalf("packet 0 mapping: %+v", m)
+	}
+	// Second packet starts mid-PDU 2 (Fig. 5's spanning case).
+	if m := res.Packets[1]; m.FirstPDU != 2 {
+		t.Fatalf("packet 1 should start in PDU 2: %+v", m)
+	}
+}
+
+func TestLongJumpLostPDUBreaksOnlyAffectedPackets(t *testing.T) {
+	packets := mkPackets(2, 200, 200, 200, 200)
+	pdus := segment(rawData(packets), 40)
+	// Lose one PDU in the middle of packet 1 (packet 0 occupies PDUs 0-4).
+	lost := append(append([]qxdm.PDURecord{}, pdus[:6]...), pdus[7:]...)
+	res := LongJumpMap(packets, lost)
+	if res.Packets[0].Mapped != true {
+		t.Fatal("packet 0 should map")
+	}
+	if res.Packets[1].Mapped {
+		t.Fatal("packet 1 maps despite a lost PDU")
+	}
+	if !res.Packets[2].Mapped || !res.Packets[3].Mapped {
+		t.Fatalf("resync failed: %+v", res.Packets)
+	}
+	if res.Mapped != 3 {
+		t.Fatalf("mapped = %d, want 3", res.Mapped)
+	}
+}
+
+func TestLongJumpEmptyInputs(t *testing.T) {
+	if r := LongJumpMap(nil, nil); r.Total != 0 || r.Ratio() != 0 {
+		t.Fatalf("empty mapping: %+v", r)
+	}
+	packets := mkPackets(3, 100)
+	if r := LongJumpMap(packets, nil); r.Mapped != 0 {
+		t.Fatal("mapped against empty PDU stream")
+	}
+}
+
+func TestDedupPDUsKeepsFirstTransmission(t *testing.T) {
+	pdus := []qxdm.PDURecord{
+		{Seq: 0, At: 1}, {Seq: 1, At: 2}, {Seq: 1, At: 5, Retx: true}, {Seq: 2, At: 6},
+	}
+	out := dedupPDUs(pdus)
+	if len(out) != 3 || out[1].At != 2 {
+		t.Fatalf("dedup wrong: %+v", out)
+	}
+}
+
+// Property: any packet sizes, clean capture -> 100% mapping; the mapping is
+// contiguous and ordered.
+func TestQuickLongJumpCleanAlwaysMaps(t *testing.T) {
+	f := func(seed int64, ns []uint16, payloadSel uint8) bool {
+		if len(ns) == 0 || len(ns) > 30 {
+			return true
+		}
+		sizes := make([]int, len(ns))
+		for i, n := range ns {
+			sizes[i] = int(n%2000) + 1
+		}
+		payload := []int{40, 128, 480, 1400}[payloadSel%4]
+		packets := mkPackets(seed, sizes...)
+		pdus := segment(rawData(packets), payload)
+		res := LongJumpMap(packets, pdus)
+		if res.Mapped != len(packets) {
+			return false
+		}
+		prevLast := -1
+		for _, m := range res.Packets {
+			if m.FirstPDU < prevLast-1 || m.LastPDU < m.FirstPDU {
+				return false
+			}
+			prevLast = m.LastPDU
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

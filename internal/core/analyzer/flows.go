@@ -1,0 +1,251 @@
+package analyzer
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pcap"
+	"repro/internal/simtime"
+)
+
+// FlowPacket is one packet attributed to a flow.
+type FlowPacket struct {
+	At         simtime.Time
+	Uplink     bool // device -> server
+	WireLen    int
+	PayloadLen int
+	Seq, Ack   uint32
+	Flags      uint8
+	Retransmit bool
+}
+
+// Flow is one TCP conversation seen from the device, oriented
+// device -> server.
+type Flow struct {
+	Device Endpoint
+	Server Endpoint
+	Host   string // DNS name of the server address, when observed
+
+	Packets []FlowPacket
+
+	ULBytes, DLBytes     int // wire bytes
+	ULPayload, DLPayload int // TCP payload bytes
+	Retransmissions      int
+	Start, End           simtime.Time
+	HandshakeRTT         time.Duration // SYN -> SYN/ACK at the device
+	rttSamples           []time.Duration
+}
+
+// Endpoint aliases netsim.Endpoint for the public analyzer API.
+type Endpoint = netsim.Endpoint
+
+// Duration is the flow's packet time span.
+func (f *Flow) Duration() time.Duration { return time.Duration(f.End - f.Start) }
+
+// MeanRTT returns the average data-to-ACK RTT observed at the device
+// (uplink payload to covering downlink ACK), falling back to the handshake
+// RTT.
+func (f *Flow) MeanRTT() time.Duration {
+	if len(f.rttSamples) == 0 {
+		return f.HandshakeRTT
+	}
+	var sum time.Duration
+	for _, s := range f.rttSamples {
+		sum += s
+	}
+	return sum / time.Duration(len(f.rttSamples))
+}
+
+// Overlaps reports whether the flow carried any packet inside [from, to].
+func (f *Flow) Overlaps(from, to simtime.Time) bool {
+	for _, p := range f.Packets {
+		if p.At >= from && p.At <= to {
+			return true
+		}
+	}
+	return false
+}
+
+// WindowSpan returns the earliest and latest packet times inside the
+// window, the paper's per-flow network latency (§7.2): the timestamp
+// difference between the first and last packet of the flow in the QoE
+// window.
+func (f *Flow) WindowSpan(from, to simtime.Time) (first, last simtime.Time, n int) {
+	first, last = -1, -1
+	for _, p := range f.Packets {
+		if p.At < from || p.At > to {
+			continue
+		}
+		if first < 0 {
+			first = p.At
+		}
+		last = p.At
+		n++
+	}
+	return first, last, n
+}
+
+// ThroughputSeries bins the flow's downlink wire bytes into width-sized
+// bins starting at the flow start, returning bits-per-second per bin
+// (Fig. 18's time series).
+func (f *Flow) ThroughputSeries(width, horizon time.Duration) []float64 {
+	var ts metrics.TimeSeries
+	for _, p := range f.Packets {
+		if !p.Uplink {
+			ts.Add(time.Duration(p.At-f.Start), float64(p.WireLen))
+		}
+	}
+	bins := ts.Bin(width, horizon)
+	for i := range bins {
+		bins[i] = bins[i] * 8 / width.Seconds()
+	}
+	return bins
+}
+
+// FlowReport is the transport/network layer analysis of a capture.
+type FlowReport struct {
+	Flows []*Flow
+	// DNSNames maps resolved addresses to hostnames, recovered from DNS
+	// responses in the trace (§5.2).
+	DNSNames map[netip.Addr]string
+	// TotalUL and TotalDL are whole-trace wire byte counts (all protocols).
+	TotalUL, TotalDL int
+}
+
+// ByHost returns flows whose server resolved to host.
+func (r *FlowReport) ByHost(host string) []*Flow {
+	var out []*Flow
+	for _, f := range r.Flows {
+		if f.Host == host {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HostBytes sums wire bytes of flows to host.
+func (r *FlowReport) HostBytes(host string) (ul, dl int) {
+	for _, f := range r.ByHost(host) {
+		ul += f.ULBytes
+		dl += f.DLBytes
+	}
+	return ul, dl
+}
+
+// flowState tracks retransmission and RTT detection per flow.
+type flowState struct {
+	flow        *Flow
+	maxSeqEndUL uint32
+	haveSeqUL   bool
+	maxSeqEndDL uint32
+	haveSeqDL   bool
+	synAt       simtime.Time
+	synSeen     bool
+	// pending RTT sample: uplink payload segment awaiting its ACK.
+	sampleEnd uint32
+	sampleAt  simtime.Time
+	sampleSet bool
+}
+
+// ExtractFlows runs the §5.2 analysis: parse the raw trace, extract TCP
+// flows keyed by the 4-tuple, associate each flow with a server hostname
+// via the DNS lookups in the same trace, and compute byte counts,
+// retransmissions, and RTTs. deviceAddr orients each flow.
+func ExtractFlows(records []pcap.Record, deviceAddr netip.Addr) *FlowReport {
+	report := &FlowReport{DNSNames: make(map[netip.Addr]string)}
+	states := make(map[netsim.FlowKey]*flowState)
+
+	for i := range records {
+		rec := &records[i]
+		p, err := rec.Packet()
+		if err != nil {
+			continue
+		}
+		uplink := p.Src.Addr == deviceAddr
+		if uplink {
+			report.TotalUL += p.WireLen()
+		} else {
+			report.TotalDL += p.WireLen()
+		}
+		if p.Proto == netsim.ProtoUDP {
+			if m := rec.DNS(); m != nil && m.Response && m.Answer.IsValid() {
+				report.DNSNames[m.Answer] = m.Name
+			}
+			continue
+		}
+		if p.Proto != netsim.ProtoTCP {
+			continue
+		}
+		dev, srv := p.Src, p.Dst
+		if !uplink {
+			dev, srv = p.Dst, p.Src
+		}
+		key := netsim.FlowKey{Src: dev, Dst: srv, Proto: netsim.ProtoTCP}
+		st, ok := states[key]
+		if !ok {
+			st = &flowState{flow: &Flow{Device: dev, Server: srv, Start: rec.At}}
+			states[key] = st
+			report.Flows = append(report.Flows, st.flow)
+		}
+		f := st.flow
+		fp := FlowPacket{
+			At: rec.At, Uplink: uplink, WireLen: p.WireLen(),
+			PayloadLen: len(p.Payload), Seq: p.Seq, Ack: p.Ack, Flags: p.Flags,
+		}
+		// Retransmission detection: payload below the direction's
+		// high-water sequence mark.
+		if len(p.Payload) > 0 {
+			end := p.Seq + uint32(len(p.Payload))
+			maxEnd, have := &st.maxSeqEndUL, &st.haveSeqUL
+			if !uplink {
+				maxEnd, have = &st.maxSeqEndDL, &st.haveSeqDL
+			}
+			if *have && int32(end-*maxEnd) <= 0 {
+				fp.Retransmit = true
+				f.Retransmissions++
+			}
+			if !*have || int32(end-*maxEnd) > 0 {
+				*maxEnd = end
+				*have = true
+			}
+		}
+		// Handshake RTT: device SYN -> server SYN/ACK.
+		if p.Flags&netsim.FlagSYN != 0 {
+			if uplink && p.Flags&netsim.FlagACK == 0 {
+				st.synAt = rec.At
+				st.synSeen = true
+			} else if !uplink && p.Flags&netsim.FlagACK != 0 && st.synSeen && f.HandshakeRTT == 0 {
+				f.HandshakeRTT = time.Duration(rec.At - st.synAt)
+			}
+		}
+		// Data RTT samples: one outstanding uplink segment at a time.
+		if uplink && len(p.Payload) > 0 && !fp.Retransmit && !st.sampleSet {
+			st.sampleEnd = p.Seq + uint32(len(p.Payload))
+			st.sampleAt = rec.At
+			st.sampleSet = true
+		} else if !uplink && st.sampleSet && p.Flags&netsim.FlagACK != 0 && int32(p.Ack-st.sampleEnd) >= 0 {
+			f.rttSamples = append(f.rttSamples, time.Duration(rec.At-st.sampleAt))
+			st.sampleSet = false
+		}
+
+		f.Packets = append(f.Packets, fp)
+		f.End = rec.At
+		if uplink {
+			f.ULBytes += fp.WireLen
+			f.ULPayload += fp.PayloadLen
+		} else {
+			f.DLBytes += fp.WireLen
+			f.DLPayload += fp.PayloadLen
+		}
+	}
+
+	// Hostname association.
+	for _, f := range report.Flows {
+		f.Host = report.DNSNames[f.Server.Addr]
+	}
+	sort.Slice(report.Flows, func(i, j int) bool { return report.Flows[i].Start < report.Flows[j].Start })
+	return report
+}

@@ -1,0 +1,222 @@
+package analyzer
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core/qoe"
+	"repro/internal/netsim"
+	"repro/internal/pcap"
+	"repro/internal/qxdm"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+var (
+	dev = netip.MustParseAddr("10.20.0.2")
+	srv = netip.MustParseAddr("31.13.70.36")
+	dns = netip.MustParseAddr("8.8.8.8")
+)
+
+// rec builds a pcap record at time t (ms) for a packet.
+func rec(tMs int64, p *netsim.Packet) pcap.Record {
+	return pcap.Record{At: simtime.Time(tMs) * simtime.Time(time.Millisecond), Data: p.Marshal()}
+}
+
+func tcpPkt(up bool, seq, ack uint32, flags uint8, payload int) *netsim.Packet {
+	p := &netsim.Packet{
+		Proto: netsim.ProtoTCP, Seq: seq, Ack: ack, Flags: flags,
+		Payload: make([]byte, payload),
+	}
+	if up {
+		p.Src = netsim.Endpoint{Addr: dev, Port: 40001}
+		p.Dst = netsim.Endpoint{Addr: srv, Port: 443}
+	} else {
+		p.Src = netsim.Endpoint{Addr: srv, Port: 443}
+		p.Dst = netsim.Endpoint{Addr: dev, Port: 40001}
+	}
+	return p
+}
+
+func TestExtractFlowsBasics(t *testing.T) {
+	records := []pcap.Record{
+		rec(0, tcpPkt(true, 100, 0, netsim.FlagSYN, 0)),
+		rec(50, tcpPkt(false, 900, 101, netsim.FlagSYN|netsim.FlagACK, 0)),
+		rec(100, tcpPkt(true, 101, 901, netsim.FlagACK, 0)),
+		rec(110, tcpPkt(true, 101, 901, netsim.FlagACK|netsim.FlagPSH, 500)),
+		rec(200, tcpPkt(false, 901, 601, netsim.FlagACK, 0)),
+		rec(210, tcpPkt(false, 901, 601, netsim.FlagACK|netsim.FlagPSH, 1200)),
+	}
+	rep := ExtractFlows(records, dev)
+	if len(rep.Flows) != 1 {
+		t.Fatalf("flows = %d", len(rep.Flows))
+	}
+	f := rep.Flows[0]
+	if f.Device.Addr != dev || f.Server.Addr != srv {
+		t.Fatal("orientation wrong")
+	}
+	if f.ULPayload != 500 || f.DLPayload != 1200 {
+		t.Fatalf("payload bytes: ul=%d dl=%d", f.ULPayload, f.DLPayload)
+	}
+	if f.Retransmissions != 0 {
+		t.Fatalf("retransmissions = %d", f.Retransmissions)
+	}
+	if f.HandshakeRTT != 50*time.Millisecond {
+		t.Fatalf("handshake RTT = %v", f.HandshakeRTT)
+	}
+	// Data RTT: data at 110ms, covering ACK at 200ms.
+	if got := f.MeanRTT(); got != 90*time.Millisecond {
+		t.Fatalf("mean RTT = %v", got)
+	}
+	if f.Duration() != 210*time.Millisecond {
+		t.Fatalf("duration = %v", f.Duration())
+	}
+}
+
+func TestRetransmissionDetection(t *testing.T) {
+	records := []pcap.Record{
+		rec(0, tcpPkt(true, 1000, 0, netsim.FlagACK|netsim.FlagPSH, 100)),
+		rec(10, tcpPkt(true, 1100, 0, netsim.FlagACK|netsim.FlagPSH, 100)),
+		rec(500, tcpPkt(true, 1000, 0, netsim.FlagACK|netsim.FlagPSH, 100)), // retx
+		rec(600, tcpPkt(true, 1200, 0, netsim.FlagACK|netsim.FlagPSH, 100)), // new
+	}
+	rep := ExtractFlows(records, dev)
+	if rep.Flows[0].Retransmissions != 1 {
+		t.Fatalf("retransmissions = %d, want 1", rep.Flows[0].Retransmissions)
+	}
+}
+
+func TestDNSAssociation(t *testing.T) {
+	resp := &netsim.DNSMessage{ID: 9, Response: true, Name: "api.facebook.com", Answer: srv}
+	dnsPkt := &netsim.Packet{
+		Src: netsim.Endpoint{Addr: dns, Port: netsim.DNSPort}, Dst: netsim.Endpoint{Addr: dev, Port: 40900},
+		Proto: netsim.ProtoUDP, Payload: netsim.MarshalDNS(resp),
+	}
+	records := []pcap.Record{
+		rec(0, dnsPkt),
+		rec(10, tcpPkt(true, 1, 0, netsim.FlagSYN, 0)),
+	}
+	rep := ExtractFlows(records, dev)
+	if rep.Flows[0].Host != "api.facebook.com" {
+		t.Fatalf("host = %q", rep.Flows[0].Host)
+	}
+	if got := rep.ByHost("api.facebook.com"); len(got) != 1 {
+		t.Fatalf("ByHost = %d flows", len(got))
+	}
+	ul, dl := rep.HostBytes("api.facebook.com")
+	if ul == 0 || dl != 0 {
+		t.Fatalf("HostBytes = %d/%d", ul, dl)
+	}
+}
+
+func TestWindowSpanAndOverlap(t *testing.T) {
+	records := []pcap.Record{
+		rec(100, tcpPkt(true, 1, 0, netsim.FlagACK|netsim.FlagPSH, 10)),
+		rec(200, tcpPkt(true, 11, 0, netsim.FlagACK|netsim.FlagPSH, 10)),
+		rec(900, tcpPkt(true, 21, 0, netsim.FlagACK|netsim.FlagPSH, 10)),
+	}
+	f := ExtractFlows(records, dev).Flows[0]
+	ms := func(x int64) simtime.Time { return simtime.Time(x) * simtime.Time(time.Millisecond) }
+	first, last, n := f.WindowSpan(ms(50), ms(500))
+	if n != 2 || first != ms(100) || last != ms(200) {
+		t.Fatalf("span = %v..%v n=%d", first, last, n)
+	}
+	if !f.Overlaps(ms(850), ms(950)) || f.Overlaps(ms(300), ms(800)) {
+		t.Fatal("Overlaps wrong")
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	records := []pcap.Record{
+		rec(0, tcpPkt(false, 1, 0, netsim.FlagACK|netsim.FlagPSH, 1000)),
+		rec(500, tcpPkt(false, 1001, 0, netsim.FlagACK|netsim.FlagPSH, 1000)),
+		rec(1500, tcpPkt(false, 2001, 0, netsim.FlagACK|netsim.FlagPSH, 1000)),
+	}
+	f := ExtractFlows(records, dev).Flows[0]
+	bins := f.ThroughputSeries(time.Second, 2*time.Second)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// Two 1040B frames in bin 0: 2*1040*8 bps.
+	if want := 2 * 1040 * 8.0; bins[0] != want {
+		t.Fatalf("bin0 = %v, want %v", bins[0], want)
+	}
+}
+
+func TestResponsibleFlowPicksBusiest(t *testing.T) {
+	// Two flows; flow B carries more bytes inside the window.
+	other := netip.MustParseAddr("74.125.65.91")
+	mk := func(server netip.Addr, port uint16, tMs int64, payload int) pcap.Record {
+		p := &netsim.Packet{
+			Src:   netsim.Endpoint{Addr: dev, Port: port},
+			Dst:   netsim.Endpoint{Addr: server, Port: 443},
+			Proto: netsim.ProtoTCP, Flags: netsim.FlagACK | netsim.FlagPSH,
+			Payload: make([]byte, payload),
+		}
+		return rec(tMs, p)
+	}
+	records := []pcap.Record{
+		mk(srv, 40001, 100, 100),
+		mk(srv, 40001, 200, 100),
+		mk(other, 40002, 150, 5000),
+		mk(other, 40002, 250, 5000),
+	}
+	sess := &qoe.Session{Profile: radio.ProfileLTE(), DeviceAddr: dev, Packets: records}
+	cl := NewCrossLayer(sess)
+	w := QoEWindow{From: 0, To: simtime.Time(time.Second)}
+	f := cl.ResponsibleFlow(w)
+	if f == nil || f.Server.Addr != other {
+		t.Fatalf("responsible flow wrong: %+v", f)
+	}
+}
+
+func TestOTARTTSamplesNearestPoll(t *testing.T) {
+	ms := func(x int64) simtime.Time { return simtime.Time(x) * simtime.Time(time.Millisecond) }
+	log := &qxdm.Log{
+		PDUs: []qxdm.PDURecord{
+			{At: ms(10), Dir: radio.Uplink, Seq: 0, Poll: true},
+			{At: ms(20), Dir: radio.Uplink, Seq: 1},
+			{At: ms(60), Dir: radio.Uplink, Seq: 2, Poll: true},
+		},
+		Statuses: []qxdm.StatusRecord{
+			{At: ms(80), Dir: radio.Uplink},  // nearest poll at 60 -> 20ms
+			{At: ms(200), Dir: radio.Uplink}, // nearest poll still 60 -> 140ms
+			{At: ms(5), Dir: radio.Uplink},   // no poll before -> skipped
+		},
+	}
+	samples := OTARTTSamples(log, radio.Uplink)
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if samples[0] != 20*time.Millisecond || samples[1] != 140*time.Millisecond {
+		t.Fatalf("samples = %v", samples)
+	}
+	if got := OTARTTSamples(log, radio.Downlink); len(got) != 0 {
+		t.Fatalf("downlink samples = %d", len(got))
+	}
+	if m := MedianOTARTT(log); m != 140*time.Millisecond {
+		t.Fatalf("median = %v", m)
+	}
+}
+
+func TestTransitionsInAndStateAt(t *testing.T) {
+	sec := func(s int64) simtime.Time { return simtime.Time(s) * simtime.Time(time.Second) }
+	prof := radio.Profile3G()
+	log := &qxdm.Log{Transitions: []qxdm.TransitionRecord{
+		{At: sec(10), From: radio.StatePCH, To: radio.StateDCH, Promotion: true},
+		{At: sec(20), From: radio.StateDCH, To: radio.StateFACH},
+	}}
+	if got := len(TransitionsIn(log, sec(5), sec(15))); got != 1 {
+		t.Fatalf("transitions in window = %d", got)
+	}
+	if StateAt(prof, log, sec(5)) != radio.StatePCH {
+		t.Fatal("state before first transition wrong")
+	}
+	if StateAt(prof, log, sec(15)) != radio.StateDCH {
+		t.Fatal("state mid wrong")
+	}
+	if StateAt(prof, log, sec(25)) != radio.StateFACH {
+		t.Fatal("state after wrong")
+	}
+}

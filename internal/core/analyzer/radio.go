@@ -1,0 +1,80 @@
+package analyzer
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/qxdm"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// OTARTTSamples estimates first-hop over-the-air RTTs per §5.3: for each
+// STATUS PDU, the nearest preceding polling PDU of the same direction gives
+// one sample (the group-acknowledgement mechanism means not every STATUS
+// has its own poll).
+func OTARTTSamples(log *qxdm.Log, dir radio.Direction) []time.Duration {
+	var polls []simtime.Time
+	for _, p := range log.PDUs {
+		if p.Dir == dir && p.Poll {
+			polls = append(polls, p.At)
+		}
+	}
+	var out []time.Duration
+	for _, st := range log.Statuses {
+		if st.Dir != dir {
+			continue
+		}
+		// Nearest poll at or before the status arrival.
+		i := sort.Search(len(polls), func(i int) bool { return polls[i] > st.At })
+		if i == 0 {
+			continue
+		}
+		out = append(out, time.Duration(st.At-polls[i-1]))
+	}
+	return out
+}
+
+// MedianOTARTT returns the median sample over both directions, used as the
+// burst threshold in the Fig. 9 breakdown. Zero when no samples exist.
+func MedianOTARTT(log *qxdm.Log) time.Duration {
+	var all []time.Duration
+	all = append(all, OTARTTSamples(log, radio.Uplink)...)
+	all = append(all, OTARTTSamples(log, radio.Downlink)...)
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all[len(all)/2]
+}
+
+// TransitionsIn returns RRC transitions inside [from, to] — overlapping the
+// QoE window per §5.4.2, revealing promotions on the latency critical path.
+func TransitionsIn(log *qxdm.Log, from, to simtime.Time) []qxdm.TransitionRecord {
+	var out []qxdm.TransitionRecord
+	for _, tr := range log.Transitions {
+		if tr.At >= from && tr.At <= to {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Energy runs the §5.3 energy model over a window.
+func Energy(prof *radio.Profile, log *qxdm.Log, from, to simtime.Time) power.Report {
+	return power.Analyze(prof, log, from, to)
+}
+
+// StateAt reconstructs the RRC state at time t from the transition log
+// (base state before the first transition).
+func StateAt(prof *radio.Profile, log *qxdm.Log, t simtime.Time) radio.State {
+	state := prof.Base
+	for _, tr := range log.Transitions {
+		if tr.At > t {
+			break
+		}
+		state = tr.To
+	}
+	return state
+}

@@ -1,0 +1,55 @@
+package analyzer
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core/qoe"
+	"repro/internal/simtime"
+)
+
+// The paper's §4.2.3 notes that progress-bar disappearance is a coarse
+// page-load signal and plans "capturing a video of the screen and then
+// analyzing the video frames as implemented in [the] Speed Index metric for
+// WebPagetest". This file implements that planned extension: the controller
+// records visual-completeness frames from screen draws, and SpeedIndex
+// integrates them.
+
+// SpeedIndex computes the WebPagetest Speed Index over recorded frames:
+// the integral of (1 - visual completeness) dt from start until the first
+// fully-complete frame (or the last frame when never complete). Lower is
+// better; for an instant render it approaches zero.
+func SpeedIndex(start simtime.Time, frames []qoe.Frame) time.Duration {
+	if len(frames) == 0 {
+		return 0
+	}
+	fs := append([]qoe.Frame(nil), frames...)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].At < fs[j].At })
+
+	var si float64
+	prevAt := start
+	prevComplete := 0.0
+	for _, f := range fs {
+		if f.At < start {
+			prevComplete = clamp01(f.Complete)
+			continue
+		}
+		si += (1 - prevComplete) * time.Duration(f.At-prevAt).Seconds()
+		prevAt = f.At
+		prevComplete = clamp01(f.Complete)
+		if prevComplete >= 1 {
+			break
+		}
+	}
+	return time.Duration(si * float64(time.Second))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

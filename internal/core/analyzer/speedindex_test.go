@@ -1,0 +1,96 @@
+package analyzer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core/qoe"
+	"repro/internal/simtime"
+)
+
+func fr(ms int64, c float64) qoe.Frame {
+	return qoe.Frame{At: simtime.Time(ms) * simtime.Time(time.Millisecond), Complete: c}
+}
+
+func TestSpeedIndexInstantRender(t *testing.T) {
+	// Fully complete at t=0: SI ~ 0.
+	if si := SpeedIndex(0, []qoe.Frame{fr(0, 1)}); si != 0 {
+		t.Fatalf("SI = %v, want 0", si)
+	}
+}
+
+func TestSpeedIndexSingleStep(t *testing.T) {
+	// Blank until 2 s, then complete: SI = 2 s.
+	si := SpeedIndex(0, []qoe.Frame{fr(2000, 1)})
+	if si != 2*time.Second {
+		t.Fatalf("SI = %v, want 2s", si)
+	}
+}
+
+func TestSpeedIndexProgressiveBeatsAllAtEnd(t *testing.T) {
+	// Same total load time; progressive rendering should score better.
+	progressive := []qoe.Frame{fr(500, 0.5), fr(1000, 0.9), fr(2000, 1)}
+	allAtEnd := []qoe.Frame{fr(2000, 1)}
+	sp := SpeedIndex(0, progressive)
+	se := SpeedIndex(0, allAtEnd)
+	if sp >= se {
+		t.Fatalf("progressive SI (%v) not better than all-at-end (%v)", sp, se)
+	}
+	// Exact: 0.5s*1 + 0.5s*0.5 + 1s*0.1 = 0.85s.
+	if want := 850 * time.Millisecond; sp != want {
+		t.Fatalf("progressive SI = %v, want %v", sp, want)
+	}
+}
+
+func TestSpeedIndexIgnoresPreStartFrames(t *testing.T) {
+	frames := []qoe.Frame{fr(-100, 0.2), fr(1000, 1)}
+	si := SpeedIndex(0, frames)
+	// Pre-start completeness 0.2 carries into the window: 1s * 0.8.
+	if want := 800 * time.Millisecond; si != want {
+		t.Fatalf("SI = %v, want %v", si, want)
+	}
+}
+
+func TestSpeedIndexEmptyAndClamping(t *testing.T) {
+	if si := SpeedIndex(0, nil); si != 0 {
+		t.Fatalf("empty SI = %v", si)
+	}
+	// Out-of-range completeness values are clamped.
+	si := SpeedIndex(0, []qoe.Frame{fr(1000, 2.5)})
+	if si != time.Second {
+		t.Fatalf("SI = %v, want 1s with clamped completeness", si)
+	}
+}
+
+// Property: SI is bounded by the time of the first complete frame, and is
+// monotone in frame completeness (better frames never hurt).
+func TestQuickSpeedIndexBounds(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%10) + 1
+		frames := make([]qoe.Frame, count)
+		at := int64(0)
+		for i := range frames {
+			at += rng.Int63n(1000) + 1
+			frames[i] = fr(at, rng.Float64())
+		}
+		frames[count-1].Complete = 1
+		si := SpeedIndex(0, frames)
+		end := time.Duration(frames[count-1].At)
+		if si < 0 || si > end {
+			return false
+		}
+		// Boost every frame to fully complete: SI must not increase.
+		boosted := make([]qoe.Frame, count)
+		for i, f := range frames {
+			boosted[i] = qoe.Frame{At: f.At, Complete: 1}
+		}
+		return SpeedIndex(0, boosted) <= si
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/browser"
+	"repro/internal/apps/facebook"
+	"repro/internal/apps/youtube"
+	"repro/internal/core/qoe"
+	"repro/internal/simtime"
+	"repro/internal/uisim"
+)
+
+// The drivers below encode Table 1 of the paper: for each app, the replayed
+// user behaviour and the UI events that delimit the user-perceived latency.
+// They reference the target apps only through view signatures.
+
+// ---------- Facebook ----------
+
+// FacebookDriver replays upload-post and pull-to-update.
+type FacebookDriver struct {
+	C *Controller
+	// FeedSig is the feed view to scroll: the ListView in app 5.0, the
+	// WebView in app 1.8.3.
+	FeedSig uisim.Signature
+	// ItemSig matches a posted story: individual list items in app 5.0,
+	// the whole WebView (whose text holds the rendered feed) in 1.8.3.
+	ItemSig uisim.Signature
+}
+
+// NewFacebookDriver builds a driver; webView selects the 1.8.3 layout.
+func NewFacebookDriver(c *Controller, webView bool) *FacebookDriver {
+	feed := uisim.Signature{ID: facebook.IDFeedList}
+	item := uisim.Signature{ID: facebook.IDFeedItem}
+	if webView {
+		feed = uisim.Signature{ID: facebook.IDFeedWeb}
+		item = feed
+	}
+	return &FacebookDriver{C: c, FeedSig: feed, ItemSig: item}
+}
+
+// UploadPost replays posting: type the content (with a stamp string the
+// wait component watches for), press "post", and wait until the stamped
+// item shows in the feed. Measurement: press "post" -> posted content shown
+// (Table 1). The stamp is returned so callers can align external ground
+// truth with the measurement.
+func (d *FacebookDriver) UploadPost(kind string, seq int, done func(qoe.BehaviorEntry)) (stamp string, err error) {
+	stamp = fmt.Sprintf("stamp-%s-%d-%d", kind, seq, d.C.k.Now())
+	if _, err := d.C.in.EnterText(uisim.Signature{ID: facebook.IDComposerText}, kind+"|"+stamp); err != nil {
+		return "", err
+	}
+	// The wait watches the *feed*, not the whole tree: the composer itself
+	// still shows the stamp text.
+	itemSig := d.ItemSig
+	err = d.C.UserWait("facebook", "upload_post_"+kind, stamp,
+		func() (simtime.Time, error) {
+			return d.C.in.Click(uisim.Signature{ID: facebook.IDPostButton})
+		},
+		func(s *uisim.Snapshot) bool { return s.VisibleTextMatch(itemSig, stamp) },
+		done)
+	return stamp, err
+}
+
+// PullToUpdate replays the pull gesture and waits for the feed progress bar
+// to cycle. Measurement: progress bar appears -> disappears (Table 1).
+func (d *FacebookDriver) PullToUpdate(done func(qoe.BehaviorEntry)) error {
+	barSig := uisim.Signature{ID: facebook.IDFeedProgress}
+	if _, err := d.C.in.Scroll(d.FeedSig, 200); err != nil {
+		return err
+	}
+	d.C.AppWait("facebook", "pull_to_update", "gesture",
+		VisibleCond(barSig), GoneCond(barSig), done)
+	return nil
+}
+
+// WaitSelfUpdate passively waits for the app to refresh the feed by itself
+// (the §7.4 device-B workload: app 5.0 self-updates on notifications).
+func (d *FacebookDriver) WaitSelfUpdate(done func(qoe.BehaviorEntry)) {
+	barSig := uisim.Signature{ID: facebook.IDFeedProgress}
+	d.C.AppWait("facebook", "pull_to_update", "self-update",
+		VisibleCond(barSig), GoneCond(barSig), done)
+}
+
+// ---------- YouTube ----------
+
+// YouTubeDriver replays search-and-watch.
+type YouTubeDriver struct {
+	C *Controller
+	// SkipAds clicks the skip button when it appears (the paper's default:
+	// 94% of users skip).
+	SkipAds bool
+}
+
+// WatchStats aggregates the UI-derived playback measurements the driver
+// logs: one initial_loading entry plus one rebuffer entry per stall.
+type WatchStats struct {
+	InitialLoading qoe.BehaviorEntry
+	Rebuffers      []qoe.BehaviorEntry
+	// PlaybackEnd is when the player view disappeared.
+	PlaybackEnd simtime.Time
+}
+
+// RebufferRatio computes stall/(play+stall) after initial loading from the
+// UI measurements alone, the way the paper's analyzer does.
+func (w WatchStats) RebufferRatio() float64 {
+	if !w.InitialLoading.Observed || w.PlaybackEnd <= w.InitialLoading.End {
+		return 0
+	}
+	total := time.Duration(w.PlaybackEnd - w.InitialLoading.End)
+	var stall time.Duration
+	for _, r := range w.Rebuffers {
+		stall += r.RawLatency()
+	}
+	if total <= 0 {
+		return 0
+	}
+	ratio := stall.Seconds() / total.Seconds()
+	if ratio < 0 {
+		return 0
+	}
+	if ratio > 1 {
+		return 1
+	}
+	return ratio
+}
+
+// SearchAndPlay searches for a keyword, clicks the n-th result, and follows
+// the playback to completion: initial loading time is click -> progress bar
+// gone; each stall is a progress-bar cycle (Table 1).
+func (d *YouTubeDriver) SearchAndPlay(keyword string, index int, done func(WatchStats)) error {
+	searchSig := uisim.Signature{ID: youtube.IDSearchBox}
+	if _, err := d.C.in.EnterText(searchSig, keyword); err != nil {
+		return err
+	}
+	if _, err := d.C.in.PressEnter(searchSig); err != nil {
+		return err
+	}
+	// See: wait for results, then interact with the chosen entry.
+	d.C.in.WaitUntil(VisibleCond(uisim.Signature{ID: youtube.IDResultItem}), d.C.timeout(),
+		func(r uisim.WaitResult) {
+			if !r.Observed {
+				if done != nil {
+					done(WatchStats{})
+				}
+				return
+			}
+			d.playNth(index, done)
+		})
+	return nil
+}
+
+func (d *YouTubeDriver) playNth(index int, done func(WatchStats)) {
+	items := d.C.in.Screen().Root().FindAll(uisim.Signature{ID: youtube.IDResultItem})
+	if index < 0 || index >= len(items) {
+		if done != nil {
+			done(WatchStats{})
+		}
+		return
+	}
+	videoID := items[index].Desc
+	barSig := uisim.Signature{ID: youtube.IDPlayerProgress}
+	playerSig := uisim.Signature{ID: youtube.IDPlayerView}
+
+	if d.SkipAds {
+		d.watchForSkipButton()
+	}
+
+	var stats WatchStats
+	// Accept "bar gone" only after it was seen shown, so the wait cannot
+	// end before the click has even been processed.
+	seenBar := false
+	loaded := func(s *uisim.Snapshot) bool {
+		if s.VisibleMatch(barSig) {
+			seenBar = true
+			return false
+		}
+		return seenBar
+	}
+	err := d.C.UserWait("youtube", "initial_loading", videoID,
+		func() (simtime.Time, error) {
+			return d.C.in.Click(uisim.Signature{ID: youtube.IDResultItem, Desc: videoID})
+		},
+		loaded,
+		func(e qoe.BehaviorEntry) {
+			stats.InitialLoading = e
+			d.followPlayback(videoID, barSig, playerSig, &stats, done)
+		})
+	if err != nil && done != nil {
+		done(WatchStats{})
+	}
+}
+
+// watchForSkipButton polls in the background and clicks skip when offered.
+func (d *YouTubeDriver) watchForSkipButton() {
+	var stop func()
+	stop = d.C.k.Ticker(300*time.Millisecond, func() {
+		if _, err := d.C.in.Click(uisim.Signature{ID: youtube.IDSkipAd}); err == nil {
+			stop()
+		}
+	})
+	// Give up once playback is long over.
+	d.C.k.After(d.C.timeout(), func() { stop() })
+}
+
+// followPlayback loops: wait for either a stall (progress bar shows) or the
+// end of playback (player view gone); log each rebuffer cycle.
+func (d *YouTubeDriver) followPlayback(videoID string, barSig, playerSig uisim.Signature, stats *WatchStats, done func(WatchStats)) {
+	either := func(s *uisim.Snapshot) bool {
+		return s.VisibleMatch(barSig) || !s.VisibleMatch(playerSig)
+	}
+	d.C.in.WaitUntil(either, d.C.timeout(), func(r uisim.WaitResult) {
+		if !r.Observed {
+			stats.PlaybackEnd = r.At
+			if done != nil {
+				done(*stats)
+			}
+			return
+		}
+		// Distinguish: playback over, or stall?
+		if d.C.in.Screen().Root().Find(playerSig) == nil || !d.C.in.Screen().Root().Find(playerSig).Shown() {
+			stats.PlaybackEnd = r.At
+			if done != nil {
+				done(*stats)
+			}
+			return
+		}
+		// Stall: wait for the bar to go away, log the cycle, continue.
+		start := r.At
+		parseTime := d.C.in.ParseTime()
+		d.C.in.WaitUntil(GoneCond(barSig), d.C.timeout(), func(re uisim.WaitResult) {
+			e := qoe.BehaviorEntry{
+				App: "youtube", Action: "rebuffer", Kind: qoe.AppTriggered,
+				Start: start, End: re.At, Observed: re.Observed,
+				ParseTime: parseTime, Note: videoID,
+			}
+			d.C.log.Add(e)
+			stats.Rebuffers = append(stats.Rebuffers, e)
+			d.followPlayback(videoID, barSig, playerSig, stats, done)
+		})
+	})
+}
+
+// ---------- Web browsing ----------
+
+// BrowserDriver replays page loads.
+type BrowserDriver struct {
+	C *Controller
+}
+
+// LoadPage types the URL, presses ENTER, and waits for the progress bar to
+// disappear. Measurement: ENTER press -> progress bar gone (Table 1).
+func (d *BrowserDriver) LoadPage(url string, done func(qoe.BehaviorEntry)) error {
+	urlSig := uisim.Signature{ID: browser.IDURLBar}
+	barSig := uisim.Signature{ID: browser.IDProgress}
+	if _, err := d.C.in.EnterText(urlSig, url); err != nil {
+		return err
+	}
+	// The bar must have cycled: only accept "gone" after it was seen shown,
+	// so back-to-back loads don't end instantly on the previous page state.
+	seenBar := false
+	cycled := func(s *uisim.Snapshot) bool {
+		if s.VisibleMatch(barSig) {
+			seenBar = true
+			return false
+		}
+		return seenBar
+	}
+	return d.C.UserWait("browser", "load_page", url,
+		func() (simtime.Time, error) { return d.C.in.PressEnter(urlSig) },
+		cycled, done)
+}
+
+// LoadPageSpeedIndex loads a page while recording visual-completeness
+// frames; done receives the load measurement plus the recorded frames. The
+// caller computes analyzer.SpeedIndex(entry.Start, frames).
+func (d *BrowserDriver) LoadPageSpeedIndex(url string, rec *FrameRecorder, done func(qoe.BehaviorEntry, []qoe.Frame)) error {
+	rec.Start()
+	return d.LoadPage(url, func(e qoe.BehaviorEntry) {
+		frames := rec.Stop()
+		if done != nil {
+			done(e, frames)
+		}
+	})
+}
+
+// LoadPages replays a URL list line by line (§4.2.3), with thinkTime
+// between loads.
+func (d *BrowserDriver) LoadPages(urls []string, thinkTime time.Duration, done func([]qoe.BehaviorEntry)) {
+	var out []qoe.BehaviorEntry
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(urls) {
+			if done != nil {
+				done(out)
+			}
+			return
+		}
+		err := d.LoadPage(urls[i], func(e qoe.BehaviorEntry) {
+			out = append(out, e)
+			d.C.k.After(thinkTime, func() { next(i + 1) })
+		})
+		if err != nil {
+			if done != nil {
+				done(out)
+			}
+		}
+	}
+	next(0)
+}

@@ -1,0 +1,93 @@
+// Package qoe defines the shared vocabulary between QoE Doctor's two halves:
+// the online QoE-aware UI controller (which produces an AppBehaviorLog plus
+// tcpdump and QxDM logs) and the offline multi-layer analyzer (which turns
+// them into QoE metrics). See §3.2 of the paper.
+package qoe
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/pcap"
+	"repro/internal/qxdm"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// StartKind distinguishes how a waiting period began (§4.1): triggered by
+// the user (the controller logs the injection time) or by the app (the
+// controller detects a waiting indicator by parsing the tree, so the start
+// timestamp carries the same parsing delay as the end).
+type StartKind int
+
+const (
+	UserTriggered StartKind = iota
+	AppTriggered
+)
+
+func (s StartKind) String() string {
+	if s == UserTriggered {
+		return "user-triggered"
+	}
+	return "app-triggered"
+}
+
+// BehaviorEntry is one replayed user interaction and its raw measurement.
+type BehaviorEntry struct {
+	App    string // "facebook", "youtube", "browser"
+	Action string // "upload_post", "pull_to_update", "initial_loading", ...
+	Kind   StartKind
+	// Start and End are the raw logged timestamps (t_m for parse-observed
+	// events). The analyzer applies the §5.1 calibration.
+	Start, End simtime.Time
+	// Observed is false when the wait timed out.
+	Observed bool
+	// ParseTime is the per-parse cost at measurement time, needed for
+	// calibration.
+	ParseTime time.Duration
+	// Note carries free-form context (video id, URL, post kind).
+	Note string
+}
+
+// RawLatency is the uncalibrated End-Start.
+func (e BehaviorEntry) RawLatency() time.Duration {
+	return time.Duration(e.End - e.Start)
+}
+
+// BehaviorLog is the controller's AppBehaviorLog (§4.3.1).
+type BehaviorLog struct {
+	Entries []BehaviorEntry
+}
+
+// Add appends an entry.
+func (l *BehaviorLog) Add(e BehaviorEntry) { l.Entries = append(l.Entries, e) }
+
+// ByAction returns entries for one action name.
+func (l *BehaviorLog) ByAction(action string) []BehaviorEntry {
+	var out []BehaviorEntry
+	for _, e := range l.Entries {
+		if e.Action == action {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Session bundles everything one replay run collected, the input to the
+// multi-layer analyzer.
+type Session struct {
+	Profile    *radio.Profile
+	DeviceAddr netip.Addr
+	Behavior   *BehaviorLog
+	Packets    []pcap.Record
+	Radio      *qxdm.Log
+}
+
+// Frame is one recorded screen sample: how visually complete the content on
+// screen was at a draw commit, in [0, 1]. Frames feed the analyzer's Speed
+// Index computation (the §4.2.3 planned extension: screen-video frame
+// analysis instead of progress-bar heuristics).
+type Frame struct {
+	At       simtime.Time
+	Complete float64
+}

@@ -1,0 +1,38 @@
+package qoe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestBehaviorEntryRawLatency(t *testing.T) {
+	e := BehaviorEntry{Start: simtime.Time(time.Second), End: simtime.Time(3 * time.Second)}
+	if e.RawLatency() != 2*time.Second {
+		t.Fatalf("raw = %v", e.RawLatency())
+	}
+}
+
+func TestStartKindStrings(t *testing.T) {
+	if UserTriggered.String() != "user-triggered" || AppTriggered.String() != "app-triggered" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestBehaviorLogByAction(t *testing.T) {
+	l := &BehaviorLog{}
+	l.Add(BehaviorEntry{Action: "a", Note: "1"})
+	l.Add(BehaviorEntry{Action: "b", Note: "2"})
+	l.Add(BehaviorEntry{Action: "a", Note: "3"})
+	got := l.ByAction("a")
+	if len(got) != 2 || got[0].Note != "1" || got[1].Note != "3" {
+		t.Fatalf("ByAction wrong: %+v", got)
+	}
+	if len(l.ByAction("c")) != 0 {
+		t.Fatal("invented entries")
+	}
+	if len(l.Entries) != 3 {
+		t.Fatal("Add lost entries")
+	}
+}

@@ -1,0 +1,291 @@
+package experiments
+
+// These tests are the reproduction gate: each asserts the qualitative shape
+// the paper's corresponding table/figure reports — who wins, by roughly
+// what factor, where the crossovers fall. Absolute values are recorded in
+// EXPERIMENTS.md, not asserted. The heavier studies are skipped with
+// -short.
+
+import (
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" || e.Goal == "" {
+			t.Fatalf("incomplete experiment %q", e.ID)
+		}
+	}
+	if _, ok := Lookup("fig7"); !ok {
+		t.Fatal("Lookup failed for fig7")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup invented an experiment")
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{ID: "x", Title: "test"}
+	r.Set("a", 1.5)
+	out := r.Render()
+	if out == "" || r.Values["a"] != 1.5 {
+		t.Fatal("render/set broken")
+	}
+}
+
+// want asserts a key's value lies within [lo, hi].
+func want(t *testing.T, r *Result, key string, lo, hi float64) {
+	t.Helper()
+	v, ok := r.Values[key]
+	if !ok {
+		t.Fatalf("%s: key %q missing (have %v)", r.ID, key, r.Values)
+	}
+	if v < lo || v > hi {
+		t.Errorf("%s: %s = %.4f, want within [%.4f, %.4f]", r.ID, key, v, lo, hi)
+	}
+}
+
+func TestAccuracyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	r := RunAccuracy(42)
+	// Table 3: error <= 40 ms, mapping ~99.5%/~88.8%, CPU overhead single
+	// digits.
+	want(t, r, "latency_err_ms", 0, 40)
+	want(t, r, "mapping_ul", 0.985, 1.0)
+	want(t, r, "mapping_dl", 0.83, 0.94)
+	want(t, r, "cpu_overhead", 0.01, 0.12)
+	// Fig. 6: every per-metric error ratio stays in the few-percent band.
+	for _, k := range []string{"post_ratio", "pull_ratio", "yt_rebuf_ratio", "web_ratio"} {
+		want(t, r, k, 0, 0.055)
+	}
+}
+
+func TestPostBreakdownShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	r := RunPostBreakdown(42)
+	// Finding 1: the network is off the critical path for status/check-in.
+	want(t, r, "3g_status_netshare", 0, 0.05)
+	want(t, r, "lte_status_netshare", 0, 0.05)
+	want(t, r, "3g_checkin_netshare", 0, 0.05)
+	// Finding 2: network dominates photo posting; >65% on 3G.
+	want(t, r, "3g_photos_netshare", 0.65, 1)
+	want(t, r, "lte_photos_netshare", 0.4, 1)
+	// 3G photo network latency well above LTE.
+	if r.Values["3g_photos_network_s"] <= 1.4*r.Values["lte_photos_network_s"] {
+		t.Errorf("3G photo network latency (%.2f) not >=1.4x LTE (%.2f)",
+			r.Values["3g_photos_network_s"], r.Values["lte_photos_network_s"])
+	}
+}
+
+func TestRLCBreakdownShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	r := RunRLCBreakdown(42)
+	// Fig. 8: ~2.55x more PDUs on 3G; RLC transmission delay dominates and
+	// far exceeds LTE's.
+	want(t, r, "pdu_ratio_3g_over_lte", 1.8, 3.5)
+	if r.Values["3g_rlc_tx_s"] <= 2*r.Values["lte_rlc_tx_s"] {
+		t.Errorf("3G RLC tx (%.2f) not >> LTE (%.2f)",
+			r.Values["3g_rlc_tx_s"], r.Values["lte_rlc_tx_s"])
+	}
+	// The components are each nonneg and RLC tx is the largest 3G share.
+	for _, k := range []string{"3g_ip_to_rlc_s", "3g_ota_s", "3g_other_s"} {
+		if r.Values[k] < 0 || r.Values[k] > r.Values["3g_rlc_tx_s"] {
+			t.Errorf("3G component %s = %.2f exceeds RLC tx %.2f", k, r.Values[k], r.Values["3g_rlc_tx_s"])
+		}
+	}
+}
+
+func TestBackgroundDataShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	r := RunBackgroundData(42)
+	// Fig. 10: monotone in posting frequency, with a nonzero floor.
+	if !(r.Values["freq_0_total_kb"] > r.Values["freq_1_total_kb"] &&
+		r.Values["freq_1_total_kb"] > r.Values["freq_2_total_kb"] &&
+		r.Values["freq_2_total_kb"] > r.Values["freq_3_total_kb"]) {
+		t.Errorf("background data not monotone: %v", r.Values)
+	}
+	// Finding 3: ~200 KB/day with zero friend activity.
+	want(t, r, "none_daily_kb", 100, 400)
+}
+
+func TestBackgroundEnergyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	r := RunBackgroundEnergy(42)
+	if r.Values["freq_0_total_j"] <= r.Values["freq_3_total_j"] {
+		t.Errorf("energy not increasing with post frequency: %v", r.Values)
+	}
+	// Finding 3: a few hundred joules per day.
+	want(t, r, "none_daily_j", 80, 600)
+}
+
+func TestRefreshShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	d := RunRefreshData(42)
+	// Finding 4: 2h vs default 1h saves >=20% data.
+	want(t, d, "saving_2h_vs_1h", 0.20, 0.40)
+	e := RunRefreshEnergy(42)
+	want(t, e, "saving_2h_vs_1h", 0.10, 0.35)
+}
+
+func TestFeedDesignShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	cdf := RunFeedDesignCDF(42)
+	// Fig. 14: WebView >2x slower, higher variance.
+	want(t, cdf, "wv_over_lv_lte", 2, 8)
+	if cdf.Values["wv_lte_stddev_s"] <= cdf.Values["lv_lte_stddev_s"] {
+		t.Errorf("WebView variance (%.3f) not above ListView (%.3f)",
+			cdf.Values["wv_lte_stddev_s"], cdf.Values["lv_lte_stddev_s"])
+	}
+	bd := RunFeedDesignBreakdown(42)
+	// Finding 5: device latency -67%+, network latency -30%+.
+	want(t, bd, "device_reduction_lte", 0.67, 1)
+	want(t, bd, "network_reduction_lte", 0.30, 1)
+	data := RunFeedDesignData(42)
+	// Fig. 16: WebView downloads >=77% more per update.
+	want(t, data, "wv_dl_overhead_lte", 0.5, 2)
+}
+
+func TestThrottleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	r := RunThrottleCDF(42)
+	// Finding 6: initial loading multiplied many-fold; rebuffering from ~0
+	// to >50%.
+	want(t, r, "init_multiplier_3g", 5, 40)
+	want(t, r, "init_multiplier_lte", 20, 90)
+	want(t, r, "3g_free_rebuf_mean", 0, 0.02)
+	want(t, r, "3g_capped_rebuf_mean", 0.45, 0.95)
+	want(t, r, "lte_capped_rebuf_mean", 0.5, 0.95)
+	// Finding 7 direction: policing (LTE) hurts more than shaping (3G).
+	if r.Values["lte_capped_rebuf_mean"] <= r.Values["3g_capped_rebuf_mean"] {
+		t.Errorf("LTE policed rebuffering (%.3f) not above 3G shaped (%.3f)",
+			r.Values["lte_capped_rebuf_mean"], r.Values["3g_capped_rebuf_mean"])
+	}
+	if r.Values["lte_capped_init_mean_s"] <= r.Values["3g_capped_init_mean_s"] {
+		t.Errorf("LTE policed init (%.1fs) not above 3G shaped (%.1fs)",
+			r.Values["lte_capped_init_mean_s"], r.Values["3g_capped_init_mean_s"])
+	}
+}
+
+func TestShapeVsPoliceShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	r := RunShapeVsPolice(42)
+	// Finding 7: policing drops packets -> many TCP retransmissions;
+	// shaping queues them -> almost none.
+	if r.Values["lte_retransmissions"] < 10*max1(r.Values["3g_retransmissions"]) {
+		t.Errorf("LTE retx (%.0f) not >> 3G retx (%.0f)",
+			r.Values["lte_retransmissions"], r.Values["3g_retransmissions"])
+	}
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+func TestRateSweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	rb := RunRebufferVsRate(42)
+	// Fig. 19: rebuffering falls with rate; LTE >= 3G at every rate.
+	if rb.Values["3g_100k"] <= rb.Values["3g_500k"] {
+		t.Errorf("3G rebuffering not decreasing with rate: %v", rb.Values)
+	}
+	for _, rate := range []string{"100k", "200k", "300k", "400k", "500k"} {
+		if rb.Values["lte_"+rate] < rb.Values["3g_"+rate]-0.05 {
+			t.Errorf("rate %s: LTE rebuffering (%.3f) below 3G (%.3f)",
+				rate, rb.Values["lte_"+rate], rb.Values["3g_"+rate])
+		}
+	}
+	il := RunInitLoadVsRate(42)
+	// Fig. 20: loading falls with rate; LTE consistently above 3G.
+	if il.Values["3g_100k"] <= il.Values["3g_500k"] {
+		t.Errorf("3G init loading not decreasing with rate: %v", il.Values)
+	}
+	for _, rate := range []string{"200k", "300k", "400k", "500k"} {
+		if il.Values["lte_"+rate] < il.Values["3g_"+rate]-1 {
+			t.Errorf("rate %s: LTE init (%.1fs) below 3G (%.1fs)",
+				rate, il.Values["lte_"+rate], il.Values["3g_"+rate])
+		}
+	}
+}
+
+func TestAdsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	r := RunAdsImpact(42)
+	// §7.6: on cellular, total spinner time roughly doubles with ads...
+	want(t, r, "lte_total_ratio_with_ads", 1.5, 3)
+	// ...while WiFi preloading keeps the main video's own loading at ~0.
+	want(t, r, "wifi_ads_on_main_s", 0, 0.1)
+	if r.Values["wifi_ads_on_total_s"] > 1.5*r.Values["wifi_ads_off_total_s"] {
+		t.Errorf("WiFi total with ads (%.2f) should not balloon vs without (%.2f)",
+			r.Values["wifi_ads_on_total_s"], r.Values["wifi_ads_off_total_s"])
+	}
+}
+
+func TestRRCSimplifyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	r := RunRRCSimplify(42)
+	// §7.7: ~22.8% page-load reduction from the simplified machine.
+	want(t, r, "reduction", 0.15, 0.32)
+	if r.Values["lte_mean_s"] >= r.Values["simplified3g_mean_s"] {
+		t.Errorf("LTE (%.2fs) should beat even simplified 3G (%.2fs)",
+			r.Values["lte_mean_s"], r.Values["simplified3g_mean_s"])
+	}
+}
+
+func TestVideoSampleDeterministic(t *testing.T) {
+	a := videoSample(7, 20)
+	b := videoSample(7, 20)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("sample sizes: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("video sample not deterministic")
+		}
+	}
+	seen := map[string]bool{}
+	for _, id := range a {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+		if len(id) != 2 || id[0] < 'a' || id[0] > 'z' || id[1] < '0' || id[1] > '9' {
+			t.Fatalf("malformed id %q", id)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Curve is one labelled series of (x, y) points for ASCII plotting.
+type Curve struct {
+	Label  string
+	Points [][2]float64
+}
+
+// curveMarks assigns each curve a distinct plot character.
+var curveMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// PlotXY renders curves on a width x height ASCII grid with axis labels —
+// enough to eyeball the CDF shapes the paper's figures show. Y is assumed
+// to grow upward; points outside the computed ranges are clamped.
+func PlotXY(title, xLabel, yLabel string, curves []Curve, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, c := range curves {
+		for _, p := range c.Points {
+			minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, c := range curves {
+		mark := curveMarks[ci%len(curveMarks)]
+		for _, p := range c.Points {
+			x := int(math.Round((p[0] - minX) / (maxX - minX) * float64(width-1)))
+			y := int(math.Round((p[1] - minY) / (maxY - minY) * float64(height-1)))
+			x = clampInt(x, 0, width-1)
+			y = clampInt(y, 0, height-1)
+			grid[height-1-y][x] = mark
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yHi := fmt.Sprintf("%.3g", maxY)
+	yLo := fmt.Sprintf("%.3g", minY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yHi)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g  (%s vs %s)\n",
+		strings.Repeat(" ", pad), width/2, minX, width-width/2, maxX, yLabel, xLabel)
+	for ci, c := range curves {
+		fmt.Fprintf(&b, "%s    %c %s\n", strings.Repeat(" ", pad), curveMarks[ci%len(curveMarks)], c.Label)
+	}
+	return b.String()
+}
+
+// PlotCDFs renders empirical CDFs of the labelled samples as one chart
+// (cumulative probability on Y), the shape the paper's Figs. 14 and 17 use.
+func PlotCDFs(title, xLabel string, series map[string][]float64, width, height int) string {
+	labels := make([]string, 0, len(series))
+	for l := range series {
+		labels = append(labels, l)
+	}
+	// Deterministic legend order.
+	sortStrings(labels)
+	curves := make([]Curve, 0, len(labels))
+	for _, l := range labels {
+		cdf := NewCDF(series[l])
+		curves = append(curves, Curve{Label: l, Points: cdf.Points(width)})
+	}
+	return PlotXY(title, xLabel, "P(X<=x)", curves, width, height)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

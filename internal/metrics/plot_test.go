@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotXYBasics(t *testing.T) {
+	out := PlotXY("demo", "seconds", "ratio", []Curve{
+		{Label: "a", Points: [][2]float64{{0, 0}, {1, 0.5}, {2, 1}}},
+		{Label: "b", Points: [][2]float64{{0, 1}, {2, 0}}},
+	}, 40, 10)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing plot marks:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// title + 10 grid rows + axis + x labels + 2 legend + trailing.
+	if len(lines) < 14 {
+		t.Fatalf("unexpected layout (%d lines):\n%s", len(lines), out)
+	}
+}
+
+func TestPlotXYEmpty(t *testing.T) {
+	out := PlotXY("empty", "x", "y", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotXYDegenerateRanges(t *testing.T) {
+	// Single point: ranges collapse; must not panic or divide by zero.
+	out := PlotXY("pt", "x", "y", []Curve{{Label: "p", Points: [][2]float64{{5, 5}}}}, 20, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestPlotCDFsDeterministicLegend(t *testing.T) {
+	series := map[string][]float64{
+		"zeta":  {1, 2, 3},
+		"alpha": {2, 3, 4},
+	}
+	a := PlotCDFs("cdf", "s", series, 40, 8)
+	b := PlotCDFs("cdf", "s", series, 40, 8)
+	if a != b {
+		t.Fatal("plot output not deterministic")
+	}
+	if strings.Index(a, "alpha") > strings.Index(a, "zeta") {
+		t.Fatalf("legend not sorted:\n%s", a)
+	}
+}
+
+func TestPlotCDFMonotoneShape(t *testing.T) {
+	out := PlotCDFs("cdf", "s", map[string][]float64{"x": {1, 2, 3, 4, 5, 6, 7, 8}}, 30, 8)
+	// The first grid row (max Y) must contain a mark at/near the right edge
+	// and the bottom row one at/near the left: a rising curve.
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[1], lines[8]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Fatalf("curve does not span the grid:\n%s", out)
+	}
+	if strings.Index(bottom, "*") > strings.Index(top, "*") {
+		t.Fatalf("CDF not rising:\n%s", out)
+	}
+}

@@ -1,0 +1,244 @@
+// Package metrics provides the statistical helpers used by the analyzer and
+// the experiment harness: summary statistics, empirical CDFs, time series
+// binning, and plain-text table rendering for paper-style output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds the usual scalar statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics of xs. It returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Percentile(sorted, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted (ascending) xs
+// using linear interpolation. It panics if xs is unsorted in debug-critical
+// paths only implicitly; callers must pass sorted data.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from a sample. The input slice is copied.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// Count of values <= x via binary search for the first value > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample value v with P(X <= v) >= q, for q in
+// (0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	// The tiny epsilon guards against q*n rounding just above an integer
+	// when q was itself computed as count/n.
+	i := int(math.Ceil(q*float64(len(c.sorted))-1e-9)) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// Points returns up to n evenly spaced (value, cumulative-probability) points
+// suitable for plotting the CDF curve.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / max(n-1, 1)
+		pts = append(pts, [2]float64{c.sorted[idx], float64(idx+1) / float64(len(c.sorted))})
+	}
+	return pts
+}
+
+// Seconds converts a slice of durations to float64 seconds, the unit used in
+// all paper figures.
+func Seconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// TimeSeries accumulates (t, value) points and supports binning into
+// fixed-width intervals, used for throughput-over-time plots (Fig. 18).
+type TimeSeries struct {
+	T []time.Duration
+	V []float64
+}
+
+// Add appends a point. Points must be added in nondecreasing time order.
+func (ts *TimeSeries) Add(t time.Duration, v float64) {
+	ts.T = append(ts.T, t)
+	ts.V = append(ts.V, v)
+}
+
+// Bin sums values into width-sized bins over [0, horizon) and returns one
+// total per bin. Used to turn per-packet byte counts into throughput.
+func (ts *TimeSeries) Bin(width, horizon time.Duration) []float64 {
+	if width <= 0 || horizon <= 0 {
+		return nil
+	}
+	n := int((horizon + width - 1) / width)
+	bins := make([]float64, n)
+	for i, t := range ts.T {
+		if t < 0 || t >= horizon {
+			continue
+		}
+		bins[t/width] += ts.V[i]
+	}
+	return bins
+}
+
+// Table renders paper-style fixed-width text tables.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var out string
+	if t.Title != "" {
+		out += t.Title + "\n"
+	}
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			if i < len(widths) {
+				s += fmt.Sprintf("%-*s", widths[i]+2, c)
+			} else {
+				s += c + "  "
+			}
+		}
+		return s + "\n"
+	}
+	out += line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		for j := 0; j < w; j++ {
+			sep[i] += "-"
+		}
+	}
+	out += line(sep)
+	for _, r := range t.rows {
+		out += line(r)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	want := math.Sqrt(2.5)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Stddev != 0 || s.Min != 7 || s.Max != 7 || s.Median != 7 {
+		t.Fatalf("bad single summary: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Fatalf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.Quantile(0.5); got != 2 {
+		t.Fatalf("q50 = %v, want 2", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Fatalf("q100 = %v, want 4", got)
+	}
+	if got := c.Quantile(0.25); got != 1 {
+		t.Fatalf("q25 = %v, want 1", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	pts := c.Points(3)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0][0] != 1 || pts[2][0] != 5 {
+		t.Fatalf("endpoints wrong: %v", pts)
+	}
+	if pts[2][1] != 1 {
+		t.Fatalf("last cumulative prob = %v, want 1", pts[2][1])
+	}
+}
+
+// Property: CDF is monotone nondecreasing and Quantile inverts At.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%100) + 1
+		xs := make([]float64, count)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		c := NewCDF(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := 0.0
+		for _, x := range sorted {
+			p := c.At(x)
+			if p < prev {
+				return false
+			}
+			prev = p
+			// Quantile at P(X<=x) must be <= x (smallest v with mass >= p).
+			if c.Quantile(p) > x {
+				return false
+			}
+		}
+		return c.At(sorted[count-1]) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max] and stddev >= 0.
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeriesBin(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(100*time.Millisecond, 10)
+	ts.Add(900*time.Millisecond, 5)
+	ts.Add(1500*time.Millisecond, 7)
+	ts.Add(5*time.Second, 99) // outside horizon
+	bins := ts.Bin(time.Second, 3*time.Second)
+	if len(bins) != 3 {
+		t.Fatalf("got %d bins", len(bins))
+	}
+	if bins[0] != 15 || bins[1] != 7 || bins[2] != 0 {
+		t.Fatalf("bins = %v", bins)
+	}
+}
+
+func TestTimeSeriesBinDegenerate(t *testing.T) {
+	var ts TimeSeries
+	if got := ts.Bin(0, time.Second); got != nil {
+		t.Fatalf("zero width should return nil, got %v", got)
+	}
+	if got := ts.Bin(time.Second, 0); got != nil {
+		t.Fatalf("zero horizon should return nil, got %v", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	got := Seconds([]time.Duration{time.Second, 1500 * time.Millisecond})
+	if got[0] != 1 || got[1] != 1.5 {
+		t.Fatalf("Seconds = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "Table 3", Headers: []string{"Item", "Value"}}
+	tb.AddRow("CPU overhead", "6.18%")
+	out := tb.String()
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "CPU overhead") {
+		t.Fatalf("bad table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines (title, header, sep, row), got %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// DNSPort is the standard DNS UDP port.
+const DNSPort = 53
+
+// DNSMessage is a minimal DNS message: one question, at most one A answer.
+// It marshals to real DNS wire format so captured traces are authentic and
+// the analyzer can recover flow-to-hostname associations the same way the
+// paper does (by parsing DNS lookups out of the tcpdump trace).
+type DNSMessage struct {
+	ID       uint16
+	Response bool
+	Name     string
+	Answer   netip.Addr // zero value = no answer (NXDOMAIN-ish)
+}
+
+// MarshalDNS encodes the message in DNS wire format.
+func MarshalDNS(m *DNSMessage) []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 0x8000 // QR
+		flags |= 0x0400 // AA
+	} else {
+		flags |= 0x0100 // RD
+	}
+	ancount := uint16(0)
+	if m.Response && m.Answer.IsValid() {
+		ancount = 1
+	}
+	b = binary.BigEndian.AppendUint16(b, flags)
+	b = binary.BigEndian.AppendUint16(b, 1) // QDCOUNT
+	b = binary.BigEndian.AppendUint16(b, ancount)
+	b = binary.BigEndian.AppendUint16(b, 0) // NSCOUNT
+	b = binary.BigEndian.AppendUint16(b, 0) // ARCOUNT
+	// Question.
+	for _, label := range strings.Split(strings.TrimSuffix(m.Name, "."), ".") {
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	b = append(b, 0)                        // root
+	b = binary.BigEndian.AppendUint16(b, 1) // QTYPE A
+	b = binary.BigEndian.AppendUint16(b, 1) // QCLASS IN
+	if ancount == 1 {
+		b = append(b, 0xC0, 0x0C) // pointer to the question name
+		b = binary.BigEndian.AppendUint16(b, 1)
+		b = binary.BigEndian.AppendUint16(b, 1)
+		b = binary.BigEndian.AppendUint32(b, 300) // TTL
+		b = binary.BigEndian.AppendUint16(b, 4)
+		a4 := m.Answer.As4()
+		b = append(b, a4[:]...)
+	}
+	return b
+}
+
+// UnmarshalDNS decodes a message produced by MarshalDNS (single question,
+// optional single A answer with name compression pointer).
+func UnmarshalDNS(b []byte) (*DNSMessage, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("netsim: DNS message too short")
+	}
+	m := &DNSMessage{ID: binary.BigEndian.Uint16(b)}
+	flags := binary.BigEndian.Uint16(b[2:])
+	m.Response = flags&0x8000 != 0
+	qd := binary.BigEndian.Uint16(b[4:])
+	an := binary.BigEndian.Uint16(b[6:])
+	if qd != 1 {
+		return nil, fmt.Errorf("netsim: DNS message with %d questions", qd)
+	}
+	// Parse QNAME.
+	i := 12
+	var labels []string
+	for {
+		if i >= len(b) {
+			return nil, fmt.Errorf("netsim: truncated QNAME")
+		}
+		n := int(b[i])
+		i++
+		if n == 0 {
+			break
+		}
+		if i+n > len(b) {
+			return nil, fmt.Errorf("netsim: truncated label")
+		}
+		labels = append(labels, string(b[i:i+n]))
+		i += n
+	}
+	m.Name = strings.Join(labels, ".")
+	i += 4 // QTYPE + QCLASS
+	if an >= 1 {
+		// Answer: compressed name pointer (2) + type(2) class(2) ttl(4) rdlen(2).
+		if i+12+4 > len(b) {
+			return nil, fmt.Errorf("netsim: truncated answer")
+		}
+		rdlen := int(binary.BigEndian.Uint16(b[i+10:]))
+		if rdlen == 4 {
+			m.Answer = netip.AddrFrom4([4]byte(b[i+12 : i+16]))
+		}
+	}
+	return m, nil
+}
+
+// DNSServer serves A records for a zone over UDP port 53 on a stack.
+type DNSServer struct {
+	Zone map[string]netip.Addr
+}
+
+// AttachDNSServer installs a DNS server on a stack.
+func AttachDNSServer(s *Stack, zone map[string]netip.Addr) *DNSServer {
+	srv := &DNSServer{Zone: zone}
+	s.HandleUDP(DNSPort, func(p *Packet) {
+		q, err := UnmarshalDNS(p.Payload)
+		if err != nil || q.Response {
+			return
+		}
+		resp := &DNSMessage{ID: q.ID, Response: true, Name: q.Name}
+		if a, ok := srv.Zone[q.Name]; ok {
+			resp.Answer = a
+		}
+		s.SendUDP(Endpoint{Addr: s.Addr(), Port: DNSPort}, p.Src, MarshalDNS(resp))
+	})
+	return srv
+}
+
+// Resolver issues DNS queries from a device stack and caches results.
+type Resolver struct {
+	stack   *Stack
+	server  Endpoint
+	nextID  uint16
+	pending map[uint16]func(netip.Addr, bool)
+	cache   map[string]netip.Addr
+	port    uint16
+}
+
+// NewResolver creates a resolver pointed at a DNS server endpoint.
+func NewResolver(s *Stack, server Endpoint) *Resolver {
+	r := &Resolver{
+		stack:   s,
+		server:  server,
+		nextID:  1,
+		pending: make(map[uint16]func(netip.Addr, bool)),
+		cache:   make(map[string]netip.Addr),
+		port:    s.EphemeralPort(),
+	}
+	s.HandleUDP(r.port, func(p *Packet) {
+		m, err := UnmarshalDNS(p.Payload)
+		if err != nil || !m.Response {
+			return
+		}
+		cb, ok := r.pending[m.ID]
+		if !ok {
+			return
+		}
+		delete(r.pending, m.ID)
+		if m.Answer.IsValid() {
+			r.cache[m.Name] = m.Answer
+			cb(m.Answer, true)
+		} else {
+			cb(netip.Addr{}, false)
+		}
+	})
+	return r
+}
+
+// Resolve looks up name, invoking cb with the result. Cached answers still
+// go through the event queue (zero-delay) but generate no traffic, matching
+// OS resolver caching.
+func (r *Resolver) Resolve(name string, cb func(addr netip.Addr, ok bool)) {
+	if a, ok := r.cache[name]; ok {
+		r.stack.k.After(0, func() { cb(a, true) })
+		return
+	}
+	id := r.nextID
+	r.nextID++
+	r.pending[id] = cb
+	q := &DNSMessage{ID: id, Name: name}
+	r.stack.SendUDP(Endpoint{Addr: r.stack.Addr(), Port: r.port}, r.server, MarshalDNS(q))
+}
+
+// FlushCache clears cached answers (used between experiment repetitions).
+func (r *Resolver) FlushCache() { r.cache = make(map[string]netip.Addr) }

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MsgConn frames tagged messages over a TCP connection: a 1-byte type, a
+// 4-byte big-endian length, then the payload. The simulated app protocols
+// (Facebook API, YouTube media, HTTP-ish web) all use this framing; the
+// payload bytes are deterministic pseudo-random filler so RLC PDU head bytes
+// are diverse (which the long-jump mapping relies on).
+type MsgConn struct {
+	Conn *Conn
+
+	buf   []byte
+	onMsg func(kind byte, payload []byte)
+}
+
+const msgHeaderLen = 5
+
+// maxMsgLen bounds a single framed message (sanity check against stream
+// desync bugs).
+const maxMsgLen = 64 << 20
+
+// NewMsgConn wraps an established or connecting TCP connection.
+func NewMsgConn(c *Conn) *MsgConn {
+	m := &MsgConn{Conn: c}
+	c.OnReceive(m.feed)
+	return m
+}
+
+// OnMessage registers the message callback.
+func (m *MsgConn) OnMessage(fn func(kind byte, payload []byte)) { m.onMsg = fn }
+
+// Send frames and sends one message.
+func (m *MsgConn) Send(kind byte, payload []byte) {
+	if len(payload) > maxMsgLen {
+		panic(fmt.Sprintf("netsim: message of %d bytes exceeds limit", len(payload)))
+	}
+	hdr := make([]byte, msgHeaderLen, msgHeaderLen+len(payload))
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	m.Conn.Send(append(hdr, payload...))
+}
+
+// SendFiller sends a message whose payload is n deterministic pseudo-random
+// bytes derived from the connection's kernel RNG.
+func (m *MsgConn) SendFiller(kind byte, n int) {
+	payload := make([]byte, n)
+	m.Conn.stack.k.Rand().Read(payload)
+	m.Send(kind, payload)
+}
+
+func (m *MsgConn) feed(data []byte) {
+	m.buf = append(m.buf, data...)
+	for len(m.buf) >= msgHeaderLen {
+		kind := m.buf[0]
+		n := int(binary.BigEndian.Uint32(m.buf[1:]))
+		if n > maxMsgLen {
+			panic(fmt.Sprintf("netsim: framed length %d corrupt", n))
+		}
+		if len(m.buf) < msgHeaderLen+n {
+			return
+		}
+		payload := append([]byte(nil), m.buf[msgHeaderLen:msgHeaderLen+n]...)
+		m.buf = m.buf[msgHeaderLen+n:]
+		if m.onMsg != nil {
+			m.onMsg(kind, payload)
+		}
+	}
+}

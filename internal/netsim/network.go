@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// Network wires one device stack through a cellular (or WiFi) bearer and an
+// optional pair of carrier qdiscs to a set of server stacks:
+//
+//	device <-> RLC/RRC bearer <-> [qdisc] <-> core (fixed delay) <-> servers
+//
+// The uplink qdisc sits after the bearer (base-station egress), the downlink
+// qdisc before it (base-station ingress) — where carrier throttling happens.
+type Network struct {
+	k      *simtime.Kernel
+	Device *Stack
+	Bearer *radio.Bearer
+
+	// CoreDelay is the one-way latency between the base station and any
+	// server (core network + internet path + server stack).
+	CoreDelay time.Duration
+
+	// ULQdisc and DLQdisc model carrier rate limiting. Defaults pass
+	// everything.
+	ULQdisc Qdisc
+	DLQdisc Qdisc
+
+	servers map[netip.Addr]*Stack
+}
+
+// NewNetwork builds a network with a device at deviceAddr behind a bearer
+// using prof.
+func NewNetwork(k *simtime.Kernel, prof *radio.Profile, deviceAddr netip.Addr, coreDelay time.Duration) *Network {
+	n := &Network{
+		k:         k,
+		Device:    NewStack(k, deviceAddr),
+		Bearer:    radio.NewBearer(k, prof),
+		CoreDelay: coreDelay,
+		ULQdisc:   PassQdisc{},
+		DLQdisc:   PassQdisc{},
+		servers:   make(map[netip.Addr]*Stack),
+	}
+	n.Device.SetOutput(n.uplink)
+	return n
+}
+
+// Kernel returns the driving kernel.
+func (n *Network) Kernel() *simtime.Kernel { return n.k }
+
+// AddServer creates a server stack at addr and attaches it to the core.
+func (n *Network) AddServer(addr netip.Addr) *Stack {
+	if _, dup := n.servers[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate server %v", addr))
+	}
+	s := NewStack(n.k, addr)
+	s.SetOutput(func(p *Packet) { n.fromServer(s, p) })
+	n.servers[addr] = s
+	return s
+}
+
+// Server returns the stack at addr, or nil.
+func (n *Network) Server(addr netip.Addr) *Stack { return n.servers[addr] }
+
+// uplink carries a device packet through the bearer and core to its server.
+func (n *Network) uplink(p *Packet) {
+	wire := p.Marshal()
+	n.Bearer.SendUplink(wire, func() {
+		n.ULQdisc.Enqueue(len(wire), func() {
+			n.k.After(n.CoreDelay, func() {
+				if srv, ok := n.servers[p.Dst.Addr]; ok {
+					srv.Input(p)
+				}
+			})
+		}, nil)
+	})
+}
+
+// fromServer routes a server packet: to the device via the downlink path, or
+// directly to another server.
+func (n *Network) fromServer(from *Stack, p *Packet) {
+	if p.Dst.Addr == n.Device.Addr() {
+		n.k.After(n.CoreDelay, func() {
+			wire := p.Marshal()
+			n.DLQdisc.Enqueue(len(wire), func() {
+				n.Bearer.SendDownlink(wire, func() {
+					n.Device.Input(p)
+				})
+			}, nil)
+		})
+		return
+	}
+	if srv, ok := n.servers[p.Dst.Addr]; ok && srv != from {
+		n.k.After(2*n.CoreDelay, func() { srv.Input(p) })
+	}
+}

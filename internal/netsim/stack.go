@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/simtime"
+)
+
+// CaptureFunc observes packets at a host's IP layer, exactly where tcpdump
+// sits. inbound is true for packets arriving at the host.
+type CaptureFunc func(at simtime.Time, pkt *Packet, inbound bool)
+
+// Stack is one host's network stack: TCP connections, UDP handlers, and the
+// capture point. Output packets are handed to a routing function installed
+// by the network wiring.
+type Stack struct {
+	k    *simtime.Kernel
+	addr netip.Addr
+
+	out       func(*Packet)
+	conns     map[FlowKey]*Conn
+	listeners map[uint16]func(*Conn)
+	udp       map[uint16]func(*Packet)
+	captures  []CaptureFunc
+	nextPort  uint16
+}
+
+// NewStack creates a stack for a host at addr, driven by kernel k.
+func NewStack(k *simtime.Kernel, addr netip.Addr) *Stack {
+	return &Stack{
+		k:         k,
+		addr:      addr,
+		conns:     make(map[FlowKey]*Conn),
+		listeners: make(map[uint16]func(*Conn)),
+		udp:       make(map[uint16]func(*Packet)),
+		nextPort:  40000,
+	}
+}
+
+// Kernel returns the driving kernel.
+func (s *Stack) Kernel() *simtime.Kernel { return s.k }
+
+// Addr returns the host address.
+func (s *Stack) Addr() netip.Addr { return s.addr }
+
+// SetOutput installs the routing function that carries packets off-host.
+func (s *Stack) SetOutput(fn func(*Packet)) { s.out = fn }
+
+// AttachCapture adds a tcpdump-style observer seeing every packet that
+// enters or leaves this host.
+func (s *Stack) AttachCapture(fn CaptureFunc) { s.captures = append(s.captures, fn) }
+
+// send emits a packet from this host.
+func (s *Stack) send(p *Packet) {
+	for _, c := range s.captures {
+		c(s.k.Now(), p, false)
+	}
+	if s.out == nil {
+		panic(fmt.Sprintf("netsim: stack %v has no output route", s.addr))
+	}
+	s.out(p)
+}
+
+// Input delivers a packet arriving at this host. The network wiring calls it.
+func (s *Stack) Input(p *Packet) {
+	for _, c := range s.captures {
+		c(s.k.Now(), p, true)
+	}
+	switch p.Proto {
+	case ProtoTCP:
+		s.inputTCP(p)
+	case ProtoUDP:
+		if h, ok := s.udp[p.Dst.Port]; ok {
+			h(p)
+		}
+	}
+}
+
+func (s *Stack) inputTCP(p *Packet) {
+	// Existing connection? Keyed by our local->remote direction.
+	key := FlowKey{Src: p.Dst, Dst: p.Src, Proto: ProtoTCP}
+	if c, ok := s.conns[key]; ok {
+		c.input(p)
+		return
+	}
+	// New connection attempt.
+	if p.Flags&FlagSYN != 0 && p.Flags&FlagACK == 0 {
+		if accept, ok := s.listeners[p.Dst.Port]; ok {
+			c := newConn(s, p.Dst, p.Src)
+			s.conns[c.key] = c
+			c.acceptSYN(p)
+			accept(c)
+			return
+		}
+	}
+	// No one home: RST anything that is not itself an RST.
+	if p.Flags&FlagRST == 0 {
+		s.send(&Packet{
+			Src: p.Dst, Dst: p.Src, Proto: ProtoTCP,
+			Flags: FlagRST | FlagACK, Seq: p.Ack, Ack: p.Seq + 1,
+		})
+	}
+}
+
+// Listen registers an accept callback for a local TCP port.
+func (s *Stack) Listen(port uint16, accept func(*Conn)) {
+	s.listeners[port] = accept
+}
+
+// Dial opens a TCP connection to dst from an ephemeral local port and starts
+// the handshake immediately.
+func (s *Stack) Dial(dst Endpoint) *Conn {
+	local := Endpoint{Addr: s.addr, Port: s.nextPort}
+	s.nextPort++
+	c := newConn(s, local, dst)
+	s.conns[c.key] = c
+	c.connect()
+	return c
+}
+
+// HandleUDP registers a handler for UDP datagrams to a local port.
+func (s *Stack) HandleUDP(port uint16, fn func(*Packet)) { s.udp[port] = fn }
+
+// SendUDP emits a UDP datagram from an arbitrary local port.
+func (s *Stack) SendUDP(src, dst Endpoint, payload []byte) {
+	s.send(&Packet{Src: src, Dst: dst, Proto: ProtoUDP, Payload: payload})
+}
+
+// EphemeralPort allocates a fresh local port (for UDP clients).
+func (s *Stack) EphemeralPort() uint16 {
+	p := s.nextPort
+	s.nextPort++
+	return p
+}
+
+// forget removes a fully closed connection from the demux table.
+func (s *Stack) forget(c *Conn) { delete(s.conns, c.key) }

@@ -1,0 +1,319 @@
+package netsim
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// pipe wires two stacks with a fixed one-way delay and an optional
+// per-packet drop function, bypassing the radio bearer so TCP logic is
+// tested in isolation.
+type pipe struct {
+	k     *simtime.Kernel
+	a, b  *Stack
+	delay time.Duration
+	drop  func(p *Packet) bool
+	sent  int
+}
+
+func newPipe(k *simtime.Kernel, delay time.Duration) *pipe {
+	p := &pipe{
+		k:     k,
+		a:     NewStack(k, netip.MustParseAddr("10.0.0.1")),
+		b:     NewStack(k, netip.MustParseAddr("10.0.0.2")),
+		delay: delay,
+	}
+	p.a.SetOutput(func(pkt *Packet) { p.forward(pkt, p.b) })
+	p.b.SetOutput(func(pkt *Packet) { p.forward(pkt, p.a) })
+	return p
+}
+
+func (p *pipe) forward(pkt *Packet, to *Stack) {
+	p.sent++
+	if p.drop != nil && p.drop(pkt) {
+		return
+	}
+	p.k.After(p.delay, func() { to.Input(pkt) })
+}
+
+func TestTCPHandshake(t *testing.T) {
+	k := simtime.NewKernel(1)
+	p := newPipe(k, 10*time.Millisecond)
+	var clientUp, serverUp bool
+	p.b.Listen(80, func(c *Conn) { c.OnEstablished(func() { serverUp = true }) })
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.OnEstablished(func() { clientUp = true })
+	k.Run()
+	if !clientUp || !serverUp {
+		t.Fatalf("handshake incomplete: client=%v server=%v", clientUp, serverUp)
+	}
+	// 3-way handshake over 10ms one-way: established at ~20ms (client).
+	if got := c.SRTT(); got != 0 {
+		t.Fatalf("unexpected RTT sample before data: %v", got)
+	}
+}
+
+func TestTCPDataTransferIntegrity(t *testing.T) {
+	k := simtime.NewKernel(2)
+	p := newPipe(k, 5*time.Millisecond)
+	want := make([]byte, 100_000)
+	rng := rand.New(rand.NewSource(9))
+	rng.Read(want)
+	var got []byte
+	p.b.Listen(80, func(c *Conn) {
+		c.OnReceive(func(d []byte) { got = append(got, d...) })
+	})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.Send(want)
+	k.Run()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stream corrupted: got %d bytes, want %d", len(got), len(want))
+	}
+	if c.Retransmits() != 0 {
+		t.Fatalf("retransmits on a lossless pipe: %d", c.Retransmits())
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	k := simtime.NewKernel(3)
+	p := newPipe(k, 5*time.Millisecond)
+	var atServer, atClient []byte
+	p.b.Listen(80, func(c *Conn) {
+		c.OnReceive(func(d []byte) {
+			atServer = append(atServer, d...)
+			if len(atServer) == 5000 {
+				c.Send(bytes.Repeat([]byte{0xBB}, 20000))
+			}
+		})
+	})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.OnReceive(func(d []byte) { atClient = append(atClient, d...) })
+	c.Send(bytes.Repeat([]byte{0xAA}, 5000))
+	k.Run()
+	if len(atServer) != 5000 || len(atClient) != 20000 {
+		t.Fatalf("transfer incomplete: server=%d client=%d", len(atServer), len(atClient))
+	}
+}
+
+func TestTCPRecoversFromLoss(t *testing.T) {
+	k := simtime.NewKernel(4)
+	p := newPipe(k, 20*time.Millisecond)
+	rng := rand.New(rand.NewSource(12))
+	p.drop = func(pkt *Packet) bool { return rng.Float64() < 0.05 }
+	want := make([]byte, 500_000)
+	rand.New(rand.NewSource(1)).Read(want)
+	var got []byte
+	p.b.Listen(80, func(c *Conn) {
+		c.OnReceive(func(d []byte) { got = append(got, d...) })
+	})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.Send(want)
+	k.Run()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("lossy stream corrupted: got %d bytes, want %d", len(got), len(want))
+	}
+	if c.Retransmits() == 0 {
+		t.Fatal("no retransmissions under 5% loss")
+	}
+}
+
+func TestTCPCloseHandshake(t *testing.T) {
+	k := simtime.NewKernel(5)
+	p := newPipe(k, 5*time.Millisecond)
+	var serverGot []byte
+	var serverPeerClosed, clientClosed, serverClosed bool
+	p.b.Listen(80, func(c *Conn) {
+		c.OnReceive(func(d []byte) { serverGot = append(serverGot, d...) })
+		c.OnPeerClose(func() {
+			serverPeerClosed = true
+			c.Close()
+		})
+		c.OnClose(func() { serverClosed = true })
+	})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.OnClose(func() { clientClosed = true })
+	c.Send([]byte("goodbye"))
+	c.Close()
+	k.Run()
+	if string(serverGot) != "goodbye" {
+		t.Fatalf("server got %q", serverGot)
+	}
+	if !serverPeerClosed || !clientClosed || !serverClosed {
+		t.Fatalf("teardown incomplete: peerClose=%v client=%v server=%v",
+			serverPeerClosed, clientClosed, serverClosed)
+	}
+}
+
+func TestTCPCloseFlushesBufferedData(t *testing.T) {
+	k := simtime.NewKernel(6)
+	p := newPipe(k, 5*time.Millisecond)
+	var got []byte
+	p.b.Listen(80, func(c *Conn) {
+		c.OnReceive(func(d []byte) { got = append(got, d...) })
+	})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.Send(make([]byte, 200_000)) // far more than the initial window
+	c.Close()                     // FIN must wait for the stream to drain
+	k.Run()
+	if len(got) != 200_000 {
+		t.Fatalf("close lost data: delivered %d of 200000", len(got))
+	}
+}
+
+func TestTCPRSTOnNoListener(t *testing.T) {
+	k := simtime.NewKernel(7)
+	p := newPipe(k, 5*time.Millisecond)
+	closed := false
+	c := p.a.Dial(Endpoint{p.b.Addr(), 9999}) // nothing listening
+	c.OnClose(func() { closed = true })
+	k.Run()
+	if !closed {
+		t.Fatal("connection to closed port did not abort")
+	}
+}
+
+func TestTCPAbortSendsRST(t *testing.T) {
+	k := simtime.NewKernel(8)
+	p := newPipe(k, 5*time.Millisecond)
+	var serverConn *Conn
+	serverClosed := false
+	p.b.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.OnClose(func() { serverClosed = true })
+	})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	k.Run()
+	c.Abort()
+	k.Run()
+	if serverConn == nil || !serverClosed {
+		t.Fatal("RST did not tear down the server side")
+	}
+}
+
+func TestTCPRTTEstimate(t *testing.T) {
+	k := simtime.NewKernel(9)
+	p := newPipe(k, 50*time.Millisecond)
+	p.b.Listen(80, func(c *Conn) {})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.Send(make([]byte, 1000))
+	k.Run()
+	if srtt := c.SRTT(); srtt < 90*time.Millisecond || srtt > 120*time.Millisecond {
+		t.Fatalf("SRTT = %v, want ~100ms", srtt)
+	}
+}
+
+func TestTCPSlowStartGrowth(t *testing.T) {
+	k := simtime.NewKernel(10)
+	p := newPipe(k, 25*time.Millisecond)
+	var got int
+	p.b.Listen(80, func(c *Conn) {
+		c.OnReceive(func(d []byte) { got += len(d) })
+	})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	initial := c.cwnd
+	c.Send(make([]byte, 300_000))
+	k.Run()
+	if got != 300_000 {
+		t.Fatalf("delivered %d", got)
+	}
+	if c.cwnd <= initial {
+		t.Fatalf("cwnd did not grow: %v -> %v", initial, c.cwnd)
+	}
+}
+
+func TestTCPThroughputReasonable(t *testing.T) {
+	// 10 MB over a 10ms-RTT lossless pipe should finish in a few seconds of
+	// virtual time (not bounded by pathological window behaviour).
+	k := simtime.NewKernel(11)
+	p := newPipe(k, 5*time.Millisecond)
+	total := 10 << 20
+	var got int
+	var doneAt simtime.Time
+	p.b.Listen(80, func(c *Conn) {
+		c.OnReceive(func(d []byte) {
+			got += len(d)
+			if got == total {
+				doneAt = k.Now()
+			}
+		})
+	})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.Send(make([]byte, total))
+	k.Run()
+	if got != total {
+		t.Fatalf("delivered %d of %d", got, total)
+	}
+	if doneAt > 10*time.Second {
+		t.Fatalf("10MB took %v, suspiciously slow", doneAt)
+	}
+}
+
+func TestTCPSendAfterCloseIgnored(t *testing.T) {
+	k := simtime.NewKernel(12)
+	p := newPipe(k, 5*time.Millisecond)
+	var got []byte
+	p.b.Listen(80, func(c *Conn) {
+		c.OnReceive(func(d []byte) { got = append(got, d...) })
+	})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.Send([]byte("ok"))
+	c.Close()
+	c.Send([]byte("dropped"))
+	k.Run()
+	if string(got) != "ok" {
+		t.Fatalf("got %q, want \"ok\"", got)
+	}
+}
+
+// Property: any payload size and loss rate up to 20% still delivers the
+// exact byte stream.
+func TestQuickTCPDeliveryUnderLoss(t *testing.T) {
+	f := func(seed int64, sizeK uint8, lossPct uint8) bool {
+		size := (int(sizeK%60) + 1) * 1000
+		loss := float64(lossPct%20) / 100
+		k := simtime.NewKernel(seed)
+		p := newPipe(k, 15*time.Millisecond)
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		p.drop = func(pkt *Packet) bool { return rng.Float64() < loss }
+		want := make([]byte, size)
+		rand.New(rand.NewSource(seed)).Read(want)
+		var got []byte
+		p.b.Listen(80, func(c *Conn) {
+			c.OnReceive(func(d []byte) { got = append(got, d...) })
+		})
+		c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+		c.Send(want)
+		k.Run()
+		return bytes.Equal(got, want)
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaptureSeesBothDirections(t *testing.T) {
+	k := simtime.NewKernel(13)
+	p := newPipe(k, 5*time.Millisecond)
+	var in, out int
+	p.a.AttachCapture(func(at simtime.Time, pkt *Packet, inbound bool) {
+		if inbound {
+			in++
+		} else {
+			out++
+		}
+	})
+	p.b.Listen(80, func(c *Conn) {})
+	c := p.a.Dial(Endpoint{p.b.Addr(), 80})
+	c.Send([]byte("x"))
+	k.Run()
+	if in == 0 || out == 0 {
+		t.Fatalf("capture missed packets: in=%d out=%d", in, out)
+	}
+}

@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Qdisc is a queueing discipline applied at the base station, used to model
+// carrier rate limiting. Enqueue either forwards the packet (possibly later,
+// for a shaper) by calling deliver, or drops it by never calling deliver.
+// drop, when non-nil, is invoked on a drop so tests can count losses.
+type Qdisc interface {
+	Enqueue(wireLen int, deliver func(), drop func())
+}
+
+// PassQdisc forwards everything immediately (no throttling).
+type PassQdisc struct{}
+
+// Enqueue implements Qdisc.
+func (PassQdisc) Enqueue(wireLen int, deliver func(), drop func()) { deliver() }
+
+// bucket is the shared token-bucket core: tokens accumulate at RateBps/8
+// bytes per second up to BurstBytes.
+type bucket struct {
+	k          *simtime.Kernel
+	rateBps    float64
+	burstBytes float64
+	tokens     float64
+	last       simtime.Time
+}
+
+// bucketMinBytes is the minimum bucket capacity: one full-size packet plus
+// headroom. A bucket smaller than the MTU could never pass a full-size
+// packet no matter how long tokens accrue.
+const bucketMinBytes = 1600
+
+func newBucket(k *simtime.Kernel, rateBps float64, burstBytes int) *bucket {
+	if burstBytes < bucketMinBytes {
+		burstBytes = bucketMinBytes
+	}
+	return &bucket{k: k, rateBps: rateBps, burstBytes: float64(burstBytes), tokens: float64(burstBytes)}
+}
+
+// refill accrues tokens since the last call.
+func (b *bucket) refill() {
+	now := b.k.Now()
+	elapsed := time.Duration(now - b.last).Seconds()
+	b.last = now
+	b.tokens += elapsed * b.rateBps / 8
+	if b.tokens > b.burstBytes {
+		b.tokens = b.burstBytes
+	}
+}
+
+// tokenEpsilon absorbs float accumulation error so a packet whose tokens
+// have "arithmetically" accrued is never spuriously refused (which would
+// otherwise cause a zero-delay retry loop in the shaper).
+const tokenEpsilon = 1e-6
+
+// take consumes n bytes of tokens if available.
+func (b *bucket) take(n int) bool {
+	b.refill()
+	if b.tokens+tokenEpsilon >= float64(n) {
+		b.tokens -= float64(n)
+		if b.tokens < 0 {
+			b.tokens = 0
+		}
+		return true
+	}
+	return false
+}
+
+// deficitDelay returns how long until n bytes of tokens will have accrued,
+// rounded up so that a subsequent take succeeds.
+func (b *bucket) deficitDelay(n int) time.Duration {
+	b.refill()
+	deficit := float64(n) - b.tokens
+	if deficit <= 0 {
+		return 0
+	}
+	d := time.Duration(deficit/(b.rateBps/8)*float64(time.Second)) + time.Microsecond
+	return d
+}
+
+// Policer drops packets that exceed the token bucket — the C1 LTE throttling
+// mechanism (§7.5). Dropped excess traffic triggers TCP retransmissions and
+// the bursty goodput the paper observes.
+type Policer struct {
+	b     *bucket
+	Drops int
+}
+
+// NewPolicer creates a policer at rateBps with the given burst allowance.
+func NewPolicer(k *simtime.Kernel, rateBps float64, burstBytes int) *Policer {
+	return &Policer{b: newBucket(k, rateBps, burstBytes)}
+}
+
+// Enqueue implements Qdisc.
+func (p *Policer) Enqueue(wireLen int, deliver func(), drop func()) {
+	if p.b.take(wireLen) {
+		deliver()
+		return
+	}
+	p.Drops++
+	if drop != nil {
+		drop()
+	}
+}
+
+// Shaper queues packets that exceed the token bucket and releases them as
+// tokens accrue — the C1 3G throttling mechanism (§7.5). The queue is
+// drop-tail with a byte limit; in steady state the shaper produces a smooth
+// rate with few TCP drops.
+type Shaper struct {
+	k        *simtime.Kernel
+	b        *bucket
+	queue    []shaped
+	queued   int // bytes in queue
+	limit    int // max queued bytes before tail drop
+	draining bool
+	Drops    int
+}
+
+type shaped struct {
+	wireLen int
+	deliver func()
+}
+
+// NewShaper creates a shaper at rateBps with the given burst allowance and
+// queue byte limit.
+func NewShaper(k *simtime.Kernel, rateBps float64, burstBytes, queueLimit int) *Shaper {
+	return &Shaper{k: k, b: newBucket(k, rateBps, burstBytes), limit: queueLimit}
+}
+
+// Enqueue implements Qdisc.
+func (s *Shaper) Enqueue(wireLen int, deliver func(), drop func()) {
+	if len(s.queue) == 0 && s.b.take(wireLen) {
+		deliver()
+		return
+	}
+	if s.queued+wireLen > s.limit {
+		s.Drops++
+		if drop != nil {
+			drop()
+		}
+		return
+	}
+	s.queue = append(s.queue, shaped{wireLen, deliver})
+	s.queued += wireLen
+	s.drain()
+}
+
+// QueuedBytes reports the current queue occupancy.
+func (s *Shaper) QueuedBytes() int { return s.queued }
+
+func (s *Shaper) drain() {
+	if s.draining || len(s.queue) == 0 {
+		return
+	}
+	head := s.queue[0]
+	delay := s.b.deficitDelay(head.wireLen)
+	s.draining = true
+	s.k.After(delay, func() {
+		s.draining = false
+		if len(s.queue) == 0 {
+			return
+		}
+		head := s.queue[0]
+		if !s.b.take(head.wireLen) {
+			// Tokens raced away (shouldn't happen with one drainer); retry.
+			s.drain()
+			return
+		}
+		s.queue = s.queue[1:]
+		s.queued -= head.wireLen
+		head.deliver()
+		s.drain()
+	})
+}

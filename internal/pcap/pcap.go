@@ -1,0 +1,185 @@
+// Package pcap is the simulation's tcpdump: it captures the wire frames
+// crossing a host's IP layer with virtual timestamps, and reads/writes them
+// in the standard libpcap file format (LINKTYPE_RAW, so real tcpdump and
+// Wireshark can open the traces).
+//
+// Decoding follows the gopacket layering idiom: a captured Record lazily
+// decodes into typed layers (IPv4/TCP/UDP via netsim.Unmarshal, DNS via
+// netsim.UnmarshalDNS) only when the analyzer asks.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// Record is one captured frame.
+type Record struct {
+	At      simtime.Time
+	Inbound bool // true when the packet arrived at the capturing host
+	Data    []byte
+
+	decoded *netsim.Packet
+	decErr  error
+}
+
+// Packet lazily decodes the record's wire bytes. The result is cached.
+func (r *Record) Packet() (*netsim.Packet, error) {
+	if r.decoded == nil && r.decErr == nil {
+		r.decoded, r.decErr = netsim.Unmarshal(r.Data)
+	}
+	return r.decoded, r.decErr
+}
+
+// DNS decodes the record as a DNS message, returning nil if the record is
+// not a well-formed UDP/53 DNS packet.
+func (r *Record) DNS() *netsim.DNSMessage {
+	p, err := r.Packet()
+	if err != nil || p.Proto != netsim.ProtoUDP {
+		return nil
+	}
+	if p.Src.Port != netsim.DNSPort && p.Dst.Port != netsim.DNSPort {
+		return nil
+	}
+	m, err := netsim.UnmarshalDNS(p.Payload)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// Capture accumulates records from a host stack, like tcpdump -i any on the
+// device.
+type Capture struct {
+	records []Record
+	enabled bool
+}
+
+// NewCapture returns an empty, enabled capture.
+func NewCapture() *Capture { return &Capture{enabled: true} }
+
+// Attach installs the capture on a stack. One capture may observe multiple
+// stacks, though QoE Doctor only ever captures on the device.
+func (c *Capture) Attach(s *netsim.Stack) {
+	s.AttachCapture(func(at simtime.Time, pkt *netsim.Packet, inbound bool) {
+		if !c.enabled {
+			return
+		}
+		c.records = append(c.records, Record{At: at, Inbound: inbound, Data: pkt.Marshal()})
+	})
+}
+
+// SetEnabled pauses or resumes capturing (tcpdump start/stop between
+// experiment repetitions).
+func (c *Capture) SetEnabled(on bool) { c.enabled = on }
+
+// Reset discards all captured records.
+func (c *Capture) Reset() { c.records = nil }
+
+// Records returns the captured records in time order.
+func (c *Capture) Records() []Record { return c.records }
+
+// Len returns the number of captured frames.
+func (c *Capture) Len() int { return len(c.records) }
+
+// libpcap file format constants.
+const (
+	pcapMagic   = 0xa1b2c3d4 // microsecond-resolution, native byte order
+	pcapVersion = 0x0002_0004
+	linktypeRaw = 101 // raw IPv4/IPv6
+	snapLen     = 65535
+)
+
+// Write emits the capture in libpcap format.
+func (c *Capture) Write(w io.Writer) error {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], 2) // major
+	binary.LittleEndian.PutUint16(hdr[6:], 4) // minor
+	binary.LittleEndian.PutUint32(hdr[16:], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linktypeRaw)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 16)
+	for _, r := range c.records {
+		usec := int64(r.At) / 1000
+		binary.LittleEndian.PutUint32(rec[0:], uint32(usec/1e6))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(usec%1e6))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(r.Data)))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(len(r.Data)))
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+		if _, err := w.Write(r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the capture to path in libpcap format.
+func (c *Capture) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a libpcap stream written by Write. Direction information is
+// not stored in the file format; inbound/outbound is reconstructed by the
+// caller (the analyzer infers it from the device address).
+func Read(r io.Reader) ([]Record, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr) != pcapMagic {
+		return nil, fmt.Errorf("pcap: bad magic %#x", binary.LittleEndian.Uint32(hdr))
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != linktypeRaw {
+		return nil, fmt.Errorf("pcap: unsupported linktype %d", lt)
+	}
+	var out []Record
+	rec := make([]byte, 16)
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("pcap: reading record header: %w", err)
+		}
+		sec := binary.LittleEndian.Uint32(rec[0:])
+		usec := binary.LittleEndian.Uint32(rec[4:])
+		capLen := binary.LittleEndian.Uint32(rec[8:])
+		if capLen > snapLen {
+			return nil, fmt.Errorf("pcap: absurd capture length %d", capLen)
+		}
+		data := make([]byte, capLen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("pcap: reading frame: %w", err)
+		}
+		at := simtime.Time(sec)*1e9 + simtime.Time(usec)*1e3
+		out = append(out, Record{At: at, Data: data})
+	}
+}
+
+// ReadFile reads a libpcap file from path.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,151 @@
+// Package power estimates the device's network energy consumption from RRC
+// state residency, the way QoE Doctor does with Monsoon-measured state power
+// levels (§5.3): energy = sum over states of (time in state x state power).
+// Tail energy — the energy burnt in high-power states after the last data
+// transfer, waiting for demotion timers — is accounted separately, following
+// the definition in prior work [34] cited by the paper.
+package power
+
+import (
+	"time"
+
+	"repro/internal/qxdm"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// Report is an energy breakdown over an analysis window.
+type Report struct {
+	Window time.Duration
+	// TotalJ is the physical total including the base-state floor.
+	TotalJ float64
+	// BaseJ is the energy spent in the base (idle/PCH) state. The paper's
+	// "network energy" figures exclude this floor.
+	BaseJ float64
+	// TailJ is high-power energy after the last data transfer of each
+	// high-power period (demotion-timer waste).
+	TailJ float64
+	// NonTailJ is the remaining high-power (active transfer) energy.
+	NonTailJ float64
+	// PerState maps each RRC state to joules spent in it.
+	PerState map[radio.State]float64
+	// PerStateTime maps each RRC state to residency time.
+	PerStateTime map[radio.State]time.Duration
+}
+
+// ActiveJ is the network energy the paper reports: everything above the
+// idle floor (tail + non-tail).
+func (r Report) ActiveJ() float64 { return r.TailJ + r.NonTailJ }
+
+// Analyze integrates radio power over [start, end] using the profile's
+// per-state power levels and the QxDM transition log. PDU timestamps from
+// the same log identify the last data transfer in each high-power period,
+// splitting tail from non-tail energy.
+func Analyze(prof *radio.Profile, log *qxdm.Log, start, end simtime.Time) Report {
+	r := Report{
+		Window:       time.Duration(end - start),
+		PerState:     make(map[radio.State]float64),
+		PerStateTime: make(map[radio.State]time.Duration),
+	}
+	if end <= start {
+		return r
+	}
+
+	type interval struct {
+		from, to simtime.Time
+		state    radio.State
+	}
+	var ivs []interval
+	cur := prof.Base
+	t := start
+	for _, tr := range log.Transitions {
+		if tr.At <= start {
+			cur = tr.To
+			continue
+		}
+		if tr.At >= end {
+			break
+		}
+		ivs = append(ivs, interval{t, tr.At, cur})
+		cur = tr.To
+		t = tr.At
+	}
+	ivs = append(ivs, interval{t, end, cur})
+
+	// Index of PDU timestamps for tail detection.
+	pduTimes := make([]simtime.Time, 0, len(log.PDUs))
+	for _, p := range log.PDUs {
+		pduTimes = append(pduTimes, p.At)
+	}
+
+	// lastPDUBefore returns the latest PDU timestamp in (from, to], or -1.
+	lastPDUIn := func(from, to simtime.Time) simtime.Time {
+		// PDU log is time-ordered; binary search for the upper bound.
+		lo, hi := 0, len(pduTimes)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if pduTimes[mid] <= to {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			return -1
+		}
+		if t := pduTimes[lo-1]; t > from {
+			return t
+		}
+		return -1
+	}
+
+	energy := func(st radio.State, d time.Duration) float64 {
+		return prof.States[st].PowerMW / 1000 * d.Seconds()
+	}
+
+	// Group consecutive non-base intervals into high-power periods.
+	i := 0
+	for i < len(ivs) {
+		iv := ivs[i]
+		d := time.Duration(iv.to - iv.from)
+		r.PerStateTime[iv.state] += d
+		e := energy(iv.state, d)
+		r.PerState[iv.state] += e
+		r.TotalJ += e
+		if iv.state == prof.Base {
+			r.BaseJ += e
+			i++
+			continue
+		}
+		// Extend the high-power period.
+		j := i
+		for j+1 < len(ivs) && ivs[j+1].state != prof.Base {
+			j++
+			d := time.Duration(ivs[j].to - ivs[j].from)
+			r.PerStateTime[ivs[j].state] += d
+			e := energy(ivs[j].state, d)
+			r.PerState[ivs[j].state] += e
+			r.TotalJ += e
+		}
+		periodStart, periodEnd := ivs[i].from, ivs[j].to
+		last := lastPDUIn(periodStart, periodEnd)
+		if last < 0 {
+			last = periodStart // no data: the whole period is tail
+		}
+		// Tail = energy after the last PDU; walk the intervals again.
+		for m := i; m <= j; m++ {
+			from, to := ivs[m].from, ivs[m].to
+			if to <= last {
+				r.NonTailJ += energy(ivs[m].state, time.Duration(to-from))
+				continue
+			}
+			if from < last {
+				r.NonTailJ += energy(ivs[m].state, time.Duration(last-from))
+				from = last
+			}
+			r.TailJ += energy(ivs[m].state, time.Duration(to-from))
+		}
+		i = j + 1
+	}
+	return r
+}

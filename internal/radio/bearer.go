@@ -1,0 +1,78 @@
+package radio
+
+import (
+	"repro/internal/simtime"
+)
+
+// Bearer is a full-duplex cellular data bearer for one device: an RRC
+// machine shared by both directions plus an uplink and a downlink RLC
+// entity. The network stack hands it serialized IP packets; the bearer
+// segments them into PDUs, applies promotion delays, ARQ, and loss, and
+// invokes the caller's delivery callback when each packet has been
+// reassembled in order at the far side.
+type Bearer struct {
+	k    *simtime.Kernel
+	prof *Profile
+	rrc  *Machine
+
+	ul, dl *entity
+
+	monitors []Monitor
+}
+
+// NewBearer builds a bearer over prof, driven by kernel k.
+func NewBearer(k *simtime.Kernel, prof *Profile) *Bearer {
+	b := &Bearer{k: k, prof: prof, rrc: NewMachine(k, prof)}
+	b.ul = newEntity(b, Uplink)
+	b.dl = newEntity(b, Downlink)
+	b.rrc.OnTransition(func(tr Transition) {
+		for _, m := range b.monitors {
+			m.RRCTransition(tr)
+		}
+	})
+	return b
+}
+
+// Kernel returns the driving event kernel.
+func (b *Bearer) Kernel() *simtime.Kernel { return b.k }
+
+// Profile returns the radio profile in use.
+func (b *Bearer) Profile() *Profile { return b.prof }
+
+// RRC returns the bearer's RRC machine (read-mostly; used by the power model
+// and tests).
+func (b *Bearer) RRC() *Machine { return b.rrc }
+
+// Attach registers a radio-layer monitor (e.g. the QxDM simulator).
+func (b *Bearer) Attach(m Monitor) { b.monitors = append(b.monitors, m) }
+
+// SendUplink transmits one IP packet from the device toward the network.
+// deliver fires when the packet has been fully reassembled at the base
+// station, in order.
+func (b *Bearer) SendUplink(packet []byte, deliver func()) {
+	b.ul.send(packet, deliver)
+}
+
+// SendDownlink transmits one IP packet from the network toward the device.
+func (b *Bearer) SendDownlink(packet []byte, deliver func()) {
+	b.dl.send(packet, deliver)
+}
+
+// QueuedUplink reports bytes enqueued but not yet segmented on the uplink
+// (used by tests and the traffic source to apply backpressure).
+func (b *Bearer) QueuedUplink() int { return int(b.ul.queuedOff - b.ul.segOff) }
+
+// QueuedDownlink is the downlink analogue of QueuedUplink.
+func (b *Bearer) QueuedDownlink() int { return int(b.dl.queuedOff - b.dl.segOff) }
+
+func (b *Bearer) emitPDU(p *PDU) {
+	for _, m := range b.monitors {
+		m.DataPDU(p)
+	}
+}
+
+func (b *Bearer) emitStatus(st StatusPDU) {
+	for _, m := range b.monitors {
+		m.StatusPDU(st)
+	}
+}

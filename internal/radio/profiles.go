@@ -1,0 +1,218 @@
+package radio
+
+import (
+	"errors"
+	"time"
+)
+
+// Profile bundles everything technology-specific: the RRC state set with
+// powers and rates, promotion delays, the demotion chain, and RLC
+// segmentation/ARQ parameters. Profiles are treated as immutable once a
+// Machine or Bearer is built on them; use Clone before mutating.
+type Profile struct {
+	Name string
+	Tech Tech
+
+	// RRC.
+	Base           State // lowest-power state, the machine's initial state
+	Active         State // the high-power data-plane state
+	States         map[State]StateParams
+	PromotionDelay map[State]time.Duration // from-state -> delay to Active
+	Demotions      []Demotion
+
+	// RLC segmentation.
+	//
+	// ULPDUPayload is the fixed uplink PDU payload size (3G: 40 bytes per
+	// the RLC spec cited in §2). DLPDUPayload is the nominal downlink PDU
+	// payload. For LTE both directions use the flexible (larger) size.
+	ULPDUPayload int
+	DLPDUPayload int
+
+	// PDUHeaderTime is the per-PDU processing overhead added on top of the
+	// serialization time (payload/bandwidth). This is the term that makes
+	// 3G's 2.55x PDU count translate into higher RLC transmission delay.
+	PDUHeaderTime time.Duration
+
+	// ARQ.
+	OTARTT       time.Duration // mean first-hop over-the-air RTT (poll->STATUS)
+	OTAJitter    time.Duration // uniform +/- jitter applied per STATUS
+	PollInterval int           // set the poll bit every N-th PDU (and on burst end)
+	PDULossProb  float64       // per-PDU over-the-air loss probability
+
+	// QxDM capture-loss rates (the monitor occasionally misses PDUs, which
+	// is why the paper's downlink mapping ratio is 88.83%, not 100%).
+	CaptureLossUL float64
+	CaptureLossDL float64
+}
+
+// Validate checks internal consistency.
+func (p *Profile) Validate() error {
+	if p.States == nil {
+		return errors.New("no states")
+	}
+	if _, ok := p.States[p.Base]; !ok {
+		return errors.New("base state has no params")
+	}
+	if _, ok := p.States[p.Active]; !ok {
+		return errors.New("active state has no params")
+	}
+	if p.States[p.Active].ULBandwidthBps <= 0 || p.States[p.Active].DLBandwidthBps <= 0 {
+		return errors.New("active state must have positive bandwidth")
+	}
+	if p.ULPDUPayload <= 0 || p.DLPDUPayload <= 0 {
+		return errors.New("PDU payload sizes must be positive")
+	}
+	if p.PollInterval <= 0 {
+		return errors.New("poll interval must be positive")
+	}
+	if p.PDULossProb < 0 || p.PDULossProb >= 1 {
+		return errors.New("PDU loss probability out of range")
+	}
+	for from := range p.PromotionDelay {
+		if _, ok := p.States[from]; !ok {
+			return errors.New("promotion from unknown state")
+		}
+	}
+	for _, d := range p.Demotions {
+		if _, ok := p.States[d.From]; !ok {
+			return errors.New("demotion from unknown state")
+		}
+		if _, ok := p.States[d.To]; !ok {
+			return errors.New("demotion to unknown state")
+		}
+		if d.Timer <= 0 {
+			return errors.New("demotion timer must be positive")
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy, so experiments can tweak parameters (e.g. the
+// simplified 3G machine of §7.7) without aliasing.
+func (p *Profile) Clone() *Profile {
+	q := *p
+	q.States = make(map[State]StateParams, len(p.States))
+	for k, v := range p.States {
+		q.States[k] = v
+	}
+	q.PromotionDelay = make(map[State]time.Duration, len(p.PromotionDelay))
+	for k, v := range p.PromotionDelay {
+		q.PromotionDelay[k] = v
+	}
+	q.Demotions = append([]Demotion(nil), p.Demotions...)
+	return &q
+}
+
+// Profile3G models a UMTS/HSPA network with the three-state DCH/FACH/PCH
+// machine. State powers and timer values follow the measurements of Huang
+// et al. [22] and Qian et al. [35] as cited by the paper.
+func Profile3G() *Profile {
+	return &Profile{
+		Name:   "C1-3G",
+		Tech:   Tech3G,
+		Base:   StatePCH,
+		Active: StateDCH,
+		States: map[State]StateParams{
+			StateDCH:  {PowerMW: 800, ULBandwidthBps: 1.2e6, DLBandwidthBps: 3.0e6},
+			StateFACH: {PowerMW: 460, ULBandwidthBps: 100e3, DLBandwidthBps: 100e3},
+			StatePCH:  {PowerMW: 20},
+		},
+		PromotionDelay: map[State]time.Duration{
+			StatePCH:  2 * time.Second,
+			StateFACH: 1500 * time.Millisecond,
+		},
+		Demotions: []Demotion{
+			{From: StateDCH, To: StateFACH, Timer: 5 * time.Second},
+			{From: StateFACH, To: StatePCH, Timer: 12 * time.Second},
+		},
+		ULPDUPayload:  40,  // fixed by the 3G RLC spec for uplink
+		DLPDUPayload:  480, // flexible, "usually greater than 40 bytes"
+		PDUHeaderTime: 120 * time.Microsecond,
+		OTARTT:        70 * time.Millisecond,
+		OTAJitter:     20 * time.Millisecond,
+		PollInterval:  32,
+		PDULossProb:   0.002,
+		CaptureLossUL: 0.00014, // tuned to the paper's 99.52% uplink mapping (36 PDUs/packet)
+		CaptureLossDL: 0.039,   // tuned to the paper's 88.83% downlink mapping (~3 PDUs/packet)
+	}
+}
+
+// ProfileLTE models an LTE network with CONNECTED DRX sub-states. The tail
+// chain (CRX -> short DRX -> long DRX -> IDLE) totals ~11.6 s as measured by
+// Huang et al.
+func ProfileLTE() *Profile {
+	return &Profile{
+		Name:   "C1-LTE",
+		Tech:   TechLTE,
+		Base:   StateLTEIdle,
+		Active: StateLTECRX,
+		States: map[State]StateParams{
+			StateLTECRX:      {PowerMW: 1210, ULBandwidthBps: 8e6, DLBandwidthBps: 15e6},
+			StateLTEShortDRX: {PowerMW: 700},
+			StateLTELongDRX:  {PowerMW: 600},
+			StateLTEIdle:     {PowerMW: 11},
+		},
+		PromotionDelay: map[State]time.Duration{
+			StateLTEIdle:     260 * time.Millisecond,
+			StateLTEShortDRX: 20 * time.Millisecond,
+			StateLTELongDRX:  40 * time.Millisecond,
+		},
+		Demotions: []Demotion{
+			{From: StateLTECRX, To: StateLTEShortDRX, Timer: 1 * time.Second},
+			{From: StateLTEShortDRX, To: StateLTELongDRX, Timer: 1 * time.Second},
+			{From: StateLTELongDRX, To: StateLTEIdle, Timer: 9600 * time.Millisecond},
+		},
+		// Flexible sizes; the uplink grant per TTI yields ~96B payloads,
+		// reproducing the paper's ~2.55x 3G-to-LTE PDU count ratio for the
+		// same transfer (Fig. 8).
+		ULPDUPayload:  96,
+		DLPDUPayload:  1400,
+		PDUHeaderTime: 60 * time.Microsecond,
+		OTARTT:        25 * time.Millisecond,
+		OTAJitter:     8 * time.Millisecond,
+		PollInterval:  64,
+		PDULossProb:   0.001,
+		CaptureLossUL: 0.00014,
+		CaptureLossDL: 0.039,
+	}
+}
+
+// ProfileSimplified3G is the §7.7 design-study machine: FACH is removed and
+// PCH promotes directly to DCH with a shorter setup, eliminating the
+// FACH->DCH second promotion that inflates web page loads.
+func ProfileSimplified3G() *Profile {
+	p := Profile3G()
+	p.Name = "C1-3G-simplified"
+	delete(p.States, StateFACH)
+	// Without the intermediate FACH hop the promotion signaling is a
+	// single exchange: ~1.2 s instead of 2 s (PCH) / 1.5 s (FACH).
+	p.PromotionDelay = map[State]time.Duration{StatePCH: 1200 * time.Millisecond}
+	p.Demotions = []Demotion{{From: StateDCH, To: StatePCH, Timer: 5 * time.Second}}
+	return p
+}
+
+// ProfileWiFi is a degenerate profile used for the WiFi comparison runs: a
+// single always-on state with no promotion delays and fast, large PDUs (the
+// analyzer simply sees an ideal radio).
+func ProfileWiFi() *Profile {
+	return &Profile{
+		Name:   "WiFi",
+		Tech:   TechWiFi,
+		Base:   StateWiFiActive,
+		Active: StateWiFiActive,
+		States: map[State]StateParams{
+			StateWiFiActive: {PowerMW: 400, ULBandwidthBps: 20e6, DLBandwidthBps: 40e6},
+		},
+		PromotionDelay: map[State]time.Duration{},
+		Demotions:      nil,
+		ULPDUPayload:   1400,
+		DLPDUPayload:   1400,
+		PDUHeaderTime:  10 * time.Microsecond,
+		OTARTT:         3 * time.Millisecond,
+		OTAJitter:      1 * time.Millisecond,
+		PollInterval:   128,
+		PDULossProb:    0.0005,
+		CaptureLossUL:  0,
+		CaptureLossDL:  0,
+	}
+}

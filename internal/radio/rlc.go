@@ -1,0 +1,389 @@
+package radio
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Direction distinguishes uplink (device to base station) from downlink.
+type Direction int
+
+const (
+	Uplink Direction = iota
+	Downlink
+)
+
+func (d Direction) String() string {
+	if d == Uplink {
+		return "UL"
+	}
+	return "DL"
+}
+
+// PDU is one RLC protocol data unit as seen over the air. To keep memory
+// bounded across million-PDU experiments, a PDU stores only what QxDM logs
+// and what the cross-layer mapping consumes: the payload length, the first
+// two payload bytes, and the Length Indicators. (QxDM itself only captures 2
+// payload bytes per PDU — the limitation that motivates the paper's
+// long-jump mapping algorithm.)
+type PDU struct {
+	Seq  uint32
+	Dir  Direction
+	Size int     // payload bytes carried
+	Head [2]byte // first 2 payload bytes (Head[1] undefined when Size < 2)
+	// LI holds Length Indicators: offsets within this PDU's payload at
+	// which an SDU (IP packet) ends, in increasing order. An offset equal
+	// to Size means an SDU ends exactly at the PDU boundary.
+	LI []int
+	// Poll is the ARQ poll bit requesting a STATUS report.
+	Poll bool
+	// Retx marks ARQ retransmissions of a previously lost PDU.
+	Retx bool
+	// SentAt is when transmission of this PDU finished (the timestamp the
+	// diagnostic monitor records).
+	SentAt simtime.Time
+	// StreamOff is the absolute byte offset of this PDU's payload within
+	// the direction's SDU byte stream. It is internal bookkeeping (not
+	// available to the analyzer, which must infer the mapping).
+	StreamOff uint64
+}
+
+// StatusPDU is the ARQ feedback control PDU sent by the receiver in response
+// to a poll.
+type StatusPDU struct {
+	At  simtime.Time // when the sender received it
+	Dir Direction    // direction of the *data* flow being acknowledged
+	// AckSeq acknowledges all PDUs with Seq < AckSeq except those in Nack.
+	AckSeq uint32
+	Nack   []uint32
+}
+
+// Monitor observes radio-layer events. The qxdm package implements it to
+// build diagnostic logs; tests implement it directly.
+type Monitor interface {
+	// RRCTransition is called on every RRC state change.
+	RRCTransition(Transition)
+	// DataPDU is called when a data PDU finishes transmission over the air.
+	DataPDU(*PDU)
+	// StatusPDU is called when the data sender receives ARQ feedback.
+	StatusPDU(StatusPDU)
+}
+
+// sdu is one upper-layer packet queued for RLC transmission.
+type sdu struct {
+	bytes   []byte // payload to segment; released after segmentation
+	size    int
+	end     uint64 // absolute stream offset at which this SDU ends
+	deliver func() // invoked when the far side has reassembled the SDU in order
+}
+
+// entity is one direction's RLC acknowledged-mode entity: segmentation on
+// the sending side and in-order reassembly accounting on the receiving side.
+// Both sides live in one struct because the simulation owns both endpoints.
+type entity struct {
+	b   *Bearer
+	dir Direction
+
+	payloadSize int
+	pollEvery   int
+	maxWindow   int // max unacked PDUs in flight before the sender stalls
+
+	// Sender state.
+	queue     []*sdu // SDUs not yet fully segmented
+	queuedOff uint64 // stream offset covered by queue (total enqueued)
+	segOff    uint64 // stream offset segmented into PDUs so far
+	nextSeq   uint32
+	sincePoll int
+	sending   bool
+	stalled   bool            // window-full, waiting for STATUS
+	lost      map[uint32]*PDU // sent but lost over the air, awaiting NACK
+	inFlight  map[uint32]*PDU // sent, not yet acked
+	retx      []*PDU          // NACKed PDUs awaiting retransmission
+	statusDue bool            // a STATUS is scheduled
+	// Receiver state.
+	recvSeq    uint32          // next in-order sequence number expected
+	heldPDUs   map[uint32]bool // received out of order (ahead of a loss)
+	heldSize   map[uint32]int
+	delivered  uint64 // in-order payload bytes delivered to the far side
+	pendingSDU []*sdu // SDUs awaiting delivery, ordered by end offset
+}
+
+func newEntity(b *Bearer, dir Direction) *entity {
+	e := &entity{
+		b:        b,
+		dir:      dir,
+		lost:     make(map[uint32]*PDU),
+		inFlight: make(map[uint32]*PDU),
+		heldPDUs: make(map[uint32]bool),
+		heldSize: make(map[uint32]int),
+	}
+	if dir == Uplink {
+		e.payloadSize = b.prof.ULPDUPayload
+	} else {
+		e.payloadSize = b.prof.DLPDUPayload
+	}
+	e.pollEvery = b.prof.PollInterval
+	// AM transmit window: half the 12-bit sequence space, as in the 3GPP
+	// RLC spec. Small enough to stall on persistent feedback loss, large
+	// enough not to throttle bulk transfers.
+	e.maxWindow = 2048
+	return e
+}
+
+// send enqueues an upper-layer packet for transmission. deliver is invoked
+// (in virtual time) when the SDU has been reassembled in order at the far
+// side.
+func (e *entity) send(payload []byte, deliver func()) {
+	if len(payload) == 0 {
+		// A zero-byte SDU occupies no stream bytes and would never be
+		// covered by the receiver's delivered counter; complete it
+		// immediately (real stacks never emit empty PDUs either).
+		if deliver != nil {
+			e.b.k.After(0, deliver)
+		}
+		return
+	}
+	s := &sdu{bytes: payload, size: len(payload), deliver: deliver}
+	e.queuedOff += uint64(s.size)
+	s.end = e.queuedOff
+	e.queue = append(e.queue, s)
+	e.pendingSDU = append(e.pendingSDU, s)
+	e.kick()
+}
+
+// kick starts the transmission loop if it is not already running, honoring
+// RRC promotion delay.
+func (e *entity) kick() {
+	if e.sending || e.stalled {
+		return
+	}
+	if !e.hasWork() {
+		return
+	}
+	e.sending = true
+	ready := e.b.rrc.OnActivity()
+	now := e.b.k.Now()
+	if ready < now {
+		ready = now
+	}
+	e.b.k.At(ready, e.txNext)
+}
+
+func (e *entity) hasWork() bool {
+	return len(e.retx) > 0 || e.segOff < e.queuedOff
+}
+
+// bandwidth returns this direction's current data-plane rate, falling back
+// to the active-state rate during promotion (the machine has already
+// transitioned by the time data flows).
+func (e *entity) bandwidth() float64 {
+	p := e.b.rrc.Params()
+	bw := p.ULBandwidthBps
+	if e.dir == Downlink {
+		bw = p.DLBandwidthBps
+	}
+	if bw <= 0 {
+		p = e.b.prof.States[e.b.prof.Active]
+		bw = p.ULBandwidthBps
+		if e.dir == Downlink {
+			bw = p.DLBandwidthBps
+		}
+	}
+	return bw
+}
+
+// buildPDU segments the next PDU from the queued SDU byte stream.
+func (e *entity) buildPDU() *PDU {
+	p := &PDU{Seq: e.nextSeq, Dir: e.dir, StreamOff: e.segOff}
+	e.nextSeq++
+	want := e.payloadSize
+	// Walk the SDU queue copying sizes (and the first two bytes).
+	for want > 0 && len(e.queue) > 0 {
+		s := e.queue[0]
+		sduStart := s.end - uint64(s.size)
+		offInSDU := int(e.segOff - sduStart) // bytes of s already segmented
+		avail := s.size - offInSDU
+		take := avail
+		if take > want {
+			take = want
+		}
+		if p.Size < 2 && s.bytes != nil {
+			for i := 0; i < take && p.Size+i < 2; i++ {
+				p.Head[p.Size+i] = s.bytes[offInSDU+i]
+			}
+		}
+		p.Size += take
+		want -= take
+		e.segOff += uint64(take)
+		if e.segOff == s.end {
+			p.LI = append(p.LI, p.Size) // SDU ends inside (or at end of) this PDU
+			s.bytes = nil               // payload no longer needed
+			e.queue = e.queue[1:]
+		}
+	}
+	return p
+}
+
+// txNext transmits one PDU (new or retransmission) and schedules the next.
+func (e *entity) txNext() {
+	var p *PDU
+	if len(e.retx) > 0 {
+		p = e.retx[0]
+		e.retx = e.retx[1:]
+		p.Retx = true
+	} else if e.segOff < e.queuedOff {
+		p = e.buildPDU()
+	} else {
+		e.sending = false
+		return
+	}
+
+	// Refresh the RRC inactivity timer; bandwidth may have changed state.
+	e.b.rrc.OnActivity()
+	txTime := e.b.prof.PDUHeaderTime +
+		simtime.Time(float64(p.Size)*8/e.bandwidth()*float64(simtime.Time(1e9)))
+
+	e.sincePoll++
+	lastOfBurst := len(e.retx) == 0 && e.segOff >= e.queuedOff
+	if e.sincePoll >= e.pollEvery || lastOfBurst {
+		p.Poll = true
+		e.sincePoll = 0
+	}
+
+	e.b.k.After(txTime, func() { e.pduSent(p) })
+}
+
+// pduSent finishes one PDU's transmission: records it, applies loss, updates
+// receiver state, schedules STATUS if polled, and continues the loop.
+func (e *entity) pduSent(p *PDU) {
+	k := e.b.k
+	p.SentAt = k.Now()
+	e.b.emitPDU(p)
+
+	dropped := k.Rand().Float64() < e.b.prof.PDULossProb
+	e.inFlight[p.Seq] = p
+	if dropped {
+		e.lost[p.Seq] = p
+	} else {
+		// Arrives at the receiver after the one-way air latency.
+		oneWay := e.b.prof.OTARTT / 2
+		k.After(oneWay, func() { e.receive(p) })
+	}
+
+	if p.Poll {
+		e.schedStatus()
+	}
+
+	// Window check: stall if too many unacked PDUs.
+	if len(e.inFlight) >= e.maxWindow {
+		e.stalled = true
+		e.sending = false
+		if !e.statusDue {
+			e.schedStatus() // make sure feedback is coming
+		}
+		return
+	}
+	if e.hasWork() {
+		k.After(0, e.txNext)
+	} else {
+		e.sending = false
+	}
+}
+
+// schedStatus schedules the ARQ STATUS report arriving back at the sender
+// one OTA RTT after the poll.
+func (e *entity) schedStatus() {
+	if e.statusDue {
+		return
+	}
+	e.statusDue = true
+	k := e.b.k
+	rtt := e.b.prof.OTARTT
+	if j := e.b.prof.OTAJitter; j > 0 {
+		rtt += simtime.Time(k.Rand().Int63n(int64(2*j))) - j
+	}
+	if rtt < time.Millisecond {
+		rtt = time.Millisecond
+	}
+	k.After(rtt, e.statusArrived)
+}
+
+// statusArrived processes ARQ feedback at the sender.
+func (e *entity) statusArrived() {
+	e.statusDue = false
+	st := StatusPDU{At: e.b.k.Now(), Dir: e.dir, AckSeq: e.nextSeq}
+	// NACK everything currently known lost; queue retransmissions.
+	for seq, p := range e.lost {
+		st.Nack = append(st.Nack, seq)
+		e.retx = append(e.retx, p)
+		delete(e.lost, seq)
+	}
+	sortSeqs(st.Nack)
+	sortPDUs(e.retx)
+	// Ack (drop from flight) everything not nacked.
+	for seq := range e.inFlight {
+		nacked := false
+		for _, n := range st.Nack {
+			if n == seq {
+				nacked = true
+				break
+			}
+		}
+		if !nacked {
+			delete(e.inFlight, seq)
+		}
+	}
+	// Retransmissions stay in flight until acked by a later STATUS.
+	for _, p := range e.retx {
+		e.inFlight[p.Seq] = p
+	}
+	e.b.emitStatus(st)
+	if e.stalled {
+		e.stalled = false
+	}
+	e.kick()
+}
+
+// receive handles a data PDU at the receiving side, advancing in-order
+// delivery.
+func (e *entity) receive(p *PDU) {
+	if p.Seq >= e.recvSeq {
+		e.heldPDUs[p.Seq] = true
+		e.heldSize[p.Seq] = p.Size
+	}
+	for e.heldPDUs[e.recvSeq] {
+		e.delivered += uint64(e.heldSize[e.recvSeq])
+		delete(e.heldPDUs, e.recvSeq)
+		delete(e.heldSize, e.recvSeq)
+		e.recvSeq++
+	}
+	// Deliver every SDU whose end offset is now covered.
+	now := e.b.k.Now()
+	for len(e.pendingSDU) > 0 && e.pendingSDU[0].end <= e.delivered {
+		s := e.pendingSDU[0]
+		e.pendingSDU = e.pendingSDU[1:]
+		if s.deliver != nil {
+			// Deliver via a zero-delay event to keep callback reentrancy
+			// out of the RLC state machine.
+			deliver := s.deliver
+			e.b.k.At(now, func() { deliver() })
+		}
+	}
+}
+
+func sortSeqs(xs []uint32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortPDUs(ps []*PDU) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Seq < ps[j-1].Seq; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

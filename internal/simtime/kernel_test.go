@@ -1,0 +1,240 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.After(3*time.Second, func() { order = append(order, 3) })
+	k.After(1*time.Second, func() { order = append(order, 1) })
+	k.After(2*time.Second, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", k.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Second, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.After(time.Second, func() { fired = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	// Double cancel is a no-op.
+	e.Cancel()
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	later := k.After(2*time.Second, func() { fired = true })
+	k.After(1*time.Second, func() { later.Cancel() })
+	k.Run()
+	if fired {
+		t.Fatal("event canceled by earlier event still fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.After(time.Second, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(500*time.Millisecond, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		k.At(d, func() { fired = append(fired, d) })
+	}
+	k.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	// Clock advances to target even when the queue drains first.
+	k.RunUntil(10 * time.Second)
+	if k.Now() != 10*time.Second {
+		t.Fatalf("clock = %v, want 10s", k.Now())
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	k := NewKernel(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			k.After(time.Millisecond, recurse)
+		}
+	}
+	k.After(time.Millisecond, recurse)
+	k.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if k.Now() != 100*time.Millisecond {
+		t.Fatalf("clock = %v, want 100ms", k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i)*time.Second, func() {
+			count++
+			if count == 5 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5 after Stop", count)
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", k.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := NewKernel(1)
+	ticks := 0
+	stop := k.Ticker(time.Second, func() { ticks++ })
+	k.RunUntil(5500 * time.Millisecond)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	stop()
+	k.RunUntil(20 * time.Second)
+	if ticks != 5 {
+		t.Fatalf("ticker fired after stop: %d", ticks)
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	k := NewKernel(1)
+	ticks := 0
+	var stop func()
+	stop = k.Ticker(time.Second, func() {
+		ticks++
+		if ticks == 3 {
+			stop()
+		}
+	})
+	k.RunUntil(time.Minute)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	a := NewKernel(42).Rand()
+	b := NewKernel(42).Rand()
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 7; i++ {
+		k.At(time.Second, func() {})
+	}
+	canceled := k.At(2*time.Second, func() {})
+	canceled.Cancel()
+	k.Run()
+	if k.Processed() != 7 {
+		t.Fatalf("processed = %d, want 7", k.Processed())
+	}
+}
+
+// Property: for any set of scheduled delays, events fire in nondecreasing
+// time order and the clock ends at the maximum delay.
+func TestQuickOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		k := NewKernel(seed)
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		var max Time
+		var fireTimes []Time
+		for i := 0; i < count; i++ {
+			d := Time(rng.Int63n(int64(time.Hour)))
+			if d > max {
+				max = d
+			}
+			k.At(d, func() { fireTimes = append(fireTimes, k.Now()) })
+		}
+		k.Run()
+		if len(fireTimes) != count {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return k.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.After(-time.Second, func() { fired = true })
+	k.Run()
+	if !fired || k.Now() != 0 {
+		t.Fatalf("fired=%v now=%v, want true/0", fired, k.Now())
+	}
+}

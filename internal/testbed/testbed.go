@@ -1,0 +1,145 @@
+// Package testbed assembles the full simulated lab that QoE Doctor runs
+// against: a device (UI screens + network stack + cellular bearer), the
+// server cluster, and the two data collectors (pcap on the device's IP
+// layer, QxDM on the radio). Experiments and examples construct a Bed,
+// connect the app under test, and hand the collected logs to the analyzer.
+package testbed
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/core/qoe"
+
+	"repro/internal/apps/browser"
+	"repro/internal/apps/facebook"
+	"repro/internal/apps/serversim"
+	"repro/internal/apps/youtube"
+	"repro/internal/netsim"
+	"repro/internal/pcap"
+	"repro/internal/qxdm"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// DeviceAddr is the device's address on the simulated carrier network.
+var DeviceAddr = netip.MustParseAddr("10.20.0.2")
+
+// Options configures a Bed.
+type Options struct {
+	Seed    int64
+	Profile *radio.Profile // default: LTE
+	// CoreDelay overrides the one-way base-station-to-server latency
+	// (zero = technology default).
+	CoreDelay time.Duration
+
+	Facebook facebook.Config // zero value = facebook.DefaultConfig()
+	YouTube  youtube.Config
+	Browser  browser.Profile // zero value = Chrome
+
+	// DisableQxDM skips radio logging (large experiments that only need
+	// app/transport data).
+	DisableQxDM bool
+	// DisablePcap skips packet capture.
+	DisablePcap bool
+}
+
+// Bed is one assembled lab instance.
+type Bed struct {
+	K        *simtime.Kernel
+	Net      *netsim.Network
+	Servers  *serversim.Cluster
+	Resolver *netsim.Resolver
+
+	Capture *pcap.Capture
+	QxDM    *qxdm.Monitor
+
+	Facebook *facebook.App
+	YouTube  *youtube.App
+	Browser  *browser.App
+}
+
+// defaultCoreDelay returns the one-way core latency per technology,
+// matching typical measured first-hop-to-server latencies.
+func defaultCoreDelay(tech radio.Tech) time.Duration {
+	switch tech {
+	case radio.Tech3G:
+		return 35 * time.Millisecond
+	case radio.TechLTE:
+		return 20 * time.Millisecond
+	default:
+		return 12 * time.Millisecond
+	}
+}
+
+// New assembles a Bed.
+func New(opts Options) *Bed {
+	prof := opts.Profile
+	if prof == nil {
+		prof = radio.ProfileLTE()
+	}
+	coreDelay := opts.CoreDelay
+	if coreDelay == 0 {
+		coreDelay = defaultCoreDelay(prof.Tech)
+	}
+	k := simtime.NewKernel(opts.Seed)
+	net := netsim.NewNetwork(k, prof, DeviceAddr, coreDelay)
+	servers := serversim.Install(net)
+	resolver := netsim.NewResolver(net.Device, netsim.Endpoint{Addr: serversim.DNSAddr, Port: netsim.DNSPort})
+
+	b := &Bed{K: k, Net: net, Servers: servers, Resolver: resolver}
+	if !opts.DisablePcap {
+		b.Capture = pcap.NewCapture()
+		b.Capture.Attach(net.Device)
+	}
+	if !opts.DisableQxDM {
+		b.QxDM = qxdm.Attach(net.Bearer)
+	}
+
+	fbCfg := opts.Facebook
+	if fbCfg == (facebook.Config{}) {
+		fbCfg = facebook.DefaultConfig()
+	}
+	b.Facebook = facebook.New(k, net.Device, resolver, fbCfg)
+	b.YouTube = youtube.New(k, net.Device, resolver, opts.YouTube)
+	brProf := opts.Browser
+	if brProf.Name == "" {
+		brProf = browser.Chrome()
+	}
+	b.Browser = browser.New(k, net.Device, resolver, brProf)
+	return b
+}
+
+// Session packages the bed's collected logs plus a behavior log into the
+// analyzer's input bundle.
+func (b *Bed) Session(log *qoe.BehaviorLog) *qoe.Session {
+	s := &qoe.Session{
+		Profile:    b.Net.Bearer.Profile(),
+		DeviceAddr: DeviceAddr,
+		Behavior:   log,
+	}
+	if b.Capture != nil {
+		s.Packets = b.Capture.Records()
+	}
+	if b.QxDM != nil {
+		s.Radio = b.QxDM.Log()
+	}
+	return s
+}
+
+// Throttle installs carrier rate limiting on the downlink: traffic shaping
+// (the C1 3G mechanism) or traffic policing (the C1 LTE mechanism, §7.5).
+// The shaper buffers deeply (carrier-grade queues), so 3G delivers a smooth
+// stream at the cap with few TCP drops; the policer has a shallow token
+// bucket, so LTE slow-start bursts overshoot and drop, producing the
+// retransmissions, bursty goodput, and higher variance of Finding 7.
+func (b *Bed) Throttle(rateBps float64) {
+	if b.Net.Bearer.Profile().Tech == radio.Tech3G {
+		// Deeper than the device's TCP receive-window ceiling, so the
+		// sender's window fills the queue without overflowing it.
+		const queue = 256 * 1024
+		b.Net.DLQdisc = netsim.NewShaper(b.K, rateBps, 16*1024, queue)
+	} else {
+		b.Net.DLQdisc = netsim.NewPolicer(b.K, rateBps, 4*1024)
+	}
+}

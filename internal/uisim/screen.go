@@ -1,0 +1,117 @@
+package uisim
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// FramePeriod is the display refresh interval (60 Hz).
+const FramePeriod = 16667 * time.Microsecond
+
+// Screen owns a view tree and models the UI thread's draw pipeline: tree
+// mutations mark the screen dirty, and the change becomes visible at the
+// next frame boundary plus a jittered draw latency. The gap between the
+// tree-mutation time and the on-screen time is the paper's t_screen - t_ui.
+type Screen struct {
+	k    *simtime.Kernel
+	root *View
+
+	dirty     bool
+	drawEv    *simtime.Event
+	version   uint64 // bumped on every mutation
+	drawnVer  uint64 // version visible on screen
+	baseDraw  time.Duration
+	jitterMax time.Duration
+
+	watchers []*screenWatcher
+	onDraw   []func(at simtime.Time)
+
+	// appCPU accumulates the app's modeled CPU busy time, used for the
+	// Table 3 overhead measurement.
+	appCPU time.Duration
+}
+
+type screenWatcher struct {
+	cond  func(root *View) bool
+	fn    func(at simtime.Time)
+	fired bool
+}
+
+// NewScreen creates a screen with a root view and the default draw-latency
+// model (one frame boundary + up to ~8ms of jitter).
+func NewScreen(k *simtime.Kernel, root *View) *Screen {
+	s := &Screen{k: k, root: root, baseDraw: 4 * time.Millisecond, jitterMax: 8 * time.Millisecond}
+	root.setScreen(s)
+	return s
+}
+
+// Kernel returns the driving kernel.
+func (s *Screen) Kernel() *simtime.Kernel { return s.k }
+
+// Root returns the root view.
+func (s *Screen) Root() *View { return s.root }
+
+// Version returns the tree mutation counter.
+func (s *Screen) Version() uint64 { return s.version }
+
+// DrawnVersion returns the version currently visible on screen.
+func (s *Screen) DrawnVersion() uint64 { return s.drawnVer }
+
+// AddAppCPU records modeled app CPU time (the app calls this from its
+// event handlers).
+func (s *Screen) AddAppCPU(d time.Duration) { s.appCPU += d }
+
+// AppCPU returns the accumulated app CPU time.
+func (s *Screen) AppCPU() time.Duration { return s.appCPU }
+
+// invalidate marks the tree changed and schedules a draw at the next frame
+// boundary (if one is not already pending).
+func (s *Screen) invalidate() {
+	s.version++
+	if s.dirty {
+		return
+	}
+	s.dirty = true
+	now := s.k.Now()
+	// Next 60Hz frame boundary after now.
+	next := (now/FramePeriod + 1) * FramePeriod
+	jitter := time.Duration(0)
+	if s.jitterMax > 0 {
+		jitter = time.Duration(s.k.Rand().Int63n(int64(s.jitterMax)))
+	}
+	s.drawEv = s.k.At(next+s.baseDraw+jitter, s.draw)
+}
+
+// draw commits pending changes to the screen.
+func (s *Screen) draw() {
+	s.dirty = false
+	s.drawEv = nil
+	s.drawnVer = s.version
+	now := s.k.Now()
+	for _, fn := range s.onDraw {
+		fn(now)
+	}
+	for _, w := range s.watchers {
+		if !w.fired && w.cond(s.root) {
+			w.fired = true
+			w.fn(now)
+		}
+	}
+}
+
+// OnDraw registers a listener invoked at every draw commit.
+func (s *Screen) OnDraw(fn func(at simtime.Time)) { s.onDraw = append(s.onDraw, fn) }
+
+// WatchScreen registers a one-shot watcher fired at the first draw where
+// cond holds over the live tree. This models the 60fps screen recording the
+// paper uses as latency ground truth (t_screen).
+func (s *Screen) WatchScreen(cond func(root *View) bool, fn func(at simtime.Time)) {
+	s.watchers = append(s.watchers, &screenWatcher{cond: cond, fn: fn})
+	// The condition may already hold on-screen.
+	if !s.dirty && cond(s.root) {
+		w := s.watchers[len(s.watchers)-1]
+		w.fired = true
+		fn(s.k.Now())
+	}
+}
