@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test test-short verify bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+test-short: build
+	$(GO) test -short ./...
+
+# Full verification: static checks plus the race-enabled suite. The
+# simulation is single-goroutine by design, so -race is cheap and mostly
+# guards the test harnesses themselves.
+verify: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -22,6 +22,7 @@ import (
 	"repro/internal/apps/facebook"
 	"repro/internal/apps/serversim"
 	"repro/internal/core/analyzer"
+	"repro/internal/faults"
 	"repro/internal/core/controller"
 	"repro/internal/core/qoe"
 	"repro/internal/metrics"
@@ -55,9 +56,26 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions of the replayed behaviour")
 	pcapOut := flag.String("pcap", "", "write the captured trace to this libpcap file")
 	qxdmOut := flag.String("qxdm", "", "write the radio log to this JSON file")
+	loss := flag.Float64("loss", 0, "mean packet loss probability to inject (0 = none)")
+	lossBurst := flag.Float64("loss-burst", 1, "average loss burst length (1 = independent losses, >1 = Gilbert-Elliott bursts)")
+	outageAt := flag.Duration("outage-at", 0, "schedule a bearer outage at this virtual time")
+	outageDur := flag.Duration("outage-dur", 0, "bearer outage duration (0 = no outage)")
 	flag.Parse()
 
-	b := testbed.New(testbed.Options{Seed: *seed, Profile: profileByName(*network)})
+	plan := &faults.Plan{}
+	if *loss > 0 {
+		if *lossBurst > 1 {
+			ge := faults.GEForMeanLoss(*loss, *lossBurst)
+			plan.GE = &ge
+		} else {
+			plan.LossProb = *loss
+		}
+	}
+	if *outageDur > 0 {
+		plan.Outages = []faults.Outage{{Start: *outageAt, Duration: *outageDur}}
+	}
+
+	b := testbed.New(testbed.Options{Seed: *seed, Profile: profileByName(*network), Faults: plan})
 	if *throttle > 0 {
 		b.Throttle(*throttle)
 	}
@@ -212,6 +230,14 @@ func report(b *testbed.Bed, log *qoe.BehaviorLog) {
 	sess := b.Session(log)
 	app := analyzer.AnalyzeApp(log)
 	cl := analyzer.NewCrossLayer(sess)
+
+	for _, w := range cl.Warnings {
+		fmt.Printf("warning: %s\n", w)
+	}
+	if b.FaultUL != nil {
+		fmt.Printf("fault injection: %d UL + %d DL packets dropped; %d bearer outage(s)\n",
+			b.FaultUL.Dropped(), b.FaultDL.Dropped(), b.Net.Bearer.OutageCount())
+	}
 
 	fmt.Println("== Application layer (user-perceived latency) ==")
 	tbl := &metrics.Table{Headers: []string{"App", "Action", "Kind", "Raw", "Calibrated", "Device", "Network", "Flow host"}}

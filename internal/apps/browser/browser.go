@@ -25,6 +25,14 @@ const (
 	IDPageView = "com.android.browser:id/page_view"
 )
 
+// Page-load retry tuning: failed or timed-out loads are retried with capped
+// exponential backoff on a fresh connection pool.
+const (
+	loadRetryBase = time.Second
+	loadRetryCap  = 8 * time.Second
+	loadRetryMax  = 3 // attempts before giving up
+)
+
 // Profile captures per-browser behaviour differences.
 type Profile struct {
 	Name          string
@@ -32,6 +40,11 @@ type Profile struct {
 	ParseBase     time.Duration // HTML parse fixed cost
 	ParsePerKB    time.Duration // HTML parse per-KB cost
 	RenderDelay   time.Duration // final layout/paint before "loaded"
+	// LoadTimeout bounds one page-load attempt. A load that has not
+	// finished in time is retried on a fresh connection pool (stale
+	// connections are reset), up to loadRetryMax attempts. Zero means wait
+	// forever, the pre-fault-injection behaviour.
+	LoadTimeout time.Duration
 }
 
 // The three browsers studied by the paper.
@@ -62,6 +75,11 @@ type App struct {
 	pending map[string]*pageLoad // keyed by host (one active load)
 
 	onLoaded func(url string, at simtime.Time)
+
+	loadWatch *simtime.Event // LoadTimeout watchdog for the active load
+	loadTries int
+	// LoadFailures counts page loads abandoned after exhausting retries.
+	LoadFailures int
 }
 
 type pageLoad struct {
@@ -117,17 +135,30 @@ func New(k *simtime.Kernel, stack *netsim.Stack, resolver *netsim.Resolver, prof
 func (a *App) OnLoaded(fn func(url string, at simtime.Time)) { a.onLoaded = fn }
 
 // LoadPage starts loading url ("host/path"). The progress bar shows until
-// the HTML and every sub-resource have arrived and rendered.
+// the HTML and every sub-resource have arrived and rendered. DNS failures
+// and load timeouts (Profile.LoadTimeout) are retried with capped
+// exponential backoff on a fresh connection pool; after loadRetryMax
+// attempts the load is abandoned and the progress bar hidden.
 func (a *App) LoadPage(url string) {
+	a.loadTries = 0
+	a.startLoad(url)
+}
+
+func (a *App) startLoad(url string) {
+	a.loadTries++
 	host, path := splitURL(url)
 	a.progress.SetVisible(true)
 	load := &pageLoad{url: url, active: true}
 	a.pending[host] = load
 	a.resolver.Resolve(host, func(addr netip.Addr, ok bool) {
 		if !ok {
-			a.progress.SetVisible(false)
 			load.active = false
+			delete(a.pending, host)
+			a.retryOrAbandon(url, host)
 			return
+		}
+		if !load.active {
+			return // the load watchdog already gave up on this attempt
 		}
 		a.ensureConns(addr)
 		req, _ := json.Marshal(struct {
@@ -135,6 +166,52 @@ func (a *App) LoadPage(url string) {
 		}{path})
 		a.conns[0].Send(serversim.WebGetPage, req)
 	})
+	if a.prof.LoadTimeout > 0 {
+		a.loadWatch = a.k.After(a.prof.LoadTimeout, func() {
+			a.loadWatch = nil
+			if !load.active {
+				return
+			}
+			// Attempt timed out: kill the stale connections (in-flight
+			// responses on them must not corrupt the next attempt's
+			// bookkeeping) and retry from scratch.
+			load.active = false
+			delete(a.pending, host)
+			a.resetConns()
+			a.retryOrAbandon(url, host)
+		})
+	}
+}
+
+// retryOrAbandon schedules the next load attempt, or gives up after
+// loadRetryMax tries.
+func (a *App) retryOrAbandon(url, host string) {
+	a.cancelLoadWatch()
+	if a.loadTries < loadRetryMax {
+		delay := loadRetryBase << (a.loadTries - 1)
+		if delay > loadRetryCap {
+			delay = loadRetryCap
+		}
+		a.k.After(delay, func() { a.startLoad(url) })
+		return
+	}
+	a.LoadFailures++
+	a.progress.SetVisible(false)
+}
+
+func (a *App) cancelLoadWatch() {
+	if a.loadWatch != nil {
+		a.loadWatch.Cancel()
+		a.loadWatch = nil
+	}
+}
+
+// resetConns aborts the connection pool; the next load dials fresh ones.
+func (a *App) resetConns() {
+	for _, mc := range a.conns {
+		mc.Conn.Abort()
+	}
+	a.conns = nil
 }
 
 // ensureConns opens the browser's connection pool to the server on first
@@ -216,6 +293,7 @@ func (a *App) fetchNextRes(load *pageLoad, connIdx int) {
 
 func (a *App) finishLoad(load *pageLoad) {
 	load.active = false
+	a.cancelLoadWatch()
 	a.Screen.AddAppCPU(a.prof.RenderDelay)
 	a.k.After(a.prof.RenderDelay, func() {
 		load.rendered = true

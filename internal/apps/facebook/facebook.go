@@ -52,6 +52,15 @@ const (
 	UploadBytesPhotos  = 380_000
 )
 
+// Connection/fetch retry tuning. DNS failures and unanswered feed fetches
+// are retried with capped exponential backoff instead of hanging forever.
+const (
+	connectRetryBase = 500 * time.Millisecond
+	connectRetryCap  = 8 * time.Second
+	connectRetryMax  = 5 // attempts before giving up
+	fetchRetryMax    = 3 // feed-fetch attempts before giving up
+)
+
 // Config selects the app version's behaviour.
 type Config struct {
 	// Variant is serversim.VariantListView or serversim.VariantWebView.
@@ -64,6 +73,11 @@ type Config struct {
 	SelfUpdateOnNotify bool
 	// Subscribe opens the push-notification channel on connect.
 	Subscribe bool
+	// FetchTimeout bounds a foreground feed fetch; an unanswered fetch is
+	// re-sent with doubling timeouts up to fetchRetryMax attempts, then
+	// abandoned (spinner hidden, FetchFailures incremented). Zero means
+	// wait forever, the pre-fault-injection behaviour.
+	FetchTimeout time.Duration
 }
 
 // DefaultConfig is the modern (ListView) app with the 1-hour default
@@ -74,6 +88,7 @@ func DefaultConfig() Config {
 		RefreshInterval:    time.Hour,
 		SelfUpdateOnNotify: true,
 		Subscribe:          true,
+		FetchTimeout:       15 * time.Second,
 	}
 }
 
@@ -100,6 +115,13 @@ type App struct {
 	stopBg     func()
 	webContent string // WebView variant: rendered HTML text blob
 	ackWaiters []ackWaiter
+
+	connectFailed bool
+	fetchWatch    *simtime.Event // FetchTimeout watchdog for the active fetch
+	fetchTries    int
+	// FetchFailures counts foreground feed fetches abandoned after
+	// exhausting retries (exposed for tests and reports).
+	FetchFailures int
 }
 
 // ackWaiter tracks a photo upload awaiting its FBUploadAck.
@@ -139,11 +161,33 @@ func New(k *simtime.Kernel, stack *netsim.Stack, resolver *netsim.Resolver, cfg 
 }
 
 // Connect resolves the API host, opens the persistent connection, and
-// starts background services per the config.
+// starts background services per the config. DNS failures are retried with
+// capped exponential backoff; after connectRetryMax attempts the app gives
+// up (ConnectFailed reports it) rather than hanging or crashing.
 func (a *App) Connect() {
+	a.connectAttempt(0)
+	if a.cfg.RefreshInterval > 0 {
+		a.stopBg = a.k.Ticker(a.cfg.RefreshInterval, a.backgroundRefresh)
+	}
+}
+
+// ConnectFailed reports that connection setup was abandoned after exhausting
+// retries.
+func (a *App) ConnectFailed() bool { return a.connectFailed }
+
+func (a *App) connectAttempt(try int) {
 	a.resolver.Resolve(serversim.FacebookHost, func(addr netip.Addr, ok bool) {
 		if !ok {
-			panic("facebook: DNS resolution failed for " + serversim.FacebookHost)
+			if try+1 >= connectRetryMax {
+				a.connectFailed = true
+				return
+			}
+			delay := connectRetryBase << try
+			if delay > connectRetryCap {
+				delay = connectRetryCap
+			}
+			a.k.After(delay, func() { a.connectAttempt(try + 1) })
+			return
 		}
 		c := a.stack.Dial(netsim.Endpoint{Addr: addr, Port: 443})
 		a.conn = netsim.NewMsgConn(c)
@@ -159,9 +203,6 @@ func (a *App) Connect() {
 			a.onConnect = nil
 		})
 	})
-	if a.cfg.RefreshInterval > 0 {
-		a.stopBg = a.k.Ticker(a.cfg.RefreshInterval, a.backgroundRefresh)
-	}
 }
 
 // Close stops background activity.
@@ -248,16 +289,49 @@ func (a *App) awaitAck(id string, fn func()) {
 // PullToUpdate refreshes the news feed: the loading spinner appears, a feed
 // fetch goes out, and the feed list updates when the response has been
 // processed. Device-side processing cost differs sharply between variants.
+// On an impaired network an unanswered fetch is retried with doubling
+// timeouts (see Config.FetchTimeout) rather than spinning forever.
 func (a *App) PullToUpdate() {
 	if a.updating {
 		return
 	}
 	a.updating = true
+	a.fetchTries = 0
 	a.progress.SetVisible(true)
+	a.sendFetch()
+}
+
+func (a *App) sendFetch() {
+	a.fetchTries++
 	a.whenConnected(func() {
 		a.conn.Send(serversim.FBFeedFetch,
 			serversim.EncodeMeta(serversim.FBMeta{Variant: a.cfg.Variant}, 1_600))
 	})
+	if a.cfg.FetchTimeout <= 0 {
+		return
+	}
+	timeout := a.cfg.FetchTimeout << (a.fetchTries - 1)
+	a.fetchWatch = a.k.After(timeout, func() {
+		a.fetchWatch = nil
+		if !a.updating {
+			return
+		}
+		if a.fetchTries < fetchRetryMax {
+			a.sendFetch()
+			return
+		}
+		// Give up: hide the spinner so UI automation is not stuck forever.
+		a.FetchFailures++
+		a.updating = false
+		a.progress.SetVisible(false)
+	})
+}
+
+func (a *App) cancelFetchWatch() {
+	if a.fetchWatch != nil {
+		a.fetchWatch.Cancel()
+		a.fetchWatch = nil
+	}
 }
 
 // backgroundRefresh fetches non-time-sensitive recommendations (§7.3); it
@@ -284,6 +358,7 @@ func (a *App) onMessage(kind byte, payload []byte) {
 		if meta.Recommnd {
 			return // background data, no UI effect
 		}
+		a.cancelFetchWatch()
 		proc := a.updateCost(len(payload))
 		a.Screen.AddAppCPU(proc)
 		a.k.After(proc, func() {

@@ -39,14 +39,14 @@ type Cluster struct {
 // Install creates all servers on the network and returns the cluster.
 func Install(n *netsim.Network) *Cluster {
 	c := &Cluster{}
-	dnsStack := n.AddServer(DNSAddr)
+	dnsStack := n.MustAddServer(DNSAddr)
 	c.DNS = netsim.AttachDNSServer(dnsStack, map[string]netip.Addr{
 		FacebookHost: FacebookAddr,
 		YouTubeHost:  YouTubeAddr,
 		WebHostBase:  WebAddr,
 	})
-	c.Facebook = NewFacebookServer(n.AddServer(FacebookAddr))
-	c.YouTube = NewYouTubeServer(n.AddServer(YouTubeAddr))
-	c.Web = NewWebServer(n.AddServer(WebAddr))
+	c.Facebook = NewFacebookServer(n.MustAddServer(FacebookAddr))
+	c.YouTube = NewYouTubeServer(n.MustAddServer(YouTubeAddr))
+	c.Web = NewWebServer(n.MustAddServer(WebAddr))
 	return c
 }

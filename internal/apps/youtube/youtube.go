@@ -42,6 +42,14 @@ const (
 	adPreloadLead = 6 * time.Second
 )
 
+// Connection retry tuning: failed DNS lookups are retried with capped
+// exponential backoff instead of crashing the app model.
+const (
+	connectRetryBase = 500 * time.Millisecond
+	connectRetryCap  = 8 * time.Second
+	connectRetryMax  = 5 // attempts before giving up
+)
+
 // Config selects app behaviour.
 type Config struct {
 	// AdsEnabled plays pre-roll ads on videos that carry one.
@@ -52,6 +60,10 @@ type Config struct {
 	// finishes, which is why §7.6 finds the total loading time roughly
 	// doubled there.
 	PreloadDuringAd bool
+	// StallTimeout abandons playback when a single rebuffering stall lasts
+	// this long (the user giving up on a dead stream). Zero means wait
+	// forever, the pre-fault-injection behaviour.
+	StallTimeout time.Duration
 }
 
 // PlaybackStats summarizes one finished playback, as ground truth for tests
@@ -66,6 +78,9 @@ type PlaybackStats struct {
 	Stalls         int
 	AdPlayed       bool
 	Done           bool
+	// Abandoned reports that playback was given up after a stall exceeded
+	// Config.StallTimeout; the stats up to that point are still valid.
+	Abandoned bool
 }
 
 // RebufferRatio is stall/(play+stall) after initial loading (§4.2.2).
@@ -103,10 +118,11 @@ type App struct {
 	progress  *uisim.View
 	skipBtn   *uisim.View
 
-	conn      *netsim.MsgConn
-	connected bool
-	onConnect []func()
-	streams   map[string]*stream
+	conn          *netsim.MsgConn
+	connected     bool
+	connectFailed bool
+	onConnect     []func()
+	streams       map[string]*stream
 
 	// Player state.
 	current     *stream
@@ -122,6 +138,7 @@ type App struct {
 
 	playStart  simtime.Time
 	stallStart simtime.Time
+	stallWatch *simtime.Event // StallTimeout watchdog, armed while stalled
 	adTimerEv  *simtime.Event
 	skipEv     *simtime.Event
 	adStartAt  simtime.Time
@@ -164,11 +181,28 @@ func New(k *simtime.Kernel, stack *netsim.Stack, resolver *netsim.Resolver, cfg 
 	return a
 }
 
-// Connect opens the media connection.
-func (a *App) Connect() {
+// Connect opens the media connection. DNS failures are retried with capped
+// exponential backoff; after connectRetryMax attempts the app gives up
+// (ConnectFailed reports it) rather than hanging or crashing.
+func (a *App) Connect() { a.connectAttempt(0) }
+
+// ConnectFailed reports that connection setup was abandoned after exhausting
+// retries.
+func (a *App) ConnectFailed() bool { return a.connectFailed }
+
+func (a *App) connectAttempt(try int) {
 	a.resolver.Resolve(serversim.YouTubeHost, func(addr netip.Addr, ok bool) {
 		if !ok {
-			panic("youtube: DNS resolution failed")
+			if try+1 >= connectRetryMax {
+				a.connectFailed = true
+				return
+			}
+			delay := connectRetryBase << try
+			if delay > connectRetryCap {
+				delay = connectRetryCap
+			}
+			a.k.After(delay, func() { a.connectAttempt(try + 1) })
+			return
 		}
 		c := a.stack.Dial(netsim.Endpoint{Addr: addr, Port: 443})
 		a.conn = netsim.NewMsgConn(c)
@@ -364,6 +398,7 @@ func (a *App) onMainChunk() {
 			a.playing = true
 			a.stats.StallTime += time.Duration(a.k.Now() - a.stallStart)
 			a.progress.SetVisible(false)
+			a.cancelStallWatch()
 			a.lastTick = a.k.Now()
 			a.scheduleDry()
 		}
@@ -429,7 +464,32 @@ func (a *App) onDry() {
 		// Nothing more will arrive; treat as done (truncated stream).
 		a.stalled = false
 		a.finishPlayback()
+		return
 	}
+	if a.cfg.StallTimeout > 0 {
+		a.stallWatch = a.k.After(a.cfg.StallTimeout, a.abandonPlayback)
+	}
+}
+
+func (a *App) cancelStallWatch() {
+	if a.stallWatch != nil {
+		a.stallWatch.Cancel()
+		a.stallWatch = nil
+	}
+}
+
+// abandonPlayback is the StallTimeout watchdog path: the stream is dead
+// (e.g. a long bearer outage) and the user gives up. Stats collected so far
+// are reported with Abandoned set.
+func (a *App) abandonPlayback() {
+	a.stallWatch = nil
+	if a.current == nil || !a.stalled {
+		return
+	}
+	a.stats.StallTime += time.Duration(a.k.Now() - a.stallStart)
+	a.stalled = false
+	a.stats.Abandoned = true
+	a.finishPlayback()
 }
 
 // finishPlayback ends the session and reports stats.
@@ -440,9 +500,10 @@ func (a *App) finishPlayback() {
 	a.advance()
 	a.playing = false
 	a.stats.PlayTime = time.Duration(a.k.Now()-a.playStart) - a.stats.StallTime
-	a.stats.Done = true
+	a.stats.Done = !a.stats.Abandoned
 	a.player.SetVisible(false)
 	a.progress.SetVisible(false)
+	a.cancelStallWatch()
 	if a.dryEv != nil {
 		a.dryEv.Cancel()
 		a.dryEv = nil

@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -9,6 +10,12 @@ import (
 	"repro/internal/radio"
 	"repro/internal/simtime"
 )
+
+// qxdmTruncationSlack is how far the packet capture must outlive the last
+// radio record before the QxDM log is flagged as truncated. It absorbs the
+// normal tail (a final burst's PDUs precede the last ACKs) without hiding a
+// real mid-run logging gap.
+const qxdmTruncationSlack = 2 * time.Second
 
 // CrossLayer binds one session's layers together: flows from the capture,
 // PDU streams from the QxDM log, and the IP-to-RLC mappings.
@@ -21,17 +28,36 @@ type CrossLayer struct {
 	ULMap  MappingResult
 	DLMap  MappingResult
 
+	// Warnings lists non-fatal data-quality problems found while binding
+	// the layers — absent or truncated logs, capture loss. A warning means
+	// the analysis is partial, not wrong: affected breakdown components
+	// degrade to coarser buckets instead of failing.
+	Warnings []string
+
 	ulPackets []MappedPacket
 	dlPackets []MappedPacket
 }
 
-// NewCrossLayer runs flow extraction and both long-jump mappings.
+func (c *CrossLayer) warn(format string, args ...any) {
+	c.Warnings = append(c.Warnings, fmt.Sprintf(format, args...))
+}
+
+// NewCrossLayer runs flow extraction and both long-jump mappings. Missing or
+// truncated inputs produce Warnings and a partial analysis rather than an
+// error: the tool should still explain what it can observe.
 func NewCrossLayer(sess *qoe.Session) *CrossLayer {
 	c := &CrossLayer{Session: sess}
 	c.Flows = ExtractFlows(sess.Packets, sess.DeviceAddr)
+	if len(sess.Packets) == 0 {
+		c.warn("packet capture empty or absent; transport-layer analysis unavailable")
+	}
 	if sess.Radio == nil {
+		if len(sess.Packets) > 0 {
+			c.warn("QxDM log absent; radio-layer breakdowns unavailable")
+		}
 		return c
 	}
+	c.checkRadioLogCoverage()
 	var ulAll, dlAll []qxdm.PDURecord
 	for _, p := range sess.Radio.PDUs {
 		if p.Dir == radio.Uplink {
@@ -58,6 +84,49 @@ func NewCrossLayer(sess *qoe.Session) *CrossLayer {
 	c.ULMap = LongJumpMap(c.ulPackets, c.ULPDUs)
 	c.DLMap = LongJumpMap(c.dlPackets, c.DLPDUs)
 	return c
+}
+
+// checkRadioLogCoverage flags a QxDM log that is empty, lossy, or ends well
+// before the packet capture does (QxDM killed or disabled mid-run).
+func (c *CrossLayer) checkRadioLogCoverage() {
+	log := c.Session.Radio
+	if miss := log.Missed[0] + log.Missed[1]; miss > 0 {
+		c.warn("QxDM capture loss: %d PDUs missing from the radio log; RLC-layer components are underestimates", miss)
+	}
+	var lastRadio simtime.Time = -1
+	for _, tr := range log.Transitions {
+		if tr.At > lastRadio {
+			lastRadio = tr.At
+		}
+	}
+	for _, p := range log.PDUs {
+		if p.At > lastRadio {
+			lastRadio = p.At
+		}
+	}
+	for _, st := range log.Statuses {
+		if st.At > lastRadio {
+			lastRadio = st.At
+		}
+	}
+	if len(c.Session.Packets) == 0 {
+		return
+	}
+	if lastRadio < 0 {
+		c.warn("QxDM log contains no radio records; radio-layer breakdowns unavailable")
+		return
+	}
+	cutoff := lastRadio + simtime.Time(qxdmTruncationSlack)
+	after := 0
+	for i := range c.Session.Packets {
+		if c.Session.Packets[i].At > cutoff {
+			after++
+		}
+	}
+	if after > 0 {
+		c.warn("QxDM log appears truncated: last radio record at %v but %d captured packets follow (logging stopped mid-run?); later radio breakdowns fall back to \"other\"",
+			time.Duration(lastRadio), after)
+	}
 }
 
 // QoEWindow is the interval of a user-perceived latency problem (§5.4.1).

@@ -165,6 +165,15 @@ type Script struct {
 	// PreserveTiming waits each step's Delay before running it; otherwise
 	// steps run back-to-back.
 	PreserveTiming bool
+	// StepTimeout is a per-step watchdog: a step that has not called next()
+	// within this budget is reported failed (its index appended to
+	// TimedOut) and the script advances anyway, instead of deadlocking the
+	// whole replay when an app hangs under network impairment. Zero
+	// disables the watchdog.
+	StepTimeout time.Duration
+	// TimedOut collects the indexes of steps the watchdog abandoned,
+	// in order (filled in by Play).
+	TimedOut []int
 }
 
 // Step is one scripted action.
@@ -185,12 +194,41 @@ func (s *Script) Play(k *simtime.Kernel, done func()) {
 			return
 		}
 		step := s.Steps[i]
+		idx := i
 		i++
 		delay := time.Duration(0)
 		if s.PreserveTiming {
 			delay = step.Delay
 		}
-		k.After(delay, func() { step.Run(advance) })
+		k.After(delay, func() {
+			// Guard against the step completing after its watchdog fired
+			// (or calling next twice): only the first advance counts.
+			advanced := false
+			var watch *simtime.Event
+			next := func() {
+				if advanced {
+					return
+				}
+				advanced = true
+				if watch != nil {
+					watch.Cancel()
+					watch = nil
+				}
+				advance()
+			}
+			if s.StepTimeout > 0 {
+				watch = k.After(s.StepTimeout, func() {
+					watch = nil
+					if advanced {
+						return
+					}
+					advanced = true
+					s.TimedOut = append(s.TimedOut, idx)
+					advance()
+				})
+			}
+			step.Run(next)
+		})
 	}
 	advance()
 }

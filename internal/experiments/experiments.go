@@ -100,6 +100,8 @@ func Registry() []Experiment {
 			"Impact of video ads on user-perceived latency", RunAdsImpact},
 		{"sec7.7", "Impact of the RRC state machine design on page loads (§7.7)",
 			"Impact of the RRC state machine design", RunRRCSimplify},
+		{"faults", "QoE vs injected network impairment (loss/outage sweep)",
+			"Graceful degradation under loss, jitter, and bearer outages", RunImpairmentSweep},
 	}
 }
 

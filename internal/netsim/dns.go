@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"time"
+
+	"repro/internal/simtime"
 )
 
 // DNSPort is the standard DNS UDP port.
@@ -130,14 +133,33 @@ func AttachDNSServer(s *Stack, zone map[string]netip.Addr) *DNSServer {
 	return srv
 }
 
+// Resolver retry behavior: like a real stub resolver, a query that gets no
+// response is retransmitted a few times with doubling timeouts before the
+// lookup fails. Without this, one dropped UDP packet under fault injection
+// would leave the caller waiting forever.
+const (
+	dnsTimeout    = 3 * time.Second
+	dnsMaxRetries = 3 // retransmissions after the initial query
+)
+
+// dnsQuery is one in-flight lookup awaiting a response.
+type dnsQuery struct {
+	name  string
+	cb    func(netip.Addr, bool)
+	tries int
+	timer *simtime.Event
+}
+
 // Resolver issues DNS queries from a device stack and caches results.
 type Resolver struct {
 	stack   *Stack
 	server  Endpoint
 	nextID  uint16
-	pending map[uint16]func(netip.Addr, bool)
+	pending map[uint16]*dnsQuery
 	cache   map[string]netip.Addr
 	port    uint16
+	// Timeouts counts lookups that failed after exhausting retransmissions.
+	Timeouts int
 }
 
 // NewResolver creates a resolver pointed at a DNS server endpoint.
@@ -146,7 +168,7 @@ func NewResolver(s *Stack, server Endpoint) *Resolver {
 		stack:   s,
 		server:  server,
 		nextID:  1,
-		pending: make(map[uint16]func(netip.Addr, bool)),
+		pending: make(map[uint16]*dnsQuery),
 		cache:   make(map[string]netip.Addr),
 		port:    s.EphemeralPort(),
 	}
@@ -155,16 +177,19 @@ func NewResolver(s *Stack, server Endpoint) *Resolver {
 		if err != nil || !m.Response {
 			return
 		}
-		cb, ok := r.pending[m.ID]
+		q, ok := r.pending[m.ID]
 		if !ok {
 			return
 		}
 		delete(r.pending, m.ID)
+		if q.timer != nil {
+			q.timer.Cancel()
+		}
 		if m.Answer.IsValid() {
 			r.cache[m.Name] = m.Answer
-			cb(m.Answer, true)
+			q.cb(m.Answer, true)
 		} else {
-			cb(netip.Addr{}, false)
+			q.cb(netip.Addr{}, false)
 		}
 	})
 	return r
@@ -172,7 +197,8 @@ func NewResolver(s *Stack, server Endpoint) *Resolver {
 
 // Resolve looks up name, invoking cb with the result. Cached answers still
 // go through the event queue (zero-delay) but generate no traffic, matching
-// OS resolver caching.
+// OS resolver caching. A query lost on an impaired network is retransmitted
+// with doubling timeouts; after dnsMaxRetries the lookup fails with ok=false.
 func (r *Resolver) Resolve(name string, cb func(addr netip.Addr, ok bool)) {
 	if a, ok := r.cache[name]; ok {
 		r.stack.k.After(0, func() { cb(a, true) })
@@ -180,9 +206,29 @@ func (r *Resolver) Resolve(name string, cb func(addr netip.Addr, ok bool)) {
 	}
 	id := r.nextID
 	r.nextID++
-	r.pending[id] = cb
-	q := &DNSMessage{ID: id, Name: name}
-	r.stack.SendUDP(Endpoint{Addr: r.stack.Addr(), Port: r.port}, r.server, MarshalDNS(q))
+	q := &dnsQuery{name: name, cb: cb}
+	r.pending[id] = q
+	r.sendQuery(id, q)
+}
+
+func (r *Resolver) sendQuery(id uint16, q *dnsQuery) {
+	m := &DNSMessage{ID: id, Name: q.name}
+	r.stack.SendUDP(Endpoint{Addr: r.stack.Addr(), Port: r.port}, r.server, MarshalDNS(m))
+	timeout := dnsTimeout << q.tries
+	q.timer = r.stack.k.After(timeout, func() {
+		q.timer = nil
+		if r.pending[id] != q {
+			return // answered in the meantime
+		}
+		if q.tries < dnsMaxRetries {
+			q.tries++
+			r.sendQuery(id, q)
+			return
+		}
+		delete(r.pending, id)
+		r.Timeouts++
+		q.cb(netip.Addr{}, false)
+	})
 }
 
 // FlushCache clears cached answers (used between experiment repetitions).

@@ -58,7 +58,12 @@ func (m *MsgConn) feed(data []byte) {
 		kind := m.buf[0]
 		n := int(binary.BigEndian.Uint32(m.buf[1:]))
 		if n > maxMsgLen {
-			panic(fmt.Sprintf("netsim: framed length %d corrupt", n))
+			// Stream desync (corrupt framed length): the connection is
+			// unrecoverable — reset it and let the app-level retry logic
+			// reconnect rather than crashing the simulation.
+			m.buf = nil
+			m.Conn.Abort()
+			return
 		}
 		if len(m.buf) < msgHeaderLen+n {
 			return

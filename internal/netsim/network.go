@@ -52,14 +52,25 @@ func NewNetwork(k *simtime.Kernel, prof *radio.Profile, deviceAddr netip.Addr, c
 // Kernel returns the driving kernel.
 func (n *Network) Kernel() *simtime.Kernel { return n.k }
 
-// AddServer creates a server stack at addr and attaches it to the core.
-func (n *Network) AddServer(addr netip.Addr) *Stack {
+// AddServer creates a server stack at addr and attaches it to the core. It
+// returns an error if a server is already registered at addr.
+func (n *Network) AddServer(addr netip.Addr) (*Stack, error) {
 	if _, dup := n.servers[addr]; dup {
-		panic(fmt.Sprintf("netsim: duplicate server %v", addr))
+		return nil, fmt.Errorf("netsim: duplicate server %v", addr)
 	}
 	s := NewStack(n.k, addr)
 	s.SetOutput(func(p *Packet) { n.fromServer(s, p) })
 	n.servers[addr] = s
+	return s, nil
+}
+
+// MustAddServer is AddServer for callers whose addresses are distinct by
+// construction (fixed constants); it panics on a duplicate.
+func (n *Network) MustAddServer(addr netip.Addr) *Stack {
+	s, err := n.AddServer(addr)
+	if err != nil {
+		panic(err.Error())
+	}
 	return s
 }
 

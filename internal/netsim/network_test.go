@@ -24,7 +24,7 @@ func lteNet(seed int64) (*simtime.Kernel, *Network) {
 
 func TestNetworkEndToEndTransfer(t *testing.T) {
 	k, n := lteNet(1)
-	srv := n.AddServer(serverAddr)
+	srv := n.MustAddServer(serverAddr)
 	var got []byte
 	srv.Listen(443, func(c *Conn) {
 		c.OnReceive(func(d []byte) { got = append(got, d...) })
@@ -41,7 +41,7 @@ func TestNetworkEndToEndTransfer(t *testing.T) {
 func TestNetworkIncludesPromotionDelay(t *testing.T) {
 	// First byte over an idle LTE radio pays the 260ms promotion.
 	k, n := lteNet(2)
-	srv := n.AddServer(serverAddr)
+	srv := n.MustAddServer(serverAddr)
 	var estAt simtime.Time = -1
 	srv.Listen(443, func(c *Conn) {})
 	c := n.Device.Dial(Endpoint{serverAddr, 443})
@@ -62,7 +62,7 @@ func TestNetwork3GSlowerThanLTE(t *testing.T) {
 	transfer := func(prof *radio.Profile) simtime.Time {
 		k := simtime.NewKernel(3)
 		n := NewNetwork(k, prof, deviceAddr, 20*time.Millisecond)
-		srv := n.AddServer(serverAddr)
+		srv := n.MustAddServer(serverAddr)
 		var doneAt simtime.Time
 		total := 0
 		srv.Listen(443, func(c *Conn) {
@@ -89,7 +89,7 @@ func TestNetwork3GSlowerThanLTE(t *testing.T) {
 
 func TestDNSResolutionOverNetwork(t *testing.T) {
 	k, n := lteNet(4)
-	dns := n.AddServer(dnsAddr)
+	dns := n.MustAddServer(dnsAddr)
 	AttachDNSServer(dns, map[string]netip.Addr{"api.facebook.com": serverAddr})
 	r := NewResolver(n.Device, Endpoint{dnsAddr, DNSPort})
 	var got netip.Addr
@@ -103,7 +103,7 @@ func TestDNSResolutionOverNetwork(t *testing.T) {
 
 func TestDNSNXDomain(t *testing.T) {
 	k, n := lteNet(5)
-	dns := n.AddServer(dnsAddr)
+	dns := n.MustAddServer(dnsAddr)
 	AttachDNSServer(dns, nil)
 	r := NewResolver(n.Device, Endpoint{dnsAddr, DNSPort})
 	ok := true
@@ -117,7 +117,7 @@ func TestDNSNXDomain(t *testing.T) {
 
 func TestDNSCacheAvoidsTraffic(t *testing.T) {
 	k, n := lteNet(6)
-	dns := n.AddServer(dnsAddr)
+	dns := n.MustAddServer(dnsAddr)
 	AttachDNSServer(dns, map[string]netip.Addr{"a.example": serverAddr})
 	r := NewResolver(n.Device, Endpoint{dnsAddr, DNSPort})
 	queries := 0
@@ -208,7 +208,7 @@ func TestThrottledDownlinkSlowsTransfer(t *testing.T) {
 		if throttle {
 			n.DLQdisc = NewPolicer(k, 245e3, 32_000)
 		}
-		srv := n.AddServer(serverAddr)
+		srv := n.MustAddServer(serverAddr)
 		srv.Listen(80, func(c *Conn) {
 			c.OnReceive(func(d []byte) { c.Send(make([]byte, 300_000)) })
 		})
@@ -238,21 +238,26 @@ func TestThrottledDownlinkSlowsTransfer(t *testing.T) {
 	}
 }
 
-func TestDuplicateServerPanics(t *testing.T) {
+func TestDuplicateServerError(t *testing.T) {
 	_, n := lteNet(11)
-	n.AddServer(serverAddr)
+	if _, err := n.AddServer(serverAddr); err != nil {
+		t.Fatalf("first AddServer: %v", err)
+	}
+	if _, err := n.AddServer(serverAddr); err == nil {
+		t.Fatal("duplicate AddServer did not return an error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("duplicate AddServer did not panic")
+			t.Fatal("duplicate MustAddServer did not panic")
 		}
 	}()
-	n.AddServer(serverAddr)
+	n.MustAddServer(serverAddr)
 }
 
 func TestServerToServerRouting(t *testing.T) {
 	k, n := lteNet(12)
-	a := n.AddServer(netip.MustParseAddr("1.1.1.1"))
-	b := n.AddServer(netip.MustParseAddr("2.2.2.2"))
+	a := n.MustAddServer(netip.MustParseAddr("1.1.1.1"))
+	b := n.MustAddServer(netip.MustParseAddr("2.2.2.2"))
 	var got []byte
 	b.Listen(80, func(c *Conn) {
 		c.OnReceive(func(d []byte) { got = append(got, d...) })

@@ -157,7 +157,11 @@ func (c *Conn) Send(data []byte) {
 		return
 	}
 	if len(c.buf)+len(data) > maxSendBacklog {
-		panic("netsim: send backlog overflow — flow never drained")
+		// The flow never drained (e.g. the path is blackholed under fault
+		// injection). Reset the connection instead of growing without bound;
+		// the app's OnClose callback sees the failure and can retry.
+		c.Abort()
+		return
 	}
 	c.buf = append(c.buf, data...)
 	c.trySend()

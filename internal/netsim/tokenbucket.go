@@ -71,6 +71,12 @@ func (b *bucket) take(n int) bool {
 	return false
 }
 
+// neverDelay stands in for "tokens will never accrue" (zero or negative
+// rate): far enough out that the drain event never fires within any
+// experiment, without overflowing the simtime arithmetic the way an Inf
+// division would.
+const neverDelay = 365 * 24 * time.Hour
+
 // deficitDelay returns how long until n bytes of tokens will have accrued,
 // rounded up so that a subsequent take succeeds.
 func (b *bucket) deficitDelay(n int) time.Duration {
@@ -78,6 +84,9 @@ func (b *bucket) deficitDelay(n int) time.Duration {
 	deficit := float64(n) - b.tokens
 	if deficit <= 0 {
 		return 0
+	}
+	if b.rateBps <= 0 {
+		return neverDelay
 	}
 	d := time.Duration(deficit/(b.rateBps/8)*float64(time.Second)) + time.Microsecond
 	return d

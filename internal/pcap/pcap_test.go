@@ -18,7 +18,7 @@ func capFixture(t *testing.T) *Capture {
 	n := netsim.NewNetwork(k, radio.ProfileWiFi(), netip.MustParseAddr("10.0.0.2"), 5*time.Millisecond)
 	c := NewCapture()
 	c.Attach(n.Device)
-	srv := n.AddServer(netip.MustParseAddr("93.184.216.34"))
+	srv := n.MustAddServer(netip.MustParseAddr("93.184.216.34"))
 	srv.Listen(80, func(conn *netsim.Conn) {
 		conn.OnReceive(func(d []byte) { conn.Send(bytes.Repeat([]byte{0x55}, 9000)) })
 	})
@@ -138,7 +138,7 @@ func TestDNSDecodeFromCapture(t *testing.T) {
 	c := NewCapture()
 	c.Attach(n.Device)
 	dnsAddr := netip.MustParseAddr("8.8.8.8")
-	dns := n.AddServer(dnsAddr)
+	dns := n.MustAddServer(dnsAddr)
 	netsim.AttachDNSServer(dns, map[string]netip.Addr{"api.facebook.com": netip.MustParseAddr("31.13.70.36")})
 	r := netsim.NewResolver(n.Device, netsim.Endpoint{Addr: dnsAddr, Port: netsim.DNSPort})
 	r.Resolve("api.facebook.com", func(netip.Addr, bool) {})

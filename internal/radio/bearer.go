@@ -1,6 +1,8 @@
 package radio
 
 import (
+	"time"
+
 	"repro/internal/simtime"
 )
 
@@ -18,6 +20,11 @@ type Bearer struct {
 	ul, dl *entity
 
 	monitors []Monitor
+
+	// outageUntil is the end of the current (or most recent) bearer outage;
+	// the bearer is down while Now() < outageUntil.
+	outageUntil simtime.Time
+	outages     int
 }
 
 // NewBearer builds a bearer over prof, driven by kernel k.
@@ -64,6 +71,45 @@ func (b *Bearer) QueuedUplink() int { return int(b.ul.queuedOff - b.ul.segOff) }
 
 // QueuedDownlink is the downlink analogue of QueuedUplink.
 func (b *Bearer) QueuedDownlink() int { return int(b.dl.queuedOff - b.dl.segOff) }
+
+// ScheduleOutage schedules a bearer outage (coverage gap / handover blackout)
+// covering [start, start+dur). During an outage no PDU can complete
+// transmission (those that do are lost over the air, exercising ARQ), STATUS
+// feedback is lost, and the RRC machine falls back to its base state — so
+// traffic after the outage pays a fresh promotion delay.
+func (b *Bearer) ScheduleOutage(start simtime.Time, dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	b.k.At(start, func() { b.beginOutage(dur) })
+}
+
+// InOutage reports whether the bearer is currently down.
+func (b *Bearer) InOutage() bool { return b.k.Now() < b.outageUntil }
+
+// OutageCount returns how many distinct outages have started so far.
+func (b *Bearer) OutageCount() int { return b.outages }
+
+func (b *Bearer) beginOutage(dur time.Duration) {
+	end := b.k.Now() + simtime.Time(dur)
+	if end <= b.outageUntil {
+		return // fully covered by an outage already in progress
+	}
+	if !b.InOutage() {
+		b.outages++
+	}
+	b.outageUntil = end
+	b.rrc.ConnectionLost()
+	b.k.At(end, b.endOutage)
+}
+
+func (b *Bearer) endOutage() {
+	if b.InOutage() {
+		return // a later, longer outage superseded this one
+	}
+	b.ul.resume()
+	b.dl.resume()
+}
 
 func (b *Bearer) emitPDU(p *PDU) {
 	for _, m := range b.monitors {

@@ -158,6 +158,9 @@ func (e *entity) kick() {
 	if e.sending || e.stalled {
 		return
 	}
+	if e.b.InOutage() {
+		return // resume() re-kicks when the bearer comes back
+	}
 	if !e.hasWork() {
 		return
 	}
@@ -225,8 +228,24 @@ func (e *entity) buildPDU() *PDU {
 	return p
 }
 
+// resume restarts the entity after a bearer outage: re-poll for ARQ feedback
+// (any STATUS in flight during the outage was lost, and PDUs that finished
+// mid-outage need NACKing) and restart the transmission loop.
+func (e *entity) resume() {
+	if len(e.lost) > 0 || len(e.inFlight) > 0 {
+		e.schedStatus()
+	}
+	e.kick()
+}
+
 // txNext transmits one PDU (new or retransmission) and schedules the next.
 func (e *entity) txNext() {
+	if e.b.InOutage() {
+		// Bearer went down between scheduling and transmission; park the
+		// sender — resume() restarts it at outage end.
+		e.sending = false
+		return
+	}
 	var p *PDU
 	if len(e.retx) > 0 {
 		p = e.retx[0]
@@ -262,6 +281,11 @@ func (e *entity) pduSent(p *PDU) {
 	e.b.emitPDU(p)
 
 	dropped := k.Rand().Float64() < e.b.prof.PDULossProb
+	if e.b.InOutage() {
+		// A PDU whose transmission completes during a bearer outage never
+		// reaches the far side — it will be NACKed and retransmitted.
+		dropped = true
+	}
 	e.inFlight[p.Seq] = p
 	if dropped {
 		e.lost[p.Seq] = p
@@ -312,6 +336,11 @@ func (e *entity) schedStatus() {
 // statusArrived processes ARQ feedback at the sender.
 func (e *entity) statusArrived() {
 	e.statusDue = false
+	if e.b.InOutage() {
+		// The STATUS PDU was lost in the outage; resume() re-polls once the
+		// bearer is back.
+		return
+	}
 	st := StatusPDU{At: e.b.k.Now(), Dir: e.dir, AckSeq: e.nextSeq}
 	// NACK everything currently known lost; queue retransmissions.
 	for seq, p := range e.lost {

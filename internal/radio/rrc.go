@@ -169,6 +169,19 @@ func (m *Machine) OnActivity() simtime.Time {
 	return ready
 }
 
+// ConnectionLost drops the machine to its base (lowest-power) state
+// immediately — the radio-link-failure path taken on a bearer outage or
+// handover gap. Any promotion in progress is abandoned, so traffic after the
+// outage pays a fresh promotion delay.
+func (m *Machine) ConnectionLost() {
+	if m.demoteEv != nil {
+		m.demoteEv.Cancel()
+		m.demoteEv = nil
+	}
+	m.readyAt = m.k.Now()
+	m.transition(m.prof.Base, false)
+}
+
 // armDemotion restarts the inactivity demotion chain from the current state.
 func (m *Machine) armDemotion() {
 	if m.demoteEv != nil {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/apps/facebook"
 	"repro/internal/apps/serversim"
 	"repro/internal/apps/youtube"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/pcap"
 	"repro/internal/qxdm"
@@ -42,6 +43,12 @@ type Options struct {
 	DisableQxDM bool
 	// DisablePcap skips packet capture.
 	DisablePcap bool
+
+	// Faults injects network impairments (loss, reordering, duplication,
+	// corruption, jitter, bearer outages). All fault randomness derives
+	// from Seed, so impaired runs stay exactly reproducible. Nil or empty
+	// means a perfect network.
+	Faults *faults.Plan
 }
 
 // Bed is one assembled lab instance.
@@ -57,6 +64,12 @@ type Bed struct {
 	Facebook *facebook.App
 	YouTube  *youtube.App
 	Browser  *browser.App
+
+	// FaultUL and FaultDL are the installed impairment chains (nil when
+	// Options.Faults was empty). Throttle composes with them: the chain
+	// feeds the throttle qdisc.
+	FaultUL *faults.Chain
+	FaultDL *faults.Chain
 }
 
 // defaultCoreDelay returns the one-way core latency per technology,
@@ -88,6 +101,15 @@ func New(opts Options) *Bed {
 	resolver := netsim.NewResolver(net.Device, netsim.Endpoint{Addr: serversim.DNSAddr, Port: netsim.DNSPort})
 
 	b := &Bed{K: k, Net: net, Servers: servers, Resolver: resolver}
+	if !opts.Faults.Empty() {
+		b.FaultUL = opts.Faults.Build(k, faults.Uplink, opts.Seed)
+		b.FaultDL = opts.Faults.Build(k, faults.Downlink, opts.Seed)
+		net.ULQdisc = b.FaultUL
+		net.DLQdisc = b.FaultDL
+		for _, o := range opts.Faults.Outages {
+			net.Bearer.ScheduleOutage(simtime.Time(o.Start), o.Duration)
+		}
+	}
 	if !opts.DisablePcap {
 		b.Capture = pcap.NewCapture()
 		b.Capture.Attach(net.Device)
@@ -134,12 +156,20 @@ func (b *Bed) Session(log *qoe.BehaviorLog) *qoe.Session {
 // bucket, so LTE slow-start bursts overshoot and drop, producing the
 // retransmissions, bursty goodput, and higher variance of Finding 7.
 func (b *Bed) Throttle(rateBps float64) {
+	var q netsim.Qdisc
 	if b.Net.Bearer.Profile().Tech == radio.Tech3G {
 		// Deeper than the device's TCP receive-window ceiling, so the
 		// sender's window fills the queue without overflowing it.
 		const queue = 256 * 1024
-		b.Net.DLQdisc = netsim.NewShaper(b.K, rateBps, 16*1024, queue)
+		q = netsim.NewShaper(b.K, rateBps, 16*1024, queue)
 	} else {
-		b.Net.DLQdisc = netsim.NewPolicer(b.K, rateBps, 4*1024)
+		q = netsim.NewPolicer(b.K, rateBps, 4*1024)
+	}
+	// Compose with fault injection when present: impairments happen first,
+	// then the carrier throttle.
+	if b.FaultDL != nil {
+		b.FaultDL.SetNext(q)
+	} else {
+		b.Net.DLQdisc = q
 	}
 }
