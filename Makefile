@@ -15,8 +15,13 @@ test-short: build
 # simulation is single-goroutine by design, so -race is cheap and mostly
 # guards the test harnesses themselves.
 verify: build
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Benchmarks: every paper-figure benchmark plus the obs-layer overhead
+# measurement, which records its numbers in BENCH_PR2.json.
 bench:
 	$(GO) test -bench=. -benchmem
+	BENCH_JSON=BENCH_PR2.json $(GO) test -run TestWriteBenchJSON -v .

@@ -11,21 +11,31 @@
 //	qoedoctor -scenario youtube         [-throttle 128000]
 //	qoedoctor -scenario browse
 //	qoedoctor -pcap trace.pcap -qxdm radio.json   # save raw logs
+//	qoedoctor -trace run.json -report             # cross-layer trace + metrics
+//
+// -trace writes the run's cross-layer span trace as Chrome trace_event JSON
+// (open in chrome://tracing or Perfetto, one track per layer); -trace-csv
+// writes the same events as CSV. -report prints the metrics registry
+// snapshot as a table, -report-json writes it as NDJSON. -profile prints
+// wall-clock time per kernel callback site (simulation hot paths; the one
+// non-deterministic output).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/apps/facebook"
 	"repro/internal/apps/serversim"
 	"repro/internal/core/analyzer"
-	"repro/internal/faults"
 	"repro/internal/core/controller"
 	"repro/internal/core/qoe"
+	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/radio"
 	"repro/internal/testbed"
@@ -60,6 +70,11 @@ func main() {
 	lossBurst := flag.Float64("loss-burst", 1, "average loss burst length (1 = independent losses, >1 = Gilbert-Elliott bursts)")
 	outageAt := flag.Duration("outage-at", 0, "schedule a bearer outage at this virtual time")
 	outageDur := flag.Duration("outage-dur", 0, "bearer outage duration (0 = no outage)")
+	traceOut := flag.String("trace", "", "write the cross-layer trace to this Chrome trace_event JSON file")
+	traceCSV := flag.String("trace-csv", "", "write the cross-layer trace to this CSV file")
+	doReport := flag.Bool("report", false, "print the metrics registry snapshot as a table")
+	reportJSON := flag.String("report-json", "", "write the metrics snapshot as NDJSON to this file (\"-\" = stdout)")
+	doProfile := flag.Bool("profile", false, "print wall-clock time per kernel callback site")
 	flag.Parse()
 
 	plan := &faults.Plan{}
@@ -75,7 +90,14 @@ func main() {
 		plan.Outages = []faults.Outage{{Start: *outageAt, Duration: *outageDur}}
 	}
 
-	b := testbed.New(testbed.Options{Seed: *seed, Profile: profileByName(*network), Faults: plan})
+	b := testbed.New(testbed.Options{
+		Seed:     *seed,
+		Profile:  profileByName(*network),
+		Faults:   plan,
+		Trace:    *traceOut != "" || *traceCSV != "",
+		Metrics:  *doReport || *reportJSON != "",
+		Profiler: *doProfile,
+	})
 	if *throttle > 0 {
 		b.Throttle(*throttle)
 	}
@@ -99,8 +121,32 @@ func main() {
 		}
 	}
 
-	report(b, log)
+	b.CloseObs()
+	report(b, log, *doReport)
 
+	if *traceOut != "" {
+		writeOrDie(*traceOut, func(w io.Writer) error { return obs.WriteChromeTrace(w, b.Trace.Events()) })
+		fmt.Printf("wrote %d trace events to %s\n", b.Trace.Len(), *traceOut)
+	}
+	if *traceCSV != "" {
+		writeOrDie(*traceCSV, func(w io.Writer) error { return obs.WriteCSV(w, b.Trace.Events()) })
+		fmt.Printf("wrote %d trace events to %s\n", b.Trace.Len(), *traceCSV)
+	}
+	if *reportJSON != "" {
+		snap := b.Metrics.Snapshot()
+		if *reportJSON == "-" {
+			if err := snap.WriteNDJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "qoedoctor: writing report: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			writeOrDie(*reportJSON, snap.WriteNDJSON)
+		}
+	}
+	if *doProfile {
+		fmt.Println("\n== Kernel wall-clock profile (non-deterministic) ==")
+		fmt.Print(b.Profiler.Report(15))
+	}
 	if *pcapOut != "" {
 		if err := b.Capture.WriteFile(*pcapOut); err != nil {
 			fmt.Fprintf(os.Stderr, "qoedoctor: writing pcap: %v\n", err)
@@ -226,14 +272,20 @@ func runBrowse(b *testbed.Bed, log *qoe.BehaviorLog, reps int) {
 }
 
 // report prints the multi-layer analysis.
-func report(b *testbed.Bed, log *qoe.BehaviorLog) {
+func report(b *testbed.Bed, log *qoe.BehaviorLog, showMetrics bool) {
 	sess := b.Session(log)
 	app := analyzer.AnalyzeApp(log)
 	cl := analyzer.NewCrossLayer(sess)
 
-	for _, w := range cl.Warnings {
-		fmt.Printf("warning: %s\n", w)
+	// Surface analyzer data-quality warnings in the default output and the
+	// metrics snapshot; previously only the faults experiment looked at them.
+	if n := len(cl.Warnings); n > 0 {
+		fmt.Printf("analyzer: %d warning(s) (first: %s)\n", n, cl.Warnings[0])
+		for _, w := range cl.Warnings {
+			fmt.Printf("  warning: %s\n", w)
+		}
 	}
+	b.Metrics.Counter("analyzer_warnings").Add(len(cl.Warnings))
 	if b.FaultUL != nil {
 		fmt.Printf("fault injection: %d UL + %d DL packets dropped; %d bearer outage(s)\n",
 			b.FaultUL.Dropped(), b.FaultDL.Dropped(), b.Net.Bearer.OutageCount())
@@ -270,5 +322,31 @@ func report(b *testbed.Bed, log *qoe.BehaviorLog) {
 		rep := power.Analyze(sess.Profile, sess.Radio, 0, b.K.Now())
 		fmt.Printf("Radio energy: %.1f J active (%.1f J tail, %.1f J transfer) + %.1f J idle floor\n",
 			rep.ActiveJ(), rep.TailJ, rep.NonTailJ, rep.BaseJ)
+	}
+
+	if showMetrics {
+		fmt.Println("\n== Metrics ==")
+		mtbl := &metrics.Table{Headers: []string{"Metric", "Kind", "Value", "Count"}}
+		for _, row := range b.Metrics.Snapshot().Rows() {
+			mtbl.AddRow(row[0], row[1], row[2], row[3])
+		}
+		fmt.Print(mtbl.String())
+	}
+}
+
+// writeOrDie creates path and writes it with fn, exiting on any error.
+func writeOrDie(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoedoctor: %v\n", err)
+		os.Exit(1)
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoedoctor: writing %s: %v\n", path, err)
+		os.Exit(1)
 	}
 }

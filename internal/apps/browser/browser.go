@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/apps/serversim"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/uisim"
 )
@@ -80,6 +81,22 @@ type App struct {
 	loadTries int
 	// LoadFailures counts page loads abandoned after exhausting retries.
 	LoadFailures int
+
+	// Observability. loadSpan covers one user-requested page load end to
+	// end, including retries.
+	tr        *obs.Trace
+	pageloads *obs.Counter
+	loadFails *obs.Counter
+	loadSpan  obs.Span
+}
+
+// SetObs attaches a trace bus and metrics registry to the app and its
+// screen.
+func (a *App) SetObs(tr *obs.Trace, reg *obs.Registry) {
+	a.tr = tr
+	a.pageloads = reg.Counter("web_pageloads")
+	a.loadFails = reg.Counter("web_load_failures")
+	a.Screen.SetObs(tr, reg)
 }
 
 type pageLoad struct {
@@ -140,6 +157,16 @@ func (a *App) OnLoaded(fn func(url string, at simtime.Time)) { a.onLoaded = fn }
 // exponential backoff on a fresh connection pool; after loadRetryMax
 // attempts the load is abandoned and the progress bar hidden.
 func (a *App) LoadPage(url string) {
+	a.loadSpan.End() // defensively close a span from an interrupted load
+	a.pageloads.Inc()
+	if a.tr != nil {
+		id := a.tr.Scope()
+		if id == 0 {
+			id = a.tr.NewID()
+		}
+		a.loadSpan = a.tr.Start(obs.LayerApp, "web:pageload", id,
+			obs.Attr{Key: "url", Val: url})
+	}
 	a.loadTries = 0
 	a.startLoad(url)
 }
@@ -196,6 +223,9 @@ func (a *App) retryOrAbandon(url, host string) {
 		return
 	}
 	a.LoadFailures++
+	a.loadFails.Inc()
+	a.loadSpan.Attr("failed", "true")
+	a.loadSpan.End()
 	a.progress.SetVisible(false)
 }
 
@@ -298,6 +328,7 @@ func (a *App) finishLoad(load *pageLoad) {
 	a.k.After(a.prof.RenderDelay, func() {
 		load.rendered = true
 		a.page.SetText("rendered " + load.url)
+		a.loadSpan.End()
 		a.progress.SetVisible(false)
 		if a.onLoaded != nil {
 			a.onLoaded(load.url, a.k.Now())

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/apps/serversim"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/uisim"
 )
@@ -122,6 +123,35 @@ type App struct {
 	// FetchFailures counts foreground feed fetches abandoned after
 	// exhausting retries (exposed for tests and reports).
 	FetchFailures int
+
+	// Observability.
+	tr           *obs.Trace
+	posts        *obs.Counter
+	fetches      *obs.Counter
+	fetchRetries *obs.Counter
+	fetchFails   *obs.Counter
+	fetchSpan    obs.Span
+}
+
+// SetObs attaches a trace bus and metrics registry to the app and its
+// screen.
+func (a *App) SetObs(tr *obs.Trace, reg *obs.Registry) {
+	a.tr = tr
+	a.posts = reg.Counter("fb_posts")
+	a.fetches = reg.Counter("fb_fetches")
+	a.fetchRetries = reg.Counter("fb_fetch_retries")
+	a.fetchFails = reg.Counter("fb_fetch_failures")
+	a.Screen.SetObs(tr, reg)
+}
+
+// actionScope returns the current correlation scope, allocating a fresh ID
+// when no user action is in scope (programmatic or background activity).
+func (a *App) actionScope() uint64 {
+	id := a.tr.Scope()
+	if id == 0 {
+		id = a.tr.NewID()
+	}
+	return id
 }
 
 // ackWaiter tracks a photo upload awaiting its FBUploadAck.
@@ -242,6 +272,14 @@ func (a *App) onPostClicked() {
 	a.nextPost++
 	id := fmt.Sprintf("self-%d", a.nextPost)
 
+	a.posts.Inc()
+	var sp obs.Span
+	if a.tr != nil {
+		// The span ends when the post becomes visible on the feed: at local
+		// echo for status/check-in, at server ack for photos (Findings 1-2).
+		sp = a.tr.Start(obs.LayerApp, "fb:post", a.actionScope(),
+			obs.Attr{Key: "kind", Val: kind})
+	}
 	prep, upload := a.prepCost(kind)
 	// Preparation CPU plus streaming/encoding work proportional to the
 	// upload size (photos keep the app busy during the transfer).
@@ -252,13 +290,17 @@ func (a *App) onPostClicked() {
 		case PostPhotos:
 			// Item appears only after the server acknowledges the upload.
 			a.whenConnected(func() {
-				a.awaitAck(id, func() { a.addFeedItem("me: " + stamp) })
+				a.awaitAck(id, func() {
+					a.addFeedItem("me: " + stamp)
+					sp.End()
+				})
 				a.conn.Send(serversim.FBUpload, serversim.EncodeMeta(meta, upload))
 			})
 		default:
 			// Local echo: the feed shows the post immediately; the upload
 			// proceeds asynchronously (Finding 1).
 			a.addFeedItem("me: " + stamp)
+			sp.End()
 			a.whenConnected(func() {
 				a.conn.Send(serversim.FBUpload, serversim.EncodeMeta(meta, upload))
 			})
@@ -296,6 +338,10 @@ func (a *App) PullToUpdate() {
 		return
 	}
 	a.updating = true
+	a.fetches.Inc()
+	if a.tr != nil {
+		a.fetchSpan = a.tr.Start(obs.LayerApp, "fb:fetch", a.actionScope())
+	}
 	a.fetchTries = 0
 	a.progress.SetVisible(true)
 	a.sendFetch()
@@ -317,11 +363,15 @@ func (a *App) sendFetch() {
 			return
 		}
 		if a.fetchTries < fetchRetryMax {
+			a.fetchRetries.Inc()
 			a.sendFetch()
 			return
 		}
 		// Give up: hide the spinner so UI automation is not stuck forever.
 		a.FetchFailures++
+		a.fetchFails.Inc()
+		a.fetchSpan.Attr("failed", "true")
+		a.fetchSpan.End()
 		a.updating = false
 		a.progress.SetVisible(false)
 	})
@@ -363,6 +413,7 @@ func (a *App) onMessage(kind byte, payload []byte) {
 		a.Screen.AddAppCPU(proc)
 		a.k.After(proc, func() {
 			a.applyFeedUpdate(fmt.Sprintf("feed update #%d", meta.FeedSeq))
+			a.fetchSpan.End()
 			a.progress.SetVisible(false)
 			a.updating = false
 		})

@@ -9,10 +9,12 @@ package youtube
 import (
 	"encoding/json"
 	"net/netip"
+	"strconv"
 	"time"
 
 	"repro/internal/apps/serversim"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/uisim"
 )
@@ -151,6 +153,28 @@ type App struct {
 	// expectChunksFor names the stream whose chunks are currently arriving
 	// (the server serializes one YTPlay response at a time per connection).
 	expectChunksFor string
+
+	// Observability. obsScope is the correlation ID of the user action that
+	// started the current playback; the three spans cover the whole playback,
+	// the initial-loading phase, and the rebuffer stall in progress.
+	tr        *obs.Trace
+	playbacks *obs.Counter
+	stallsCtr *obs.Counter
+	loadHist  *obs.Histogram
+	obsScope  uint64
+	playSpan  obs.Span
+	loadSpan  obs.Span
+	rebufSpan obs.Span
+}
+
+// SetObs attaches a trace bus and metrics registry to the app and its
+// screen.
+func (a *App) SetObs(tr *obs.Trace, reg *obs.Registry) {
+	a.tr = tr
+	a.playbacks = reg.Counter("yt_playbacks")
+	a.stallsCtr = reg.Counter("yt_stalls")
+	a.loadHist = reg.Histogram("yt_initial_loading_ms")
+	a.Screen.SetObs(tr, reg)
 }
 
 // New builds the app UI and network client.
@@ -250,6 +274,20 @@ func (a *App) requestStream(id string) *stream {
 // PlayVideo is the result-item click path: show the player and spinner,
 // start streaming (ad first when present and enabled).
 func (a *App) PlayVideo(v serversim.VideoInfo) {
+	// End any spans left open by an interrupted previous playback.
+	a.rebufSpan.End()
+	a.loadSpan.End()
+	a.playSpan.End()
+	a.playbacks.Inc()
+	if a.tr != nil {
+		a.obsScope = a.tr.Scope()
+		if a.obsScope == 0 {
+			a.obsScope = a.tr.NewID() // driven directly, not via UI input
+		}
+		a.playSpan = a.tr.Start(obs.LayerApp, "yt:playback", a.obsScope,
+			obs.Attr{Key: "video", Val: v.ID})
+		a.loadSpan = a.tr.Start(obs.LayerApp, "yt:initial-loading", a.obsScope)
+	}
 	a.clickAt = a.k.Now()
 	a.stats = PlaybackStats{VideoID: v.ID}
 	a.player.SetVisible(true)
@@ -369,7 +407,9 @@ func (a *App) maybeStartMain() {
 	// Initial loading complete.
 	a.playing = true
 	a.progress.SetVisible(false)
+	a.loadSpan.End()
 	a.stats.InitialLoading = time.Duration(a.k.Now() - a.clickAt)
+	a.loadHist.Observe(float64(a.stats.InitialLoading) / float64(time.Millisecond))
 	if a.stats.AdPlayed {
 		a.stats.MainLoading = time.Duration(a.k.Now() - a.adEndAt)
 	} else {
@@ -396,6 +436,7 @@ func (a *App) onMainChunk() {
 			// Stall over.
 			a.stalled = false
 			a.playing = true
+			a.rebufSpan.End()
 			a.stats.StallTime += time.Duration(a.k.Now() - a.stallStart)
 			a.progress.SetVisible(false)
 			a.cancelStallWatch()
@@ -458,6 +499,10 @@ func (a *App) onDry() {
 	a.playing = false
 	a.stalled = true
 	a.stats.Stalls++
+	a.stallsCtr.Inc()
+	if a.tr != nil {
+		a.rebufSpan = a.tr.Start(obs.LayerApp, "yt:rebuffer", a.obsScope)
+	}
 	a.stallStart = a.k.Now()
 	a.progress.SetVisible(true)
 	if a.current.ended {
@@ -499,8 +544,15 @@ func (a *App) finishPlayback() {
 	}
 	a.advance()
 	a.playing = false
+	a.rebufSpan.End()
+	a.loadSpan.End() // truncated streams can finish before playback started
 	a.stats.PlayTime = time.Duration(a.k.Now()-a.playStart) - a.stats.StallTime
 	a.stats.Done = !a.stats.Abandoned
+	if a.playSpan.Active() {
+		a.playSpan.Attr("stalls", strconv.Itoa(a.stats.Stalls))
+		a.playSpan.Attr("abandoned", strconv.FormatBool(a.stats.Abandoned))
+		a.playSpan.End()
+	}
 	a.player.SetVisible(false)
 	a.progress.SetVisible(false)
 	a.cancelStallWatch()

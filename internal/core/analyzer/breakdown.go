@@ -47,6 +47,11 @@ func (c *CrossLayer) warn(format string, args ...any) {
 // error: the tool should still explain what it can observe.
 func NewCrossLayer(sess *qoe.Session) *CrossLayer {
 	c := &CrossLayer{Session: sess}
+	defer func() {
+		if len(sess.Trace) > 0 {
+			c.CrossCheckTrace(sess.Trace)
+		}
+	}()
 	c.Flows = ExtractFlows(sess.Packets, sess.DeviceAddr)
 	if len(sess.Packets) == 0 {
 		c.warn("packet capture empty or absent; transport-layer analysis unavailable")

@@ -1,0 +1,90 @@
+package analyzer
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// traceOverlapSlack pads behavior-entry windows when looking for an
+// overlapping app-layer span: controller timestamps include parse delay the
+// trace does not, so exact endpoints never align.
+const traceOverlapSlack = time.Second
+
+// CrossCheckTrace validates the pcap/QxDM-derived analysis against the
+// run's ground-truth trace. The trace sees every event at its source, so
+// disagreement beyond the expected direction indicates an analyzer bug or a
+// corrupted input; each is reported as a warning.
+//
+// Checks performed:
+//
+//   - TCP retransmissions: the device capture can only undercount (a
+//     retransmitted segment dropped before the capture point is invisible),
+//     so pcap counting MORE retransmissions than the trace is flagged.
+//   - RRC residencies: the trace emits one span per contiguous state, so it
+//     must hold exactly one more span than the QxDM log has transitions
+//     (the initial state has no transition), or match exactly when the final
+//     open span was not closed.
+//   - App-layer coverage: every observed behavior entry should overlap some
+//     app-layer span (the app emitted ground truth for the action the
+//     controller measured).
+func (c *CrossLayer) CrossCheckTrace(events []obs.TraceEvent) {
+	if len(events) == 0 {
+		return
+	}
+	var traceRetx, rrcSpans int
+	type appSpan struct{ start, end time.Duration }
+	var appSpans []appSpan
+	for i := range events {
+		ev := &events[i]
+		switch {
+		case ev.Kind == obs.KindInstant && ev.Layer == obs.LayerTransport && ev.Name == "tcp:retx":
+			traceRetx++
+		case ev.Kind == obs.KindSpan && ev.Layer == obs.LayerRadio && strings.HasPrefix(ev.Name, "rrc:"):
+			rrcSpans++
+		case ev.Kind == obs.KindSpan && ev.Layer == obs.LayerApp:
+			appSpans = append(appSpans, appSpan{ev.Start, ev.End})
+		}
+	}
+
+	if c.Flows != nil && len(c.Session.Packets) > 0 {
+		pcapRetx := 0
+		for _, f := range c.Flows.Flows {
+			pcapRetx += f.Retransmissions
+		}
+		if pcapRetx > traceRetx {
+			c.warn("trace cross-check: capture shows %d TCP retransmissions but the trace recorded only %d; the capture should never see more than actually occurred",
+				pcapRetx, traceRetx)
+		}
+	}
+
+	if c.Session.Radio != nil && rrcSpans > 0 {
+		transitions := len(c.Session.Radio.Transitions)
+		if rrcSpans != transitions && rrcSpans != transitions+1 {
+			c.warn("trace cross-check: QxDM log has %d RRC transitions but the trace has %d state spans (expected %d or %d)",
+				transitions, rrcSpans, transitions, transitions+1)
+		}
+	}
+
+	if c.Session.Behavior != nil && len(appSpans) > 0 {
+		for _, e := range c.Session.Behavior.Entries {
+			if !e.Observed {
+				continue
+			}
+			from := time.Duration(e.Start) - traceOverlapSlack
+			to := time.Duration(e.End) + traceOverlapSlack
+			found := false
+			for _, s := range appSpans {
+				if s.start <= to && s.end >= from {
+					found = true
+					break
+				}
+			}
+			if !found {
+				c.warn("trace cross-check: behavior entry %s/%s [%v, %v] overlaps no app-layer trace span",
+					e.App, e.Action, time.Duration(e.Start), time.Duration(e.End))
+			}
+		}
+	}
+}

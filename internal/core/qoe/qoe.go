@@ -8,6 +8,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pcap"
 	"repro/internal/qxdm"
 	"repro/internal/radio"
@@ -81,6 +82,10 @@ type Session struct {
 	Behavior   *BehaviorLog
 	Packets    []pcap.Record
 	Radio      *qxdm.Log
+	// Trace, when present, holds the run's ground-truth cross-layer trace
+	// (spans and instants from every layer). The analyzer cross-checks its
+	// pcap/QxDM-derived view against it.
+	Trace []obs.TraceEvent
 }
 
 // Frame is one recorded screen sample: how visually complete the content on

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -204,6 +205,18 @@ func (r *Resolver) Resolve(name string, cb func(addr netip.Addr, ok bool)) {
 		r.stack.k.After(0, func() { cb(a, true) })
 		return
 	}
+	r.stack.o.dnsLookups.Inc()
+	if tr := r.stack.o.tr; tr != nil {
+		sp := tr.Start(obs.LayerTransport, "dns:"+name, tr.Scope())
+		inner := cb
+		cb = func(addr netip.Addr, ok bool) {
+			if !ok {
+				sp.Attr("failed", "true")
+			}
+			sp.End()
+			inner(addr, ok)
+		}
+	}
 	id := r.nextID
 	r.nextID++
 	q := &dnsQuery{name: name, cb: cb}
@@ -222,11 +235,13 @@ func (r *Resolver) sendQuery(id uint16, q *dnsQuery) {
 		}
 		if q.tries < dnsMaxRetries {
 			q.tries++
+			r.stack.o.dnsRetries.Inc()
 			r.sendQuery(id, q)
 			return
 		}
 		delete(r.pending, id)
 		r.Timeouts++
+		r.stack.o.dnsTimeouts.Inc()
 		q.cb(netip.Addr{}, false)
 	})
 }

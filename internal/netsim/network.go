@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/simtime"
 )
@@ -31,6 +32,9 @@ type Network struct {
 	DLQdisc Qdisc
 
 	servers map[netip.Addr]*Stack
+
+	tr  *obs.Trace
+	reg *obs.Registry
 }
 
 // NewNetwork builds a network with a device at deviceAddr behind a bearer
@@ -52,6 +56,16 @@ func NewNetwork(k *simtime.Kernel, prof *radio.Profile, deviceAddr netip.Addr, c
 // Kernel returns the driving kernel.
 func (n *Network) Kernel() *simtime.Kernel { return n.k }
 
+// SetObs attaches a trace bus and metrics registry to every stack in the
+// network — the device and all servers, including ones added later.
+func (n *Network) SetObs(tr *obs.Trace, reg *obs.Registry) {
+	n.tr, n.reg = tr, reg
+	n.Device.SetObs(tr, reg)
+	for _, s := range n.servers {
+		s.SetObs(tr, reg)
+	}
+}
+
 // AddServer creates a server stack at addr and attaches it to the core. It
 // returns an error if a server is already registered at addr.
 func (n *Network) AddServer(addr netip.Addr) (*Stack, error) {
@@ -60,6 +74,9 @@ func (n *Network) AddServer(addr netip.Addr) (*Stack, error) {
 	}
 	s := NewStack(n.k, addr)
 	s.SetOutput(func(p *Packet) { n.fromServer(s, p) })
+	if n.tr != nil || n.reg != nil {
+		s.SetObs(n.tr, n.reg)
+	}
 	n.servers[addr] = s
 	return s, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -24,7 +25,45 @@ type Stack struct {
 	udp       map[uint16]func(*Packet)
 	captures  []CaptureFunc
 	nextPort  uint16
+
+	o stackObs
 }
+
+// stackObs holds a stack's observability hooks. The zero value is the
+// detached state: a nil trace and nil instruments absorb everything, so
+// instrumented paths only pay a pointer nil check.
+type stackObs struct {
+	tr          *obs.Trace
+	connects    *obs.Counter
+	retx        *obs.Counter
+	rto         *obs.Counter
+	aborts      *obs.Counter
+	dnsLookups  *obs.Counter
+	dnsRetries  *obs.Counter
+	dnsTimeouts *obs.Counter
+	connectHist *obs.Histogram
+}
+
+// SetObs attaches a trace bus and/or metrics registry to this stack. Either
+// may be nil; metrics are registered under shared names, so several stacks
+// (device and servers) feeding one registry accumulate into the same
+// counters.
+func (s *Stack) SetObs(tr *obs.Trace, reg *obs.Registry) {
+	s.o = stackObs{
+		tr:          tr,
+		connects:    reg.Counter("tcp_connects"),
+		retx:        reg.Counter("tcp_retx"),
+		rto:         reg.Counter("tcp_rto"),
+		aborts:      reg.Counter("tcp_aborts"),
+		dnsLookups:  reg.Counter("dns_lookups"),
+		dnsRetries:  reg.Counter("dns_retries"),
+		dnsTimeouts: reg.Counter("dns_timeouts"),
+		connectHist: reg.Histogram("tcp_connect_ms"),
+	}
+}
+
+// Trace returns the attached trace bus (nil when detached).
+func (s *Stack) Trace() *obs.Trace { return s.o.tr }
 
 // NewStack creates a stack for a host at addr, driven by kernel k.
 func NewStack(k *simtime.Kernel, addr netip.Addr) *Stack {

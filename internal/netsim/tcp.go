@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -80,6 +82,13 @@ type Conn struct {
 	onPeerClose   func()
 	onClose       func()
 	established   bool
+
+	// Observability. obsID is the correlation ID linking this connection's
+	// trace events to the user action that opened it (the trace scope at
+	// connection creation); connSpan covers SYN to established on the
+	// client side.
+	obsID    uint64
+	connSpan obs.Span
 }
 
 func newConn(s *Stack, local, remote Endpoint) *Conn {
@@ -134,6 +143,16 @@ func (c *Conn) Buffered() int { return len(c.buf) }
 
 // connect starts the client-side handshake.
 func (c *Conn) connect() {
+	if tr := c.stack.o.tr; tr != nil {
+		c.obsID = tr.Scope()
+		if c.obsID == 0 {
+			c.obsID = tr.NewID() // background flow with no user action in scope
+		}
+		c.connSpan = tr.Start(obs.LayerTransport, "tcp:connect", c.obsID,
+			obs.Attr{Key: "laddr", Val: c.key.Src.String()},
+			obs.Attr{Key: "raddr", Val: c.key.Dst.String()})
+	}
+	c.stack.o.connects.Inc()
 	c.state = stSynSent
 	c.sndNxt = c.iss + 1 // SYN consumes one sequence number
 	c.emit(&Packet{Flags: FlagSYN, Seq: c.iss})
@@ -142,6 +161,7 @@ func (c *Conn) connect() {
 
 // acceptSYN handles the first SYN at a listener-created connection.
 func (c *Conn) acceptSYN(p *Packet) {
+	c.obsID = c.stack.o.tr.Scope() // correlate server-side events too
 	c.state = stSynRcvd
 	c.irs = p.Seq
 	c.rcvNxt = p.Seq + 1
@@ -182,11 +202,17 @@ func (c *Conn) Abort() {
 	if c.state == stDone {
 		return
 	}
+	c.stack.o.aborts.Inc()
 	c.emit(&Packet{Flags: FlagRST | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
 	c.teardown()
 }
 
 func (c *Conn) teardown() {
+	if c.connSpan.Active() {
+		// Connection died before the handshake completed.
+		c.connSpan.Attr("failed", "true")
+		c.connSpan.End()
+	}
 	c.state = stDone
 	if c.rtoTimer != nil {
 		c.rtoTimer.Cancel()
@@ -256,7 +282,7 @@ func (c *Conn) trySend() {
 		unsent -= n
 		if seqLT(seq, c.recover) {
 			// Go-back-N retransmission after an RTO rollback.
-			c.retxCount++
+			c.noteRetx(seq)
 		} else if c.sampleSeq == 0 {
 			c.sampleSeq = seq + uint32(n)
 			c.sampleStart = seq
@@ -300,13 +326,19 @@ func (c *Conn) onRTO() {
 	if c.sndNxt == c.sndUna {
 		return // nothing outstanding
 	}
+	c.stack.o.rto.Inc()
+	if tr := c.stack.o.tr; tr != nil {
+		tr.Instant(obs.LayerTransport, "tcp:rto", c.obsID,
+			obs.Attr{Key: "laddr", Val: c.key.Src.String()},
+			obs.Attr{Key: "rto", Val: c.rto.String()})
+	}
 	switch c.state {
 	case stSynSent:
 		c.emit(&Packet{Flags: FlagSYN, Seq: c.iss})
-		c.retxCount++
+		c.noteRetx(c.iss)
 	case stSynRcvd:
 		c.emit(&Packet{Flags: FlagSYN | FlagACK, Seq: c.iss, Ack: c.rcvNxt})
-		c.retxCount++
+		c.noteRetx(c.iss)
 	default:
 		// Multiplicative decrease, then go-back-N: roll sndNxt back to
 		// sndUna so the whole outstanding window is retransmitted as the
@@ -340,7 +372,7 @@ func (c *Conn) onRTO() {
 			c.trySend() // sends one MSS (cwnd was reset)
 		} else {
 			c.retransmitFirst() // FIN-only retransmission
-			c.retxCount++
+			c.noteRetx(c.sndNxt - 1)
 		}
 	}
 	c.cancelSampleIfRetransmitted()
@@ -422,8 +454,25 @@ func (c *Conn) input(p *Packet) {
 
 func (c *Conn) becomeEstablished() {
 	c.established = true
+	if c.connSpan.Active() {
+		elapsed := time.Duration(c.stack.k.Now()) - c.connSpan.StartTime()
+		c.stack.o.connectHist.Observe(float64(elapsed) / float64(time.Millisecond))
+		c.connSpan.End()
+	}
 	if c.onEstablished != nil {
 		c.onEstablished()
+	}
+}
+
+// noteRetx records one retransmitted segment on the counters and, when a
+// trace is attached, as a transport-layer instant.
+func (c *Conn) noteRetx(seq uint32) {
+	c.retxCount++
+	c.stack.o.retx.Inc()
+	if tr := c.stack.o.tr; tr != nil {
+		tr.Instant(obs.LayerTransport, "tcp:retx", c.obsID,
+			obs.Attr{Key: "laddr", Val: c.key.Src.String()},
+			obs.Attr{Key: "seq", Val: strconv.FormatUint(uint64(seq), 10)})
 	}
 }
 
@@ -491,7 +540,7 @@ func (c *Conn) processAck(p *Packet) {
 			}
 			c.cwnd = c.ssthresh
 			c.retransmitFirst()
-			c.retxCount++
+			c.noteRetx(c.sndUna)
 			c.cancelSampleIfRetransmitted()
 			c.armRTO()
 		}

@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -92,12 +94,43 @@ func (b *bucket) deficitDelay(n int) time.Duration {
 	return d
 }
 
+// qdiscObs is the drop instrumentation shared by Policer and Shaper: a
+// per-qdisc drop counter plus a transport-layer instant carrying the current
+// correlation scope. The zero value is detached.
+type qdiscObs struct {
+	tr    *obs.Trace
+	name  string
+	drops *obs.Counter
+}
+
+func (o *qdiscObs) set(tr *obs.Trace, reg *obs.Registry, name string) {
+	o.tr = tr
+	o.name = name
+	o.drops = reg.Counter("qdisc_" + name + "_drops")
+}
+
+func (o *qdiscObs) noteDrop(wireLen int) {
+	o.drops.Inc()
+	if o.tr != nil {
+		o.tr.Instant(obs.LayerTransport, "qdisc:drop", o.tr.Scope(),
+			obs.Attr{Key: "qdisc", Val: o.name},
+			obs.Attr{Key: "bytes", Val: strconv.Itoa(wireLen)})
+	}
+}
+
 // Policer drops packets that exceed the token bucket — the C1 LTE throttling
 // mechanism (§7.5). Dropped excess traffic triggers TCP retransmissions and
 // the bursty goodput the paper observes.
 type Policer struct {
 	b     *bucket
+	o     qdiscObs
 	Drops int
+}
+
+// SetObs attaches drop instrumentation under the given qdisc name (e.g.
+// "police_ul").
+func (p *Policer) SetObs(tr *obs.Trace, reg *obs.Registry, name string) {
+	p.o.set(tr, reg, name)
 }
 
 // NewPolicer creates a policer at rateBps with the given burst allowance.
@@ -112,6 +145,7 @@ func (p *Policer) Enqueue(wireLen int, deliver func(), drop func()) {
 		return
 	}
 	p.Drops++
+	p.o.noteDrop(wireLen)
 	if drop != nil {
 		drop()
 	}
@@ -124,11 +158,18 @@ func (p *Policer) Enqueue(wireLen int, deliver func(), drop func()) {
 type Shaper struct {
 	k        *simtime.Kernel
 	b        *bucket
+	o        qdiscObs
 	queue    []shaped
 	queued   int // bytes in queue
 	limit    int // max queued bytes before tail drop
 	draining bool
 	Drops    int
+}
+
+// SetObs attaches drop instrumentation under the given qdisc name (e.g.
+// "shape_dl").
+func (s *Shaper) SetObs(tr *obs.Trace, reg *obs.Registry, name string) {
+	s.o.set(tr, reg, name)
 }
 
 type shaped struct {
@@ -150,6 +191,7 @@ func (s *Shaper) Enqueue(wireLen int, deliver func(), drop func()) {
 	}
 	if s.queued+wireLen > s.limit {
 		s.Drops++
+		s.o.noteDrop(wireLen)
 		if drop != nil {
 			drop()
 		}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Chrome trace_event export. The output loads in chrome://tracing and
+// Perfetto: one process, one track ("thread") per layer, spans as complete
+// ("X") events, instants as "i", counter samples as "C". Timestamps are
+// virtual-time microseconds with nanosecond precision in the fraction.
+//
+// The writer emits JSON by hand from ordered data only — no maps — so a
+// fixed-seed run exports byte-identical files every time.
+
+// chromeTID maps a layer to its track, ordered top-of-stack first so the
+// viewer shows UI above app above transport above radio above kernel.
+func chromeTID(l Layer) int {
+	switch l {
+	case LayerUI:
+		return 1
+	case LayerApp:
+		return 2
+	case LayerTransport:
+		return 3
+	case LayerRadio:
+		return 4
+	default: // LayerKernel
+		return 5
+	}
+}
+
+// WriteChromeTrace writes events as Chrome trace_event JSON.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	// Track-name metadata, fixed order.
+	for i := Layer(0); i < numLayers; i++ {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			chromeTID(i), strconv.Quote(i.String()))
+		fmt.Fprintf(bw, `,{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`,
+			chromeTID(i), chromeTID(i))
+	}
+	for i := range events {
+		ev := &events[i]
+		bw.WriteByte(',')
+		switch ev.Kind {
+		case KindSpan:
+			fmt.Fprintf(bw, `{"name":%s,"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s`,
+				strconv.Quote(ev.Name), chromeTID(ev.Layer), micros(ev.Start), micros(ev.End-ev.Start))
+			writeArgs(bw, ev)
+		case KindInstant:
+			fmt.Fprintf(bw, `{"name":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s`,
+				strconv.Quote(ev.Name), chromeTID(ev.Layer), micros(ev.Start))
+			writeArgs(bw, ev)
+		case KindCounter:
+			fmt.Fprintf(bw, `{"name":%s,"ph":"C","pid":1,"tid":%d,"ts":%s,"args":{"value":%s}}`,
+				strconv.Quote(ev.Name), chromeTID(ev.Layer), micros(ev.Start),
+				strconv.FormatFloat(ev.Value, 'f', -1, 64))
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeArgs closes a span/instant object, appending the correlation ID and
+// attrs as args.
+func writeArgs(bw *bufio.Writer, ev *TraceEvent) {
+	bw.WriteString(`,"args":{"id":`)
+	bw.WriteString(strconv.FormatUint(ev.ID, 10))
+	for _, a := range ev.Attrs {
+		bw.WriteByte(',')
+		bw.WriteString(strconv.Quote(a.Key))
+		bw.WriteByte(':')
+		bw.WriteString(strconv.Quote(a.Val))
+	}
+	bw.WriteString("}}")
+}
+
+// micros renders a virtual duration as microseconds with 3 decimals
+// (nanosecond precision), the unit trace_event expects for ts/dur.
+func micros(d interface{ Nanoseconds() int64 }) string {
+	ns := d.Nanoseconds()
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// WriteCSV writes events as flat CSV: one row per event, attrs flattened
+// into a trailing "k=v;..." column.
+func WriteCSV(w io.Writer, events []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("kind,layer,name,start_ns,end_ns,id,value,attrs\n")
+	kinds := [...]string{"span", "instant", "counter"}
+	for i := range events {
+		ev := &events[i]
+		attrs := ""
+		for j, a := range ev.Attrs {
+			if j > 0 {
+				attrs += ";"
+			}
+			attrs += a.Key + "=" + a.Val
+		}
+		fmt.Fprintf(bw, "%s,%s,%s,%d,%d,%d,%s,%s\n",
+			kinds[ev.Kind], ev.Layer, csvQuote(ev.Name),
+			ev.Start.Nanoseconds(), ev.End.Nanoseconds(), ev.ID,
+			strconv.FormatFloat(ev.Value, 'f', -1, 64), csvQuote(attrs))
+	}
+	return bw.Flush()
+}
+
+// csvQuote quotes a field when it contains CSV metacharacters.
+func csvQuote(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

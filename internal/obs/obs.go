@@ -1,0 +1,266 @@
+// Package obs is the cross-layer observability substrate: a trace bus of
+// virtual-time-stamped spans and instants emitted by every layer of the
+// simulated stack (kernel, radio, transport, app, UI), a metrics registry of
+// counters/gauges/histograms, exporters (Chrome trace_event JSON, CSV,
+// NDJSON), and a wall-clock kernel profiler.
+//
+// Design rules:
+//
+//   - Zero cost when detached. Every entry point is nil-receiver-safe, so
+//     instrumented code can hold a nil *Trace or nil *Counter and call into
+//     it unconditionally; hot paths additionally guard with an explicit nil
+//     check before building event payloads.
+//   - Deterministic. All trace timestamps are virtual time, correlation IDs
+//     come from a plain counter, and exports iterate in emission or sorted
+//     order — a fixed-seed run produces byte-identical exports every time.
+//   - Leaf package. obs imports only the standard library, so every layer
+//     (including the simtime kernel) can depend on it without cycles.
+//     Timestamps are time.Duration, which is the same type as simtime.Time.
+package obs
+
+import "time"
+
+// Layer identifies which layer of the stack emitted a trace event. The five
+// layers mirror the paper's cross-layer analysis: user-visible UI on top,
+// the radio link at the bottom, with the discrete-event kernel underneath
+// everything.
+type Layer uint8
+
+const (
+	LayerKernel Layer = iota
+	LayerRadio
+	LayerTransport
+	LayerApp
+	LayerUI
+	numLayers
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerKernel:
+		return "kernel"
+	case LayerRadio:
+		return "radio"
+	case LayerTransport:
+		return "transport"
+	case LayerApp:
+		return "app"
+	case LayerUI:
+		return "ui"
+	}
+	return "unknown"
+}
+
+// EventKind distinguishes spans (Start < End possible), point-in-time
+// instants, and counter samples (time series of a value).
+type EventKind uint8
+
+const (
+	KindSpan EventKind = iota
+	KindInstant
+	KindCounter
+)
+
+// Attr is one ordered key/value annotation on a trace event. A slice of
+// Attrs (rather than a map) keeps exports byte-deterministic.
+type Attr struct {
+	Key, Val string
+}
+
+// TraceEvent is one record on the trace bus. Start and End are virtual
+// timestamps (durations since the simulation epoch); for instants and
+// counter samples End == Start. ID is the cross-layer correlation ID:
+// events from different layers that belong to the same user action carry
+// the same ID, so a rebuffer span can be walked down to the TCP
+// retransmissions and RLC activity beneath it.
+type TraceEvent struct {
+	Kind  EventKind
+	Layer Layer
+	Name  string
+	Start time.Duration
+	End   time.Duration
+	ID    uint64
+	Value float64 // counter samples only
+	Attrs []Attr
+}
+
+// Trace is the bus collecting TraceEvents from all layers. It is not safe
+// for concurrent use; like the simulation itself it lives on the kernel
+// goroutine. The zero value is unusable — a nil *Trace is the "no sink
+// attached" state and every method on it is a no-op.
+type Trace struct {
+	now    func() time.Duration
+	events []TraceEvent
+	nextID uint64
+	scope  uint64
+}
+
+// NewTrace creates an empty trace bus. Bind must be called (the testbed
+// does it) before events carry meaningful timestamps.
+func NewTrace() *Trace { return &Trace{} }
+
+// Bind installs the virtual-time source, normally a kernel's Now.
+func (t *Trace) Bind(now func() time.Duration) {
+	if t == nil {
+		return
+	}
+	t.now = now
+}
+
+// Now returns the bound virtual time (zero before Bind).
+func (t *Trace) Now() time.Duration {
+	if t == nil || t.now == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// NewID allocates a fresh correlation ID (never 0).
+func (t *Trace) NewID() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	return t.nextID
+}
+
+// SetScope sets the current correlation scope: the ID of the user action
+// (or other causal context) in progress. Layers without a natural flow
+// identity — radio, kernel, freshly created TCP connections — stamp their
+// events with the current scope. User actions in the simulated scenarios
+// are sequential, so a single global scope is exact, and it is updated only
+// from UI input injection, keeping it deterministic.
+func (t *Trace) SetScope(id uint64) {
+	if t == nil {
+		return
+	}
+	t.scope = id
+}
+
+// Scope returns the current correlation scope (0 when none).
+func (t *Trace) Scope() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.scope
+}
+
+// Emit appends a raw event to the bus.
+func (t *Trace) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Instant records a point-in-time event.
+func (t *Trace) Instant(layer Layer, name string, id uint64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	now := t.Now()
+	t.events = append(t.events, TraceEvent{
+		Kind: KindInstant, Layer: layer, Name: name, Start: now, End: now, ID: id, Attrs: attrs,
+	})
+}
+
+// CounterSample records one sample of a named time-series value (rendered
+// as a counter track in the Chrome trace viewer).
+func (t *Trace) CounterSample(layer Layer, name string, v float64) {
+	if t == nil {
+		return
+	}
+	now := t.Now()
+	t.events = append(t.events, TraceEvent{
+		Kind: KindCounter, Layer: layer, Name: name, Start: now, End: now, Value: v,
+	})
+}
+
+// Events returns every event emitted so far, in emission order.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Len returns the number of events on the bus.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Span is an in-progress span handle returned by Start. The zero value is
+// inert: all methods no-op, so detached code paths can unconditionally End
+// spans they never opened. Spans are value types — store them in struct
+// fields or locals; closures capture the local by reference, which is what
+// asynchronous End sites need.
+type Span struct {
+	t     *Trace
+	layer Layer
+	name  string
+	id    uint64
+	start time.Duration
+	attrs []Attr
+}
+
+// Start opens a span at the current virtual time. id is the correlation ID
+// (pass t.Scope() to join the current user action, or t.NewID() for an
+// independent root). On a nil Trace it returns an inert Span.
+func (t *Trace) Start(layer Layer, name string, id uint64, attrs ...Attr) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, layer: layer, name: name, id: id, start: t.Now(), attrs: attrs}
+}
+
+// Active reports whether the span is open (started on a live trace and not
+// yet ended).
+func (s *Span) Active() bool { return s != nil && s.t != nil }
+
+// Attr appends an annotation to the span.
+func (s *Span) Attr(key, val string) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, val})
+}
+
+// StartTime returns the span's opening virtual time (zero for inert spans).
+func (s *Span) StartTime() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.start
+}
+
+// End closes the span at the current virtual time and emits it. Ending an
+// inert or already-ended span is a no-op, and the span becomes inert after
+// the first End.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	t := s.t
+	s.t = nil
+	t.events = append(t.events, TraceEvent{
+		Kind: KindSpan, Layer: s.layer, Name: s.name,
+		Start: s.start, End: t.Now(), ID: s.id, Attrs: s.attrs,
+	})
+}
+
+// EndAt closes the span at an explicit virtual time (for monitors that
+// learn about a state change after the fact).
+func (s *Span) EndAt(at time.Duration) {
+	if s == nil || s.t == nil {
+		return
+	}
+	t := s.t
+	s.t = nil
+	t.events = append(t.events, TraceEvent{
+		Kind: KindSpan, Layer: s.layer, Name: s.name,
+		Start: s.start, End: at, ID: s.id, Attrs: s.attrs,
+	})
+}

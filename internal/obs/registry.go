@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing count. A nil *Counter (the
+// detached state) absorbs all updates for free.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n (negative n is ignored; counters only go up).
+func (c *Counter) Add(n int) {
+	if c != nil && n > 0 {
+		c.v += uint64(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins measurement.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Value returns the last set value (zero before the first Set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// DefBuckets is the default histogram bucketing: exponential-ish upper
+// bounds suited to millisecond-scale latencies.
+var DefBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// Histogram accumulates observations into cumulative buckets. Buckets are
+// defined by ascending upper bounds; observations above the last bound land
+// only in the implicit overflow bucket (Count minus the last cumulative
+// bucket count).
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // per-bound, non-cumulative
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.n++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	if i < len(h.counts) {
+		h.counts[i]++
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// CumulativeBuckets returns (bound, cumulative count) pairs in bound order.
+func (h *Histogram) CumulativeBuckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]Bucket, len(h.bounds))
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		out[i] = Bucket{LE: b, Count: cum}
+	}
+	return out
+}
+
+// Registry is a by-name collection of metrics. Like the trace bus it is
+// single-goroutine and nil-safe: a nil *Registry hands out nil instruments
+// that absorb updates for free.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Call sites
+// resolve their instruments once (at construction) and hold the pointer, so
+// the map lookup stays off hot paths.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated lazily at Snapshot time — the
+// zero-hot-path-cost way to expose values a component already tracks
+// (kernel event counts, qdisc drop totals, outage counts).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// (DefBuckets when none) on first use.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DefBuckets
+		}
+		h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one cumulative histogram bucket: Count observations were <= LE.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Entry is one metric in a snapshot.
+type Entry struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"` // "counter" | "gauge" | "histogram"
+	Value   float64  `json:"value"`
+	Count   uint64   `json:"count,omitempty"`   // histograms: observation count
+	Buckets []Bucket `json:"buckets,omitempty"` // histograms: cumulative buckets
+}
+
+// Snapshot is a stable-ordered (by name) point-in-time copy of a registry.
+type Snapshot struct {
+	Entries []Entry
+}
+
+// Snapshot evaluates gauge funcs and freezes every metric, sorted by name
+// so repeated snapshots of identical state render byte-identically.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for name, c := range r.counters {
+		s.Entries = append(s.Entries, Entry{Name: name, Kind: "counter", Value: float64(c.v)})
+	}
+	for name, g := range r.gauges {
+		s.Entries = append(s.Entries, Entry{Name: name, Kind: "gauge", Value: g.v})
+	}
+	for name, fn := range r.gaugeFns {
+		s.Entries = append(s.Entries, Entry{Name: name, Kind: "gauge", Value: fn()})
+	}
+	for name, h := range r.hists {
+		s.Entries = append(s.Entries, Entry{
+			Name: name, Kind: "histogram", Value: h.sum, Count: h.n,
+			Buckets: h.CumulativeBuckets(),
+		})
+	}
+	sort.Slice(s.Entries, func(i, j int) bool { return s.Entries[i].Name < s.Entries[j].Name })
+	return s
+}
+
+// Get returns the entry with the given name, if present.
+func (s Snapshot) Get(name string) (Entry, bool) {
+	for _, e := range s.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// WriteNDJSON writes one JSON object per metric, in snapshot (name) order.
+func (s Snapshot) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range s.Entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows renders the snapshot as table rows (name, kind, value, count) for
+// callers with their own table formatter.
+func (s Snapshot) Rows() [][4]string {
+	rows := make([][4]string, 0, len(s.Entries))
+	for _, e := range s.Entries {
+		count := ""
+		if e.Kind == "histogram" {
+			count = fmt.Sprintf("%d", e.Count)
+		}
+		rows = append(rows, [4]string{e.Name, e.Kind, trimFloat(e.Value), count})
+	}
+	return rows
+}
+
+// trimFloat formats v compactly without scientific notation surprises.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -3,6 +3,7 @@ package radio
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -25,6 +26,11 @@ type Bearer struct {
 	// the bearer is down while Now() < outageUntil.
 	outageUntil simtime.Time
 	outages     int
+
+	// tr, when attached, receives a radio-layer span covering each outage
+	// (from first onset to actual recovery, merging extensions).
+	tr      *obs.Trace
+	outSpan obs.Span
 }
 
 // NewBearer builds a bearer over prof, driven by kernel k.
@@ -52,6 +58,9 @@ func (b *Bearer) RRC() *Machine { return b.rrc }
 
 // Attach registers a radio-layer monitor (e.g. the QxDM simulator).
 func (b *Bearer) Attach(m Monitor) { b.monitors = append(b.monitors, m) }
+
+// SetTrace attaches a trace bus for bearer outage spans.
+func (b *Bearer) SetTrace(tr *obs.Trace) { b.tr = tr }
 
 // SendUplink transmits one IP packet from the device toward the network.
 // deliver fires when the packet has been fully reassembled at the base
@@ -97,6 +106,9 @@ func (b *Bearer) beginOutage(dur time.Duration) {
 	}
 	if !b.InOutage() {
 		b.outages++
+		if b.tr != nil {
+			b.outSpan = b.tr.Start(obs.LayerRadio, "bearer:outage", b.tr.Scope())
+		}
 	}
 	b.outageUntil = end
 	b.rrc.ConnectionLost()
@@ -107,6 +119,7 @@ func (b *Bearer) endOutage() {
 	if b.InOutage() {
 		return // a later, longer outage superseded this one
 	}
+	b.outSpan.End()
 	b.ul.resume()
 	b.dl.resume()
 }

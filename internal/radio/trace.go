@@ -1,0 +1,81 @@
+package radio
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// TraceMonitor bridges radio-layer events onto the obs trace bus: RRC states
+// become radio-layer spans (one span per contiguous state residency), RLC
+// retransmissions become instants, and PDU/STATUS volumes feed counters. It
+// implements Monitor alongside the QxDM simulator, so traces carry the
+// ground truth the diagnostic log is derived from.
+type TraceMonitor struct {
+	tr         *obs.Trace
+	stateSpan  obs.Span
+	pdus       *obs.Counter
+	retx       *obs.Counter
+	status     *obs.Counter
+	promotions *obs.Counter
+	demotions  *obs.Counter
+}
+
+// AttachTrace creates a TraceMonitor emitting to tr and reg (either may be
+// nil) and attaches it to the bearer. The span for the current RRC state
+// opens immediately.
+func AttachTrace(b *Bearer, tr *obs.Trace, reg *obs.Registry) *TraceMonitor {
+	m := &TraceMonitor{
+		tr:         tr,
+		pdus:       reg.Counter("rlc_pdus"),
+		retx:       reg.Counter("rlc_retx"),
+		status:     reg.Counter("rlc_status"),
+		promotions: reg.Counter("rrc_promotions"),
+		demotions:  reg.Counter("rrc_demotions"),
+	}
+	if tr != nil {
+		m.stateSpan = tr.Start(obs.LayerRadio, "rrc:"+b.RRC().State().String(), tr.Scope())
+	}
+	b.Attach(m)
+	return m
+}
+
+// RRCTransition implements Monitor: it closes the span of the state being
+// left and opens one for the new state, tagged with the current correlation
+// scope (the user action that triggered a promotion).
+func (m *TraceMonitor) RRCTransition(t Transition) {
+	if t.Promotion {
+		m.promotions.Inc()
+	} else {
+		m.demotions.Inc()
+	}
+	if m.tr == nil {
+		return
+	}
+	m.stateSpan.EndAt(time.Duration(t.At))
+	m.stateSpan = m.tr.Start(obs.LayerRadio, "rrc:"+t.To.String(), m.tr.Scope())
+}
+
+// DataPDU implements Monitor.
+func (m *TraceMonitor) DataPDU(p *PDU) {
+	m.pdus.Inc()
+	if p.Retx {
+		m.retx.Inc()
+		if m.tr != nil {
+			m.tr.Instant(obs.LayerRadio, "rlc:retx", m.tr.Scope(),
+				obs.Attr{Key: "dir", Val: p.Dir.String()},
+				obs.Attr{Key: "seq", Val: strconv.FormatUint(uint64(p.Seq), 10)})
+		}
+	}
+}
+
+// StatusPDU implements Monitor.
+func (m *TraceMonitor) StatusPDU(StatusPDU) { m.status.Inc() }
+
+// Close ends the open RRC state span at the given time (normally the end of
+// the run). Without it the final state residency would never be emitted.
+func (m *TraceMonitor) Close(at simtime.Time) {
+	m.stateSpan.EndAt(time.Duration(at))
+}

@@ -12,7 +12,12 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"reflect"
+	"runtime"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Time is a virtual timestamp, measured as a duration since the simulation
@@ -91,7 +96,20 @@ type Kernel struct {
 	stopped bool
 	// processed counts fired events, exposed for tests and budget guards.
 	processed uint64
+
+	// trace, when attached, receives kernel-layer spans for each Run /
+	// RunUntil plus periodic queue-depth counter samples (all virtual-time
+	// stamped, so attaching a trace never perturbs determinism).
+	trace *obs.Trace
+	// prof, when attached, aggregates wall-clock time per callback site.
+	prof      *obs.Profiler
+	siteNames map[uintptr]string
 }
+
+// queueSampleEvery is the dispatch interval between queue-depth samples on
+// an attached trace: frequent enough to see backlog build-up, sparse enough
+// that million-event runs stay exportable.
+const queueSampleEvery = 1024
 
 // NewKernel returns a kernel at virtual time zero with a deterministic RNG
 // derived from seed.
@@ -108,6 +126,36 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Processed returns the number of events fired so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
+
+// SetTrace attaches a trace bus and binds it to this kernel's virtual clock.
+// Pass nil to detach.
+func (k *Kernel) SetTrace(tr *obs.Trace) {
+	k.trace = tr
+	tr.Bind(func() time.Duration { return k.now })
+}
+
+// SetProfiler attaches a wall-clock callback profiler. Pass nil to detach.
+func (k *Kernel) SetProfiler(p *obs.Profiler) {
+	k.prof = p
+	if p != nil && k.siteNames == nil {
+		k.siteNames = make(map[uintptr]string)
+	}
+}
+
+// siteName resolves a callback to its defining function's symbol name,
+// cached per code pointer since the same closures fire millions of times.
+func (k *Kernel) siteName(fn func()) string {
+	pc := reflect.ValueOf(fn).Pointer()
+	if name, ok := k.siteNames[pc]; ok {
+		return name
+	}
+	name := "unknown"
+	if f := runtime.FuncForPC(pc); f != nil {
+		name = f.Name()
+	}
+	k.siteNames[pc] = name
+	return name
+}
 
 // At schedules fn at absolute virtual time t. Scheduling in the past panics:
 // it is always a model bug, and silently clamping would hide causality
@@ -149,21 +197,34 @@ func (k *Kernel) step() bool {
 	k.now = e.when
 	e.dead = true
 	k.processed++
+	if k.trace != nil && k.processed%queueSampleEvery == 0 {
+		k.trace.CounterSample(obs.LayerKernel, "queue_depth", float64(len(k.queue)))
+	}
+	if k.prof != nil {
+		site := k.siteName(e.fn)
+		t0 := time.Now()
+		e.fn()
+		k.prof.Observe(site, time.Since(t0))
+		return true
+	}
 	e.fn()
 	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
 func (k *Kernel) Run() {
+	sp, before := k.beginRunSpan()
 	k.stopped = false
 	for !k.stopped && k.step() {
 	}
+	k.endRunSpan(sp, before)
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // exactly t (even if the queue drained earlier). Events scheduled later stay
 // queued.
 func (k *Kernel) RunUntil(t Time) {
+	sp, before := k.beginRunSpan()
 	k.stopped = false
 	for !k.stopped {
 		if len(k.queue) == 0 || k.queue[0].when > t {
@@ -174,6 +235,25 @@ func (k *Kernel) RunUntil(t Time) {
 	if !k.stopped && k.now < t {
 		k.now = t
 	}
+	k.endRunSpan(sp, before)
+}
+
+// beginRunSpan opens a kernel-layer span covering one Run/RunUntil call when
+// a trace is attached; the two-value return keeps the detached path free of
+// any obs work beyond a nil check.
+func (k *Kernel) beginRunSpan() (obs.Span, uint64) {
+	if k.trace == nil {
+		return obs.Span{}, 0
+	}
+	return k.trace.Start(obs.LayerKernel, "kernel:run", k.trace.Scope()), k.processed
+}
+
+func (k *Kernel) endRunSpan(sp obs.Span, before uint64) {
+	if !sp.Active() {
+		return
+	}
+	sp.Attr("events", strconv.FormatUint(k.processed-before, 10))
+	sp.End()
 }
 
 // RunFor is shorthand for RunUntil(Now()+d).

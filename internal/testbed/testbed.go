@@ -17,6 +17,7 @@ import (
 	"repro/internal/apps/youtube"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pcap"
 	"repro/internal/qxdm"
 	"repro/internal/radio"
@@ -49,6 +50,18 @@ type Options struct {
 	// from Seed, so impaired runs stay exactly reproducible. Nil or empty
 	// means a perfect network.
 	Faults *faults.Plan
+
+	// Trace attaches the cross-layer trace bus (Bed.Trace): every layer
+	// emits virtual-time-stamped spans and instants correlated by user
+	// action. Off by default — detached instrumentation costs only nil
+	// checks.
+	Trace bool
+	// Metrics attaches the metrics registry (Bed.Metrics).
+	Metrics bool
+	// Profiler attaches a wall-clock kernel callback profiler
+	// (Bed.Profiler). Unlike the trace it measures real time, so its output
+	// is not deterministic.
+	Profiler bool
 }
 
 // Bed is one assembled lab instance.
@@ -70,6 +83,15 @@ type Bed struct {
 	// feeds the throttle qdisc.
 	FaultUL *faults.Chain
 	FaultDL *faults.Chain
+
+	// Trace, Metrics, and Profiler are the attached observability sinks
+	// (nil unless requested in Options).
+	Trace    *obs.Trace
+	Metrics  *obs.Registry
+	Profiler *obs.Profiler
+	// RadioMon is the radio trace monitor (nil unless Trace or Metrics);
+	// CloseObs finalizes its open RRC state span.
+	RadioMon *radio.TraceMonitor
 }
 
 // defaultCoreDelay returns the one-way core latency per technology,
@@ -129,7 +151,46 @@ func New(opts Options) *Bed {
 		brProf = browser.Chrome()
 	}
 	b.Browser = browser.New(k, net.Device, resolver, brProf)
+
+	if opts.Trace || opts.Metrics {
+		if opts.Trace {
+			b.Trace = obs.NewTrace()
+			k.SetTrace(b.Trace)
+		}
+		if opts.Metrics {
+			b.Metrics = obs.NewRegistry()
+			b.Metrics.GaugeFunc("kernel_events", func() float64 { return float64(k.Processed()) })
+			b.Metrics.GaugeFunc("kernel_pending", func() float64 { return float64(k.Pending()) })
+			b.Metrics.GaugeFunc("sim_time_s", func() float64 { return time.Duration(k.Now()).Seconds() })
+			b.Metrics.GaugeFunc("bearer_outages", func() float64 { return float64(net.Bearer.OutageCount()) })
+			if b.FaultUL != nil {
+				b.Metrics.GaugeFunc("fault_drops_ul", func() float64 { return float64(b.FaultUL.Dropped()) })
+			}
+			if b.FaultDL != nil {
+				b.Metrics.GaugeFunc("fault_drops_dl", func() float64 { return float64(b.FaultDL.Dropped()) })
+			}
+		}
+		net.SetObs(b.Trace, b.Metrics)
+		net.Bearer.SetTrace(b.Trace)
+		b.RadioMon = radio.AttachTrace(net.Bearer, b.Trace, b.Metrics)
+		b.Facebook.SetObs(b.Trace, b.Metrics)
+		b.YouTube.SetObs(b.Trace, b.Metrics)
+		b.Browser.SetObs(b.Trace, b.Metrics)
+	}
+	if opts.Profiler {
+		b.Profiler = obs.NewProfiler()
+		k.SetProfiler(b.Profiler)
+	}
 	return b
+}
+
+// CloseObs finalizes open observability state (the radio monitor's current
+// RRC residency span) at the present virtual time. Call it after the run,
+// before exporting the trace.
+func (b *Bed) CloseObs() {
+	if b.RadioMon != nil {
+		b.RadioMon.Close(b.K.Now())
+	}
 }
 
 // Session packages the bed's collected logs plus a behavior log into the
@@ -146,6 +207,9 @@ func (b *Bed) Session(log *qoe.BehaviorLog) *qoe.Session {
 	if b.QxDM != nil {
 		s.Radio = b.QxDM.Log()
 	}
+	if b.Trace != nil {
+		s.Trace = b.Trace.Events()
+	}
 	return s
 }
 
@@ -161,9 +225,13 @@ func (b *Bed) Throttle(rateBps float64) {
 		// Deeper than the device's TCP receive-window ceiling, so the
 		// sender's window fills the queue without overflowing it.
 		const queue = 256 * 1024
-		q = netsim.NewShaper(b.K, rateBps, 16*1024, queue)
+		s := netsim.NewShaper(b.K, rateBps, 16*1024, queue)
+		s.SetObs(b.Trace, b.Metrics, "shape_dl")
+		q = s
 	} else {
-		q = netsim.NewPolicer(b.K, rateBps, 4*1024)
+		p := netsim.NewPolicer(b.K, rateBps, 4*1024)
+		p.SetObs(b.Trace, b.Metrics, "police_dl")
+		q = p
 	}
 	// Compose with fault injection when present: impairments happen first,
 	// then the carrier throttle.

@@ -147,9 +147,23 @@ func (in *Instrumentation) snapshotNow() *Snapshot {
 	return snap
 }
 
+// noteAction allocates a correlation ID for a user input, makes it the
+// current trace scope (so every layer's events during this action share the
+// ID), and arms the screen's input-to-draw attribution.
+func (in *Instrumentation) noteAction(name string) {
+	tr := in.screen.tr
+	if tr == nil {
+		return
+	}
+	id := tr.NewID()
+	tr.SetScope(id)
+	in.screen.noteInput(name, id)
+}
+
 // Parse performs one parsing pass: the result reflects the tree at call
 // time and becomes available one ParseTime later, when cb is invoked.
 func (in *Instrumentation) Parse(cb func(*Snapshot)) {
+	in.screen.parses.Inc()
 	snap := in.snapshotNow()
 	cost := in.ParseTime()
 	in.parseCPU += time.Duration(float64(cost) * in.cpuFraction)
@@ -219,6 +233,7 @@ func (in *Instrumentation) Click(sig Signature) (simtime.Time, error) {
 	if v.OnClick == nil {
 		return 0, fmt.Errorf("uisim: view %v not clickable", sig)
 	}
+	in.noteAction("click")
 	at := in.k.Now()
 	in.k.After(in.inputLatency, v.OnClick)
 	return at, nil
@@ -234,6 +249,7 @@ func (in *Instrumentation) Scroll(sig Signature, dy int) (simtime.Time, error) {
 	if v.OnScroll == nil {
 		return 0, fmt.Errorf("uisim: view %v not scrollable", sig)
 	}
+	in.noteAction("scroll")
 	at := in.k.Now()
 	in.k.After(in.inputLatency, func() { v.OnScroll(dy) })
 	return at, nil
@@ -245,6 +261,7 @@ func (in *Instrumentation) EnterText(sig Signature, text string) (simtime.Time, 
 	if v == nil || !v.Shown() {
 		return 0, fmt.Errorf("uisim: no visible view matches %v", sig)
 	}
+	in.noteAction("type")
 	at := in.k.Now()
 	in.k.After(in.inputLatency, func() {
 		v.SetText(text)
@@ -264,6 +281,7 @@ func (in *Instrumentation) PressEnter(sig Signature) (simtime.Time, error) {
 	if v.OnEnter == nil {
 		return 0, fmt.Errorf("uisim: view %v has no ENTER handler", sig)
 	}
+	in.noteAction("enter")
 	at := in.k.Now()
 	in.k.After(in.inputLatency, v.OnEnter)
 	return at, nil

@@ -3,6 +3,7 @@ package uisim
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -30,6 +31,18 @@ type Screen struct {
 	// appCPU accumulates the app's modeled CPU busy time, used for the
 	// Table 3 overhead measurement.
 	appCPU time.Duration
+
+	// Observability: the pending-input fields attribute the next draw commit
+	// to the user input that caused it (the paper's t_screen - t_ui gap).
+	tr        *obs.Trace
+	reg       *obs.Registry
+	draws     *obs.Counter
+	parses    *obs.Counter
+	drawHist  *obs.Histogram
+	inputName string
+	inputID   uint64
+	inputAt   simtime.Time
+	inputSet  bool
 }
 
 type screenWatcher struct {
@@ -57,6 +70,26 @@ func (s *Screen) Version() uint64 { return s.version }
 
 // DrawnVersion returns the version currently visible on screen.
 func (s *Screen) DrawnVersion() uint64 { return s.drawnVer }
+
+// SetObs attaches a trace bus and metrics registry. Apps and the
+// instrumentation layer built over this screen read them back via Obs, so
+// one testbed call wires the whole UI side.
+func (s *Screen) SetObs(tr *obs.Trace, reg *obs.Registry) {
+	s.tr = tr
+	s.reg = reg
+	s.draws = reg.Counter("ui_draws")
+	s.parses = reg.Counter("ui_parses")
+	s.drawHist = reg.Histogram("ui_input_to_draw_ms")
+}
+
+// Obs returns the attached trace and registry (nil when detached).
+func (s *Screen) Obs() (*obs.Trace, *obs.Registry) { return s.tr, s.reg }
+
+// noteInput records a pending user input so the next draw commit can be
+// attributed to it.
+func (s *Screen) noteInput(name string, id uint64) {
+	s.inputName, s.inputID, s.inputAt, s.inputSet = name, id, s.k.Now(), true
+}
 
 // AddAppCPU records modeled app CPU time (the app calls this from its
 // event handlers).
@@ -89,6 +122,17 @@ func (s *Screen) draw() {
 	s.drawEv = nil
 	s.drawnVer = s.version
 	now := s.k.Now()
+	s.draws.Inc()
+	if s.inputSet {
+		s.inputSet = false
+		if s.tr != nil {
+			s.tr.Emit(obs.TraceEvent{
+				Kind: obs.KindSpan, Layer: obs.LayerUI, Name: "ui:" + s.inputName,
+				Start: time.Duration(s.inputAt), End: time.Duration(now), ID: s.inputID,
+			})
+		}
+		s.drawHist.Observe(float64(now-s.inputAt) / float64(time.Millisecond))
+	}
 	for _, fn := range s.onDraw {
 		fn(now)
 	}
