@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench
+.PHONY: build test test-short verify bench sweep sweep-golden
 
 build:
 	$(GO) build ./...
+	$(GO) build -o bin/qoeexp ./cmd/qoeexp
+	$(GO) build -o bin/qoedoctor ./cmd/qoedoctor
+	$(GO) build -o bin/traceview ./cmd/traceview
 
 test: build
 	$(GO) test ./...
@@ -11,17 +14,28 @@ test: build
 test-short: build
 	$(GO) test -short ./...
 
-# Full verification: static checks plus the race-enabled suite. The
-# simulation is single-goroutine by design, so -race is cheap and mostly
-# guards the test harnesses themselves.
+# Full verification: static checks plus the race-enabled suite. Each
+# simulation kernel is single-goroutine by design, but the sweep engine runs
+# whole testbeds on concurrent goroutines, so -race exercises real
+# concurrency (internal/sweep's parallel-vs-serial golden runs under it).
 verify: build
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Benchmarks: every paper-figure benchmark plus the obs-layer overhead
-# measurement, which records its numbers in BENCH_PR2.json.
+# Benchmarks: every paper-figure benchmark plus the PR 3 perf record —
+# kernel micro-costs, the Facebook-workload allocation profile compared
+# against the checked-in BENCH_PR2.json baseline, and the full sweep serial
+# vs parallel. Writes BENCH_PR3.json (BENCH_PR2.json stays as the baseline).
 bench:
 	$(GO) test -bench=. -benchmem
-	BENCH_JSON=BENCH_PR2.json $(GO) test -run TestWriteBenchJSON -v .
+	BENCH_PR3_JSON=BENCH_PR3.json $(GO) test -run TestWriteBenchPR3JSON -v .
+
+# Run the full experiment sweep on all cores.
+sweep: build
+	./bin/qoeexp -all -parallel 0
+
+# Opt-in full `-all -seed 42` determinism golden (serial vs parallel bytes).
+sweep-golden:
+	SWEEP_FULL=1 $(GO) test -run TestFullSweepGolden -v ./internal/sweep/

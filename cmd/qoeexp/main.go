@@ -4,9 +4,15 @@
 //
 // Usage:
 //
-//	qoeexp -list                 # show the experiment index (Table 2)
-//	qoeexp -run fig7 [-seed N]   # run one experiment
-//	qoeexp -all [-seed N]        # run everything in paper order
+//	qoeexp -list                      # show the experiment index (Table 2)
+//	qoeexp -run fig7 [-seed N]        # run one experiment
+//	qoeexp -all [-seed N]             # run everything in paper order
+//	qoeexp -all -parallel 0           # ... on all cores (0 = GOMAXPROCS)
+//	qoeexp -all -seeds 42..49         # ... across a seed grid
+//
+// Cells of the (experiment × seed) grid are independent — each builds its
+// own simulation kernel — so -parallel changes wall-clock time only; the
+// output is byte-identical to a serial run.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -23,7 +30,19 @@ func main() {
 	runID := flag.String("run", "", "experiment id to run (e.g. fig7, table3, sec7.7)")
 	all := flag.Bool("all", false, "run every experiment")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	seeds := flag.String("seeds", "", "seed grid, e.g. 42..49 or 1,5,9 (overrides -seed)")
+	parallel := flag.Int("parallel", 1, "worker count for the sweep; 0 = GOMAXPROCS")
 	flag.Parse()
+
+	grid := []int64{*seed}
+	if *seeds != "" {
+		var err error
+		grid, err = sweep.ParseSeeds(*seeds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoeexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	switch {
 	case *list:
@@ -41,14 +60,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "qoeexp: unknown experiment %q (try -list)\n", *runID)
 			os.Exit(1)
 		}
-		fmt.Print(e.Run(*seed).Render())
-	case *all:
-		for _, e := range experiments.Registry() {
-			fmt.Print(e.Run(*seed).Render())
-			fmt.Println()
+		if len(grid) == 1 && *parallel == 1 {
+			fmt.Print(e.Run(grid[0]).Render())
+			return
 		}
+		runSweep(sweep.Grid([]experiments.Experiment{e}, grid), *parallel, len(grid) > 1)
+	case *all:
+		runSweep(sweep.Grid(experiments.Registry(), grid), *parallel, len(grid) > 1)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+func runSweep(cells []sweep.Cell, workers int, showSeed bool) {
+	results := sweep.Run(cells, sweep.Options{Workers: workers})
+	fmt.Print(sweep.Render(results, showSeed))
+	if n := sweep.Failed(results); n > 0 {
+		fmt.Fprintf(os.Stderr, "qoeexp: %d of %d cells failed\n", n, len(cells))
+		os.Exit(1)
 	}
 }

@@ -77,7 +77,7 @@ type App struct {
 
 	onLoaded func(url string, at simtime.Time)
 
-	loadWatch *simtime.Event // LoadTimeout watchdog for the active load
+	loadWatch simtime.Event // LoadTimeout watchdog for the active load
 	loadTries int
 	// LoadFailures counts page loads abandoned after exhausting retries.
 	LoadFailures int
@@ -195,7 +195,7 @@ func (a *App) startLoad(url string) {
 	})
 	if a.prof.LoadTimeout > 0 {
 		a.loadWatch = a.k.After(a.prof.LoadTimeout, func() {
-			a.loadWatch = nil
+			a.loadWatch = simtime.Event{}
 			if !load.active {
 				return
 			}
@@ -230,10 +230,8 @@ func (a *App) retryOrAbandon(url, host string) {
 }
 
 func (a *App) cancelLoadWatch() {
-	if a.loadWatch != nil {
-		a.loadWatch.Cancel()
-		a.loadWatch = nil
-	}
+	a.loadWatch.Cancel()
+	a.loadWatch = simtime.Event{}
 }
 
 // resetConns aborts the connection pool; the next load dials fresh ones.

@@ -118,7 +118,7 @@ type App struct {
 	ackWaiters []ackWaiter
 
 	connectFailed bool
-	fetchWatch    *simtime.Event // FetchTimeout watchdog for the active fetch
+	fetchWatch    simtime.Event // FetchTimeout watchdog for the active fetch
 	fetchTries    int
 	// FetchFailures counts foreground feed fetches abandoned after
 	// exhausting retries (exposed for tests and reports).
@@ -358,7 +358,7 @@ func (a *App) sendFetch() {
 	}
 	timeout := a.cfg.FetchTimeout << (a.fetchTries - 1)
 	a.fetchWatch = a.k.After(timeout, func() {
-		a.fetchWatch = nil
+		a.fetchWatch = simtime.Event{}
 		if !a.updating {
 			return
 		}
@@ -378,10 +378,8 @@ func (a *App) sendFetch() {
 }
 
 func (a *App) cancelFetchWatch() {
-	if a.fetchWatch != nil {
-		a.fetchWatch.Cancel()
-		a.fetchWatch = nil
-	}
+	a.fetchWatch.Cancel()
+	a.fetchWatch = simtime.Event{}
 }
 
 // backgroundRefresh fetches non-time-sensitive recommendations (§7.3); it

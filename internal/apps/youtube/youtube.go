@@ -134,15 +134,15 @@ type App struct {
 	stalled     bool
 	playedBytes float64
 	lastTick    simtime.Time
-	dryEv       *simtime.Event
+	dryEv       simtime.Event
 	stats       PlaybackStats
 	onDone      func(PlaybackStats)
 
 	playStart  simtime.Time
 	stallStart simtime.Time
-	stallWatch *simtime.Event // StallTimeout watchdog, armed while stalled
-	adTimerEv  *simtime.Event
-	skipEv     *simtime.Event
+	stallWatch simtime.Event // StallTimeout watchdog, armed while stalled
+	adTimerEv  simtime.Event
+	skipEv     simtime.Event
 	adStartAt  simtime.Time
 	adEndAt    simtime.Time
 	// mainInfo and mainRequested defer the main video's stream request
@@ -371,14 +371,10 @@ func (a *App) finishAd() {
 	if a.ad == nil {
 		return
 	}
-	if a.adTimerEv != nil {
-		a.adTimerEv.Cancel()
-		a.adTimerEv = nil
-	}
-	if a.skipEv != nil {
-		a.skipEv.Cancel()
-		a.skipEv = nil
-	}
+	a.adTimerEv.Cancel()
+	a.adTimerEv = simtime.Event{}
+	a.skipEv.Cancel()
+	a.skipEv = simtime.Event{}
 	a.skipBtn.SetVisible(false)
 	a.ad = nil
 	a.adStartAt = 0
@@ -464,10 +460,8 @@ func (a *App) advance() {
 // scheduleDry (re)schedules the next buffer-exhaustion or end-of-video
 // event.
 func (a *App) scheduleDry() {
-	if a.dryEv != nil {
-		a.dryEv.Cancel()
-		a.dryEv = nil
-	}
+	a.dryEv.Cancel()
+	a.dryEv = simtime.Event{}
 	a.advance()
 	rate := float64(a.current.info.BitrateBps) / 8
 	remainingPlayable := float64(a.current.buffered) - a.playedBytes
@@ -489,7 +483,7 @@ func (a *App) scheduleDry() {
 
 // onDry fires when the buffer runs out (or the video finishes).
 func (a *App) onDry() {
-	a.dryEv = nil
+	a.dryEv = simtime.Event{}
 	a.advance()
 	if a.playedBytes >= float64(a.current.total)-0.5 {
 		a.finishPlayback()
@@ -517,17 +511,15 @@ func (a *App) onDry() {
 }
 
 func (a *App) cancelStallWatch() {
-	if a.stallWatch != nil {
-		a.stallWatch.Cancel()
-		a.stallWatch = nil
-	}
+	a.stallWatch.Cancel()
+	a.stallWatch = simtime.Event{}
 }
 
 // abandonPlayback is the StallTimeout watchdog path: the stream is dead
 // (e.g. a long bearer outage) and the user gives up. Stats collected so far
 // are reported with Abandoned set.
 func (a *App) abandonPlayback() {
-	a.stallWatch = nil
+	a.stallWatch = simtime.Event{}
 	if a.current == nil || !a.stalled {
 		return
 	}
@@ -556,10 +548,8 @@ func (a *App) finishPlayback() {
 	a.player.SetVisible(false)
 	a.progress.SetVisible(false)
 	a.cancelStallWatch()
-	if a.dryEv != nil {
-		a.dryEv.Cancel()
-		a.dryEv = nil
-	}
+	a.dryEv.Cancel()
+	a.dryEv = simtime.Event{}
 	st := a.stats
 	a.current = nil
 	if a.onDone != nil {

@@ -204,21 +204,19 @@ func (s *Script) Play(k *simtime.Kernel, done func()) {
 			// Guard against the step completing after its watchdog fired
 			// (or calling next twice): only the first advance counts.
 			advanced := false
-			var watch *simtime.Event
+			var watch simtime.Event
 			next := func() {
 				if advanced {
 					return
 				}
 				advanced = true
-				if watch != nil {
-					watch.Cancel()
-					watch = nil
-				}
+				watch.Cancel()
+				watch = simtime.Event{}
 				advance()
 			}
 			if s.StepTimeout > 0 {
 				watch = k.After(s.StepTimeout, func() {
-					watch = nil
+					watch = simtime.Event{}
 					if advanced {
 						return
 					}

@@ -148,7 +148,7 @@ type dnsQuery struct {
 	name  string
 	cb    func(netip.Addr, bool)
 	tries int
-	timer *simtime.Event
+	timer simtime.Event
 }
 
 // Resolver issues DNS queries from a device stack and caches results.
@@ -183,9 +183,7 @@ func NewResolver(s *Stack, server Endpoint) *Resolver {
 			return
 		}
 		delete(r.pending, m.ID)
-		if q.timer != nil {
-			q.timer.Cancel()
-		}
+		q.timer.Cancel()
 		if m.Answer.IsValid() {
 			r.cache[m.Name] = m.Answer
 			q.cb(m.Answer, true)
@@ -229,7 +227,7 @@ func (r *Resolver) sendQuery(id uint16, q *dnsQuery) {
 	r.stack.SendUDP(Endpoint{Addr: r.stack.Addr(), Port: r.port}, r.server, MarshalDNS(m))
 	timeout := dnsTimeout << q.tries
 	q.timer = r.stack.k.After(timeout, func() {
-		q.timer = nil
+		q.timer = simtime.Event{}
 		if r.pending[id] != q {
 			return // answered in the meantime
 		}

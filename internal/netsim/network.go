@@ -33,6 +33,12 @@ type Network struct {
 
 	servers map[netip.Addr]*Stack
 
+	// wireFree recycles Marshal buffers for packets crossing the bearer. The
+	// bearer hands each buffer back via its payload-release hook as soon as
+	// RLC segmentation has copied the head bytes it keeps, so buffers cycle
+	// once per packet instead of allocating per packet.
+	wireFree [][]byte
+
 	tr  *obs.Trace
 	reg *obs.Registry
 }
@@ -50,8 +56,22 @@ func NewNetwork(k *simtime.Kernel, prof *radio.Profile, deviceAddr netip.Addr, c
 		servers:   make(map[netip.Addr]*Stack),
 	}
 	n.Device.SetOutput(n.uplink)
+	n.Bearer.SetPayloadRelease(n.releaseWire)
 	return n
 }
+
+// marshalWire serializes p into a recycled wire buffer when one is free.
+func (n *Network) marshalWire(p *Packet) []byte {
+	if l := len(n.wireFree); l > 0 {
+		buf := n.wireFree[l-1]
+		n.wireFree[l-1] = nil
+		n.wireFree = n.wireFree[:l-1]
+		return p.MarshalAppend(buf[:0])
+	}
+	return p.Marshal()
+}
+
+func (n *Network) releaseWire(b []byte) { n.wireFree = append(n.wireFree, b) }
 
 // Kernel returns the driving kernel.
 func (n *Network) Kernel() *simtime.Kernel { return n.k }
@@ -96,7 +116,7 @@ func (n *Network) Server(addr netip.Addr) *Stack { return n.servers[addr] }
 
 // uplink carries a device packet through the bearer and core to its server.
 func (n *Network) uplink(p *Packet) {
-	wire := p.Marshal()
+	wire := n.marshalWire(p)
 	n.Bearer.SendUplink(wire, func() {
 		n.ULQdisc.Enqueue(len(wire), func() {
 			n.k.After(n.CoreDelay, func() {
@@ -113,7 +133,7 @@ func (n *Network) uplink(p *Packet) {
 func (n *Network) fromServer(from *Stack, p *Packet) {
 	if p.Dst.Addr == n.Device.Addr() {
 		n.k.After(n.CoreDelay, func() {
-			wire := p.Marshal()
+			wire := n.marshalWire(p)
 			n.DLQdisc.Enqueue(len(wire), func() {
 				n.Bearer.SendDownlink(wire, func() {
 					n.Device.Input(p)

@@ -120,18 +120,24 @@ func (p *Packet) WireLen() int {
 // Marshal serializes the packet as a real IPv4+TCP/UDP wire frame. The IP
 // header checksum is computed; transport checksums are zero (tcpdump accepts
 // that, and nothing in the simulation corrupts bytes).
-func (p *Packet) Marshal() []byte {
-	buf := make([]byte, p.WireLen())
+func (p *Packet) Marshal() []byte { return p.MarshalAppend(nil) }
+
+// MarshalAppend appends the packet's wire frame to dst (which may be nil or
+// a recycled buffer resliced to zero length) and returns the extended slice.
+func (p *Packet) MarshalAppend(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, p.WireLen())...)
+	buf := dst[start:]
 	total := len(buf)
 	// IPv4 header.
 	buf[0] = 0x45 // version 4, IHL 5
 	binary.BigEndian.PutUint16(buf[2:], uint16(total))
 	buf[8] = 64 // TTL
 	buf[9] = uint8(p.Proto)
-	src := p.Src.Addr.As4()
-	dst := p.Dst.Addr.As4()
-	copy(buf[12:16], src[:])
-	copy(buf[16:20], dst[:])
+	srcA := p.Src.Addr.As4()
+	dstA := p.Dst.Addr.As4()
+	copy(buf[12:16], srcA[:])
+	copy(buf[16:20], dstA[:])
 	binary.BigEndian.PutUint16(buf[10:], ipChecksum(buf[:ipv4HeaderLen]))
 
 	switch p.Proto {
@@ -152,7 +158,7 @@ func (p *Packet) Marshal() []byte {
 		binary.BigEndian.PutUint16(u[4:], uint16(udpHeaderLen+len(p.Payload)))
 		copy(u[udpHeaderLen:], p.Payload)
 	}
-	return buf
+	return dst
 }
 
 // Unmarshal parses a wire frame produced by Marshal (or any plain

@@ -58,7 +58,7 @@ type Conn struct {
 	rwnd     int
 	dupAcks  int
 	// retransmit state
-	rtoTimer    *simtime.Event
+	rtoTimer    simtime.Event
 	rto         time.Duration
 	srtt        time.Duration
 	rttvar      time.Duration
@@ -214,10 +214,8 @@ func (c *Conn) teardown() {
 		c.connSpan.End()
 	}
 	c.state = stDone
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel()
+	c.rtoTimer = simtime.Event{}
 	c.stack.forget(c)
 	if c.onClose != nil {
 		c.onClose()
@@ -274,7 +272,12 @@ func (c *Conn) trySend() {
 			break
 		}
 		off := inFlight
-		seg := append([]byte(nil), c.buf[off:off+n]...)
+		// Zero-copy: the segment aliases the send buffer. Safe because the
+		// buffer's backing array is only ever appended past len (Send) and
+		// consumed by forward reslicing (ACKs) — emitted bytes are never
+		// overwritten — and every consumer (RLC head copy, wire marshal,
+		// receive-side reassembly) copies what it keeps.
+		seg := c.buf[off : off+n : off+n]
 		seq := c.sndNxt
 		c.emit(&Packet{Flags: FlagPSH, Seq: seq, Payload: seg})
 		c.sndNxt += uint32(n)
@@ -304,22 +307,18 @@ func (c *Conn) trySend() {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
+	c.rtoTimer.Cancel()
 	c.rtoTimer = c.stack.k.After(c.rto, c.onRTO)
 }
 
 func (c *Conn) disarmRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel()
+	c.rtoTimer = simtime.Event{}
 }
 
 // onRTO handles a retransmission timeout.
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
+	c.rtoTimer = simtime.Event{}
 	if c.state == stDone {
 		return
 	}
@@ -399,7 +398,7 @@ func (c *Conn) retransmitFirst() {
 	if n > MSS {
 		n = MSS
 	}
-	seg := append([]byte(nil), c.buf[:n]...)
+	seg := c.buf[0:n:n] // zero-copy; see trySend
 	c.emit(&Packet{Flags: FlagPSH, Seq: c.sndUna, Payload: seg})
 }
 

@@ -22,6 +22,11 @@ type Bearer struct {
 
 	monitors []Monitor
 
+	// payloadRelease, when set, is invoked once per SDU payload as soon as
+	// segmentation has copied everything the radio layer keeps (PDU sizes and
+	// head bytes) — the point after which the bytes are never read again.
+	payloadRelease func([]byte)
+
 	// outageUntil is the end of the current (or most recent) bearer outage;
 	// the bearer is down while Now() < outageUntil.
 	outageUntil simtime.Time
@@ -58,6 +63,11 @@ func (b *Bearer) RRC() *Machine { return b.rrc }
 
 // Attach registers a radio-layer monitor (e.g. the QxDM simulator).
 func (b *Bearer) Attach(m Monitor) { b.monitors = append(b.monitors, m) }
+
+// SetPayloadRelease registers a hook fired when the bearer is done reading a
+// packet's payload bytes (segmentation complete). Callers use it to recycle
+// marshal buffers; the hook runs at most once per payload.
+func (b *Bearer) SetPayloadRelease(fn func([]byte)) { b.payloadRelease = fn }
 
 // SetTrace attaches a trace bus for bearer outage spans.
 func (b *Bearer) SetTrace(tr *obs.Trace) { b.tr = tr }

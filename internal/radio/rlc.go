@@ -221,7 +221,11 @@ func (e *entity) buildPDU() *PDU {
 		e.segOff += uint64(take)
 		if e.segOff == s.end {
 			p.LI = append(p.LI, p.Size) // SDU ends inside (or at end of) this PDU
-			s.bytes = nil               // payload no longer needed
+			// Payload no longer needed: release it for reuse.
+			if rel := e.b.payloadRelease; rel != nil && s.bytes != nil {
+				rel(s.bytes)
+			}
+			s.bytes = nil
 			e.queue = e.queue[1:]
 		}
 	}

@@ -111,7 +111,7 @@ type Machine struct {
 	state   State
 	readyAt simtime.Time // when the data plane becomes usable (promotion end)
 
-	demoteEv  *simtime.Event
+	demoteEv  simtime.Event
 	listeners []func(Transition)
 }
 
@@ -174,20 +174,16 @@ func (m *Machine) OnActivity() simtime.Time {
 // handover gap. Any promotion in progress is abandoned, so traffic after the
 // outage pays a fresh promotion delay.
 func (m *Machine) ConnectionLost() {
-	if m.demoteEv != nil {
-		m.demoteEv.Cancel()
-		m.demoteEv = nil
-	}
+	m.demoteEv.Cancel()
+	m.demoteEv = simtime.Event{}
 	m.readyAt = m.k.Now()
 	m.transition(m.prof.Base, false)
 }
 
 // armDemotion restarts the inactivity demotion chain from the current state.
 func (m *Machine) armDemotion() {
-	if m.demoteEv != nil {
-		m.demoteEv.Cancel()
-		m.demoteEv = nil
-	}
+	m.demoteEv.Cancel()
+	m.demoteEv = simtime.Event{}
 	m.scheduleNextDemotion()
 }
 
@@ -196,7 +192,7 @@ func (m *Machine) scheduleNextDemotion() {
 		if d.From == m.state {
 			step := d
 			m.demoteEv = m.k.After(step.Timer, func() {
-				m.demoteEv = nil
+				m.demoteEv = simtime.Event{}
 				m.transition(step.To, false)
 				m.scheduleNextDemotion()
 			})

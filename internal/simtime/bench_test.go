@@ -1,0 +1,57 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleFire measures the steady-state schedule+dispatch cycle:
+// after warm-up every iteration should reuse pooled shells and allocate
+// nothing.
+func BenchmarkScheduleFire(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	const batch = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			k.After(time.Duration(j)*time.Microsecond, fn)
+		}
+		k.Run()
+	}
+}
+
+// BenchmarkCancelChurn models the TCP RTO pattern: a timer is re-armed
+// (cancel + schedule) far more often than it fires, exercising lazy deletion
+// and compaction.
+func BenchmarkCancelChurn(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	var timer Event
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		timer.Cancel()
+		timer = k.After(time.Second, fn)
+		if i%64 == 63 {
+			// Let a short horizon fire so the queue drains periodically.
+			k.After(time.Microsecond, fn)
+			k.RunUntil(k.Now() + time.Millisecond)
+		}
+	}
+}
+
+// BenchmarkSameInstantBurst measures dense same-timestamp runs (zero-delay
+// event cascades are common in the RLC and TCP paths).
+func BenchmarkSameInstantBurst(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	const batch = 256
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		at := k.Now() + time.Millisecond
+		for j := 0; j < batch; j++ {
+			k.At(at, fn)
+		}
+		k.Run()
+	}
+}

@@ -6,10 +6,19 @@
 // Nothing in the simulation reads the wall clock, so a 16-hour background
 // traffic study executes in milliseconds and every run with the same seed is
 // bit-for-bit reproducible.
+//
+// The scheduler is built for sweep throughput: the priority queue is an
+// inlined 4-ary min-heap specialized to events (no container/heap interface
+// dispatch), events are recycled through a per-kernel free list so
+// steady-state scheduling allocates nothing, and cancellation is lazy (a
+// canceled event is marked dead and collected when it surfaces, instead of
+// paying an O(n) sift to extract it from the middle of the heap). Each
+// Kernel is fully self-contained — no package-level state — so independent
+// kernels can run on separate goroutines concurrently, which is what the
+// sweep engine (internal/sweep) does.
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -25,75 +34,92 @@ import (
 // literals like 5*time.Second.
 type Time = time.Duration
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it before it fires.
-type Event struct {
+// event is the pooled, kernel-internal representation of one scheduled
+// callback. Events are recycled through the kernel's free list the moment
+// they fire or their cancellation is collected; gen distinguishes the
+// current occupant from earlier schedules that reused the same object, so a
+// stale handle can never touch a recycled event.
+type event struct {
 	when   Time
 	seq    uint64
+	gen    uint64
 	fn     func()
-	index  int // heap index, -1 once popped or canceled
 	dead   bool
 	kernel *Kernel
 }
 
-// When returns the virtual time the event is scheduled for.
-func (e *Event) When() Time { return e.when }
+// Event is a handle to a scheduled callback, returned by the scheduling
+// methods so callers can cancel it before it fires. It is a small value
+// type: the zero Event is inert (all methods no-op), and a handle kept
+// around after its event fired or was canceled stays safely inert even
+// though the kernel has recycled the underlying object for a later
+// schedule — the generation check makes a stale Cancel a no-op rather than
+// a cancellation of an unrelated event.
+type Event struct {
+	e   *event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op. Cancel must only be called from the
-// kernel goroutine (i.e. from within event callbacks or between Run calls).
-func (e *Event) Cancel() {
-	if e == nil || e.dead {
+// When returns the virtual time the event is scheduled for (zero for inert
+// or stale handles).
+func (ev Event) When() Time {
+	if ev.e == nil || ev.e.gen != ev.gen {
+		return 0
+	}
+	return ev.e.when
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired,
+// already-canceled, or zero Event is a no-op. Cancel must only be called
+// from the kernel goroutine (i.e. from within event callbacks or between
+// Run calls).
+func (ev Event) Cancel() {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.dead {
 		return
 	}
 	e.dead = true
-	if e.index >= 0 {
-		heap.Remove(&e.kernel.queue, e.index)
-	}
+	e.fn = nil // release the closure now; the shell is collected lazily
+	k := e.kernel
+	k.live--
+	k.deadInQueue++
+	k.maybeCompact()
 }
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e != nil && e.dead }
+// Canceled reports whether Cancel was called before the event fired. Once
+// the kernel has collected the canceled event the handle reads as stale and
+// Canceled reverts to false; use it right after Cancel, not as long-term
+// state.
+func (ev Event) Canceled() bool {
+	return ev.e != nil && ev.e.gen == ev.gen && ev.e.dead
+}
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// Pending reports whether this handle's event is still queued to fire.
+func (ev Event) Pending() bool {
+	return ev.e != nil && ev.e.gen == ev.gen && !ev.e.dead
 }
 
 // Kernel is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use: the simulation model is expected to be driven from one
+// concurrent use: one simulation model is expected to be driven from one
 // goroutine, with concurrency expressed as interleaved events rather than
-// OS-level parallelism.
+// OS-level parallelism. Distinct kernels share nothing and may run in
+// parallel with each other.
 type Kernel struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	rng     *rand.Rand
-	stopped bool
+	now Time
+	// queue is a 4-ary min-heap on (when, seq). 4-ary beats binary here:
+	// sift-down does more comparisons per level but the tree is half as
+	// deep, and the hot mix is push-heavy (every push sifts up through a
+	// shallower tree, and most pops happen near the front of dense
+	// same-instant runs).
+	queue []*event
+	free  []*event // recycled event shells
+	// live counts queued events that have not been canceled; deadInQueue
+	// counts canceled shells awaiting lazy collection.
+	live        int
+	deadInQueue int
+	seq         uint64
+	rng         *rand.Rand
+	stopped     bool
 	// processed counts fired events, exposed for tests and budget guards.
 	processed uint64
 
@@ -110,6 +136,9 @@ type Kernel struct {
 // an attached trace: frequent enough to see backlog build-up, sparse enough
 // that million-event runs stay exportable.
 const queueSampleEvery = 1024
+
+// heapArity is the fan-out of the event heap.
+const heapArity = 4
 
 // NewKernel returns a kernel at virtual time zero with a deterministic RNG
 // derived from seed.
@@ -157,21 +186,151 @@ func (k *Kernel) siteName(fn func()) string {
 	return name
 }
 
+// alloc takes an event shell from the free list, or mints one.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{kernel: k}
+}
+
+// recycle retires an event shell to the free list. Bumping gen invalidates
+// every outstanding handle to the old schedule.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	k.free = append(k.free, e)
+}
+
+// before is the heap ordering: earliest time first, FIFO (schedule order)
+// among events at the same instant.
+func (e *event) before(o *event) bool {
+	return e.when < o.when || (e.when == o.when && e.seq < o.seq)
+}
+
+// push inserts e, sifting up through the 4-ary heap.
+func (k *Kernel) push(e *event) {
+	k.queue = append(k.queue, e)
+	q := k.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !e.before(q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+}
+
+// popTop removes and returns the minimum event.
+func (k *Kernel) popTop() *event {
+	q := k.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if n > 0 {
+		k.siftDown(0, last)
+	}
+	return top
+}
+
+// siftDown places e at index i, pulling smaller children up.
+func (k *Kernel) siftDown(i int, e *event) {
+	q := k.queue
+	n := len(q)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q[c].before(q[m]) {
+				m = c
+			}
+		}
+		if !q[m].before(e) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = e
+}
+
+// peekLive returns the earliest live event, collecting any canceled shells
+// that have surfaced at the top of the heap. Returns nil when nothing is
+// left to fire.
+func (k *Kernel) peekLive() *event {
+	for len(k.queue) > 0 {
+		e := k.queue[0]
+		if !e.dead {
+			return e
+		}
+		k.popTop()
+		k.deadInQueue--
+		k.recycle(e)
+	}
+	return nil
+}
+
+// maybeCompact rebuilds the heap without its dead shells once more than
+// half the queue is cancellations. Cancel-heavy workloads (TCP re-arms its
+// RTO timer on every ACK) would otherwise carry a long tail of dead entries
+// until their original deadlines surfaced.
+func (k *Kernel) maybeCompact() {
+	if len(k.queue) < 64 || k.deadInQueue*2 < len(k.queue) {
+		return
+	}
+	q := k.queue
+	kept := q[:0]
+	for _, e := range q {
+		if e.dead {
+			k.recycle(e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(q); i++ {
+		q[i] = nil
+	}
+	k.queue = kept
+	k.deadInQueue = 0
+	if len(kept) > 1 {
+		for i := (len(kept) - 2) / heapArity; i >= 0; i-- {
+			k.siftDown(i, kept[i])
+		}
+	}
+}
+
 // At schedules fn at absolute virtual time t. Scheduling in the past panics:
 // it is always a model bug, and silently clamping would hide causality
 // violations.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", t, k.now))
 	}
-	e := &Event{when: t, seq: k.seq, fn: fn, kernel: k}
+	e := k.alloc()
+	e.when, e.seq, e.fn, e.dead = t, k.seq, fn, false
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	k.live++
+	k.push(e)
+	return Event{e: e, gen: e.gen}
 }
 
 // After schedules fn delay after the current virtual time.
-func (k *Kernel) After(delay time.Duration, fn func()) *Event {
+func (k *Kernel) After(delay time.Duration, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -182,32 +341,36 @@ func (k *Kernel) After(delay time.Duration, fn func()) *Event {
 // event completes. Pending events remain queued.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Pending returns the number of events currently queued.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of live (not canceled) events currently queued.
+func (k *Kernel) Pending() int { return k.live }
 
-// step fires the next event. It reports false when the queue is empty.
+// step fires the next live event. It reports false when nothing is left.
 func (k *Kernel) step() bool {
-	if len(k.queue) == 0 {
+	e := k.peekLive()
+	if e == nil {
 		return false
 	}
-	e := heap.Pop(&k.queue).(*Event)
-	if e.dead {
-		return true
-	}
+	k.popTop()
 	k.now = e.when
-	e.dead = true
+	fn := e.fn
+	k.live--
 	k.processed++
+	// Recycle before running the callback: handles to this event go stale
+	// now, so a callback (or anything it triggers) canceling "itself" is
+	// inert, and the shell is immediately reusable for events the callback
+	// schedules.
+	k.recycle(e)
 	if k.trace != nil && k.processed%queueSampleEvery == 0 {
-		k.trace.CounterSample(obs.LayerKernel, "queue_depth", float64(len(k.queue)))
+		k.trace.CounterSample(obs.LayerKernel, "queue_depth", float64(k.live))
 	}
 	if k.prof != nil {
-		site := k.siteName(e.fn)
+		site := k.siteName(fn)
 		t0 := time.Now()
-		e.fn()
+		fn()
 		k.prof.Observe(site, time.Since(t0))
 		return true
 	}
-	e.fn()
+	fn()
 	return true
 }
 
@@ -227,7 +390,8 @@ func (k *Kernel) RunUntil(t Time) {
 	sp, before := k.beginRunSpan()
 	k.stopped = false
 	for !k.stopped {
-		if len(k.queue) == 0 || k.queue[0].when > t {
+		e := k.peekLive()
+		if e == nil || e.when > t {
 			break
 		}
 		k.step()
@@ -260,12 +424,15 @@ func (k *Kernel) endRunSpan(sp obs.Span, before uint64) {
 func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
 
 // Ticker invokes fn every period until the returned stop function is called.
-// The first invocation happens one period from now.
+// The first invocation happens one period from now. Stopping from within fn
+// is safe: the pending reschedule is suppressed, and the stop function stays
+// inert afterwards even once the ticker's event shells have been recycled
+// for unrelated schedules.
 func (k *Kernel) Ticker(period time.Duration, fn func()) (stop func()) {
 	if period <= 0 {
 		panic("simtime: ticker period must be positive")
 	}
-	var ev *Event
+	var ev Event
 	stopped := false
 	var tick func()
 	tick = func() {

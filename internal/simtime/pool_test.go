@@ -1,0 +1,184 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCancelThenRescheduleReuse: a canceled event's shell is collected and
+// recycled for a later schedule, and both the cancellation and the reuse
+// behave correctly.
+func TestCancelThenRescheduleReuse(t *testing.T) {
+	k := NewKernel(1)
+	canceledFired := false
+	ev := k.After(time.Second, func() { canceledFired = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false right after Cancel")
+	}
+	if ev.Pending() {
+		t.Fatal("Pending() = true after Cancel")
+	}
+	// Drain: collects the dead shell into the free list.
+	k.Run()
+	if canceledFired {
+		t.Fatal("canceled event fired")
+	}
+	if len(k.free) == 0 {
+		t.Fatal("canceled shell was not recycled")
+	}
+	shell := k.free[len(k.free)-1]
+	fired := false
+	ev2 := k.After(time.Second, func() { fired = true })
+	if ev2.e != shell {
+		t.Fatal("reschedule did not reuse the pooled shell")
+	}
+	// The stale handle to the canceled occupant must not affect the reuse.
+	ev.Cancel()
+	if ev.Canceled() {
+		t.Fatal("stale handle reports Canceled for the new occupant")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("rescheduled event did not fire")
+	}
+}
+
+// TestStaleCancelAfterFire: canceling an event that already fired must not
+// cancel the unrelated event now occupying the recycled shell.
+func TestStaleCancelAfterFire(t *testing.T) {
+	k := NewKernel(1)
+	old := k.After(time.Second, func() {})
+	k.Run()
+	if old.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	fired := false
+	ev := k.After(time.Second, func() { fired = true })
+	if ev.e != old.e {
+		t.Fatal("expected the fired shell to be reused")
+	}
+	old.Cancel() // stale: different generation
+	if !ev.Pending() {
+		t.Fatal("stale Cancel killed the recycled shell's new occupant")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("event did not fire after stale Cancel")
+	}
+}
+
+// TestSelfCancelInsideCallback: an event canceling its own handle from
+// within its callback is a no-op (the shell is already recycled).
+func TestSelfCancelInsideCallback(t *testing.T) {
+	k := NewKernel(1)
+	var ev Event
+	fired := false
+	ev = k.After(time.Second, func() {
+		ev.Cancel() // stale by the time the callback runs
+		fired = true
+	})
+	later := false
+	k.After(2*time.Second, func() { later = true })
+	k.Run()
+	if !fired || !later {
+		t.Fatalf("fired=%v later=%v, want both true", fired, later)
+	}
+}
+
+// TestFIFOTieBreakAcrossPooledEvents: same-instant FIFO ordering holds when
+// the scheduled events are recycled shells with mixed original sequence
+// numbers.
+func TestFIFOTieBreakAcrossPooledEvents(t *testing.T) {
+	k := NewKernel(1)
+	// Populate the free list with shells whose prior seq values are
+	// decreasing relative to their eventual reuse order.
+	for i := 0; i < 8; i++ {
+		k.After(time.Duration(8-i)*time.Millisecond, func() {})
+	}
+	k.Run()
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		k.At(time.Second, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want ascending schedule order", order)
+		}
+	}
+}
+
+// TestMassCancelCompaction: canceling most of a large queue triggers heap
+// compaction without disturbing the survivors' order or Pending accounting.
+func TestMassCancelCompaction(t *testing.T) {
+	k := NewKernel(1)
+	const n = 1000
+	evs := make([]Event, n)
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		evs[i] = k.At(Time(i+1)*time.Millisecond, func() { fired = append(fired, i) })
+	}
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			evs[i].Cancel()
+		}
+	}
+	if got := k.Pending(); got != n/10 {
+		t.Fatalf("Pending() = %d after mass cancel, want %d", got, n/10)
+	}
+	k.Run()
+	if len(fired) != n/10 {
+		t.Fatalf("fired %d events, want %d", len(fired), n/10)
+	}
+	for j, i := range fired {
+		if i != j*10 {
+			t.Fatalf("fired[%d] = %d, want %d", j, i, j*10)
+		}
+	}
+}
+
+// TestTickerStopInsideReschedulingCallback: stopping a ticker from within a
+// callback that also schedules other work must suppress the pending tick
+// without touching the other work.
+func TestTickerStopInsideReschedulingCallback(t *testing.T) {
+	k := NewKernel(1)
+	ticks, extras := 0, 0
+	var stop func()
+	stop = k.Ticker(time.Second, func() {
+		ticks++
+		k.After(100*time.Millisecond, func() { extras++ })
+		if ticks == 3 {
+			stop()
+		}
+	})
+	k.RunUntil(time.Minute)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	if extras != 3 {
+		t.Fatalf("extras = %d, want 3 (side work must survive stop)", extras)
+	}
+}
+
+// TestTickerStaleStopAfterPoolReuse: calling a ticker's stop long after its
+// event shells were recycled for unrelated schedules must not cancel those
+// unrelated events.
+func TestTickerStaleStopAfterPoolReuse(t *testing.T) {
+	k := NewKernel(1)
+	stop := k.Ticker(time.Second, func() {})
+	k.RunUntil(3500 * time.Millisecond)
+	stop()
+	// Recycle shells through many unrelated schedules, several still queued.
+	fired := 0
+	for i := 0; i < 16; i++ {
+		k.After(time.Duration(i+1)*time.Second, func() { fired++ })
+	}
+	stop() // stale second stop: must be a pure no-op
+	k.Run()
+	if fired != 16 {
+		t.Fatalf("fired = %d, want 16 (stale ticker stop canceled live work)", fired)
+	}
+}

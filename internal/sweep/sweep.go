@@ -1,0 +1,206 @@
+// Package sweep runs grids of (experiment, seed) cells across a bounded
+// worker pool. Each cell builds its own testbeds (and therefore its own
+// simtime.Kernel and rand sources), so cells share no mutable state and the
+// per-cell output is deterministic regardless of scheduling. Results are
+// collected by cell index, which makes the rendered parallel output
+// byte-identical to a serial run of the same grid.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// Cell is one unit of sweep work: a registered experiment at one seed.
+type Cell struct {
+	Exp  experiments.Experiment
+	Seed int64
+}
+
+// Result is the outcome of one cell. Exactly one of Res and Err is set: a
+// panicking cell is captured (with its stack) instead of killing the sweep.
+type Result struct {
+	Cell
+	Index   int // position in the input grid
+	Res     *experiments.Result
+	Err     error
+	Elapsed time.Duration // host wall-clock time spent on the cell
+}
+
+// Options tunes a sweep run.
+type Options struct {
+	// Workers bounds concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Metrics, when set, gets progress gauges: sweep_cells_total,
+	// sweep_cells_done, sweep_cells_failed, sweep_cells_running.
+	Metrics *obs.Registry
+	// OnDone, when set, is invoked once per finished cell, serialized (never
+	// concurrently), in completion order — not grid order.
+	OnDone func(Result)
+}
+
+// Grid expands experiments × seeds into cells, seed-major: all experiments
+// at the first seed (in the given, i.e. paper, order), then the next seed.
+func Grid(exps []experiments.Experiment, seeds []int64) []Cell {
+	cells := make([]Cell, 0, len(exps)*len(seeds))
+	for _, seed := range seeds {
+		for _, e := range exps {
+			cells = append(cells, Cell{Exp: e, Seed: seed})
+		}
+	}
+	return cells
+}
+
+// ParseSeeds parses a seed-grid spec: a single seed ("42"), an inclusive
+// range ("42..49"), or a comma-separated list ("1,5,9"). Range and list
+// forms may be mixed ("1,10..12").
+func ParseSeeds(spec string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("sweep: empty seed in %q", spec)
+		}
+		if lo, hi, ok := strings.Cut(part, ".."); ok {
+			a, err := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: bad seed range start %q", lo)
+			}
+			b, err := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: bad seed range end %q", hi)
+			}
+			if b < a {
+				return nil, fmt.Errorf("sweep: descending seed range %q", part)
+			}
+			if b-a >= 10000 {
+				return nil, fmt.Errorf("sweep: seed range %q too large", part)
+			}
+			for s := a; s <= b; s++ {
+				seeds = append(seeds, s)
+			}
+			continue
+		}
+		s, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad seed %q", part)
+		}
+		seeds = append(seeds, s)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sweep: no seeds in %q", spec)
+	}
+	return seeds, nil
+}
+
+// Run executes every cell and returns results in grid order. Work is dealt
+// to opts.Workers goroutines from a shared index, so cells start in grid
+// order but may finish in any order; the returned slice is always indexed
+// by cell position.
+func Run(cells []Cell, opts Options) []Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]Result, len(cells))
+	var next, done, failed, running atomic.Int64
+	if opts.Metrics != nil {
+		total := float64(len(cells))
+		opts.Metrics.GaugeFunc("sweep_cells_total", func() float64 { return total })
+		opts.Metrics.GaugeFunc("sweep_cells_done", func() float64 { return float64(done.Load()) })
+		opts.Metrics.GaugeFunc("sweep_cells_failed", func() float64 { return float64(failed.Load()) })
+		opts.Metrics.GaugeFunc("sweep_cells_running", func() float64 { return float64(running.Load()) })
+	}
+	var doneMu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				running.Add(1)
+				results[i] = runCell(i, cells[i])
+				running.Add(-1)
+				if results[i].Err != nil {
+					failed.Add(1)
+				}
+				done.Add(1)
+				if opts.OnDone != nil {
+					doneMu.Lock()
+					opts.OnDone(results[i])
+					doneMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runCell executes one cell, converting a panic into a captured error so one
+// bad experiment cannot take down the whole sweep.
+func runCell(i int, c Cell) (r Result) {
+	r = Result{Cell: c, Index: i}
+	start := time.Now()
+	defer func() {
+		r.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			r.Res = nil
+			r.Err = fmt.Errorf("sweep: %s (seed %d) panicked: %v\n%s",
+				c.Exp.ID, c.Seed, p, debug.Stack())
+		}
+	}()
+	r.Res = c.Exp.Run(c.Seed)
+	return r
+}
+
+// Failed counts results carrying an error.
+func Failed(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Render formats results in grid order. With showSeed false the output is
+// exactly the historical serial `-all` format — each result's Render
+// followed by a blank line — so a parallel sweep at one seed is
+// byte-identical to the old serial loop. With showSeed true a seed banner
+// precedes each seed's block.
+func Render(results []Result, showSeed bool) string {
+	var b strings.Builder
+	lastSeed := int64(0)
+	first := true
+	for _, r := range results {
+		if showSeed && (first || r.Seed != lastSeed) {
+			fmt.Fprintf(&b, "##### seed %d #####\n\n", r.Seed)
+		}
+		first, lastSeed = false, r.Seed
+		if r.Err != nil {
+			fmt.Fprintf(&b, "=== %s: FAILED ===\n%v\n", r.Exp.ID, r.Err)
+		} else {
+			b.WriteString(r.Res.Render())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -111,11 +111,19 @@ type Instrumentation struct {
 
 	parseCPU time.Duration
 	polling  bool
+
+	// Snapshot recycling: parses are frequent (a WaitUntil polls back to
+	// back) and each flattens the whole tree, so snapshots and their Views
+	// backing arrays are reused instead of reallocated. visitFn is the one
+	// walk visitor, allocated once, appending into visitTarget.
+	snapFree    []*Snapshot
+	visitTarget *Snapshot
+	visitFn     func(*View)
 }
 
 // NewInstrumentation attaches an instrumentation to a screen.
 func NewInstrumentation(k *simtime.Kernel, screen *Screen) *Instrumentation {
-	return &Instrumentation{
+	in := &Instrumentation{
 		k:            k,
 		screen:       screen,
 		parseBase:    2 * time.Millisecond,
@@ -123,6 +131,13 @@ func NewInstrumentation(k *simtime.Kernel, screen *Screen) *Instrumentation {
 		inputLatency: 2 * time.Millisecond,
 		cpuFraction:  0.05,
 	}
+	in.visitFn = func(v *View) {
+		t := in.visitTarget
+		t.Views = append(t.Views, SnapView{
+			Class: v.Class, ID: v.ID, Desc: v.Desc, Text: v.text, Shown: v.Shown(),
+		})
+	}
+	return in
 }
 
 // Screen returns the instrumented screen.
@@ -136,15 +151,29 @@ func (in *Instrumentation) ParseTime() time.Duration {
 	return in.parseBase + time.Duration(in.screen.Root().Count())*in.parsePerView
 }
 
-// snapshotNow flattens the live tree (state as of now).
+// snapshotNow flattens the live tree (state as of now) into a pooled
+// snapshot. The caller must hand the snapshot back via releaseSnap once its
+// consumer is done with it.
 func (in *Instrumentation) snapshotNow() *Snapshot {
-	snap := &Snapshot{}
-	in.screen.Root().walk(func(v *View) {
-		snap.Views = append(snap.Views, SnapView{
-			Class: v.Class, ID: v.ID, Desc: v.Desc, Text: v.text, Shown: v.Shown(),
-		})
-	})
+	var snap *Snapshot
+	if n := len(in.snapFree); n > 0 {
+		snap = in.snapFree[n-1]
+		in.snapFree[n-1] = nil
+		in.snapFree = in.snapFree[:n-1]
+		snap.At = 0
+		snap.Views = snap.Views[:0]
+	} else {
+		snap = &Snapshot{}
+	}
+	in.visitTarget = snap
+	in.screen.Root().walk(in.visitFn)
+	in.visitTarget = nil
 	return snap
+}
+
+// releaseSnap returns a snapshot (and its Views capacity) to the pool.
+func (in *Instrumentation) releaseSnap(s *Snapshot) {
+	in.snapFree = append(in.snapFree, s)
 }
 
 // noteAction allocates a correlation ID for a user input, makes it the
@@ -161,7 +190,10 @@ func (in *Instrumentation) noteAction(name string) {
 }
 
 // Parse performs one parsing pass: the result reflects the tree at call
-// time and becomes available one ParseTime later, when cb is invoked.
+// time and becomes available one ParseTime later, when cb is invoked. The
+// snapshot is recycled when cb returns — read what you need inside the
+// callback; do not retain the *Snapshot (or subslices of its Views) beyond
+// it.
 func (in *Instrumentation) Parse(cb func(*Snapshot)) {
 	in.screen.parses.Inc()
 	snap := in.snapshotNow()
@@ -170,6 +202,7 @@ func (in *Instrumentation) Parse(cb func(*Snapshot)) {
 	in.k.After(cost, func() {
 		snap.At = in.k.Now()
 		cb(snap)
+		in.releaseSnap(snap)
 	})
 }
 
@@ -192,27 +225,31 @@ func (in *Instrumentation) WaitUntil(cond func(*Snapshot) bool, timeout time.Dur
 	in.polling = true
 	deadline := in.k.Now() + timeout
 	parses := 0
+	var start simtime.Time
 	var poll func()
+	// One parse callback for the whole wait (instead of a fresh closure per
+	// poll): polls are the hottest allocation site in long waits.
+	onParse := func(s *Snapshot) {
+		if cond(s) {
+			in.polling = false
+			done(WaitResult{Observed: true, At: s.At, Parses: parses})
+			return
+		}
+		if in.k.Now() >= deadline {
+			in.polling = false
+			done(WaitResult{Observed: false, At: s.At, Parses: parses})
+			return
+		}
+		if next := start + in.pollInterval; next > in.k.Now() {
+			in.k.At(next, poll)
+			return
+		}
+		poll()
+	}
 	poll = func() {
 		parses++
-		start := in.k.Now()
-		in.Parse(func(s *Snapshot) {
-			if cond(s) {
-				in.polling = false
-				done(WaitResult{Observed: true, At: s.At, Parses: parses})
-				return
-			}
-			if in.k.Now() >= deadline {
-				in.polling = false
-				done(WaitResult{Observed: false, At: s.At, Parses: parses})
-				return
-			}
-			if next := start + in.pollInterval; next > in.k.Now() {
-				in.k.At(next, poll)
-				return
-			}
-			poll()
-		})
+		start = in.k.Now()
+		in.Parse(onParse)
 	}
 	poll()
 }

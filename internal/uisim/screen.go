@@ -19,7 +19,7 @@ type Screen struct {
 	root *View
 
 	dirty     bool
-	drawEv    *simtime.Event
+	drawEv    simtime.Event
 	version   uint64 // bumped on every mutation
 	drawnVer  uint64 // version visible on screen
 	baseDraw  time.Duration
@@ -119,7 +119,7 @@ func (s *Screen) invalidate() {
 // draw commits pending changes to the screen.
 func (s *Screen) draw() {
 	s.dirty = false
-	s.drawEv = nil
+	s.drawEv = simtime.Event{}
 	s.drawnVer = s.version
 	now := s.k.Now()
 	s.draws.Inc()

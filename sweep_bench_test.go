@@ -1,0 +1,197 @@
+// Sweep and kernel hot-path benchmarks for the PR 3 optimization pass.
+// TestWriteBenchPR3JSON (gated on the BENCH_PR3_JSON env var, wired to
+// `make bench`) measures the BENCH_PR2 Facebook workload on the pooled
+// kernel, the kernel micro-costs, and the full experiment sweep serial vs
+// parallel, and records everything against the checked-in BENCH_PR2.json
+// baseline.
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/simtime"
+	"repro/internal/sweep"
+)
+
+// BenchmarkSweepFastSerial and BenchmarkSweepFastParallel sweep a fast
+// subset of real experiments (two seeds) so `go test -bench` shows the
+// worker-pool overhead without the full minute-long registry run.
+func benchSweepCells() []sweep.Cell {
+	var exps []experiments.Experiment
+	for _, id := range []string{"fig10", "fig12", "sec7.7"} {
+		if e, ok := experiments.Lookup(id); ok {
+			exps = append(exps, e)
+		}
+	}
+	return sweep.Grid(exps, []int64{42, 43})
+}
+
+func BenchmarkSweepFastSerial(b *testing.B) {
+	cells := benchSweepCells()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sweep.Run(cells, sweep.Options{Workers: 1})
+	}
+}
+
+func BenchmarkSweepFastParallel(b *testing.B) {
+	cells := benchSweepCells()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sweep.Run(cells, sweep.Options{Workers: 4})
+	}
+}
+
+// pr2Baseline reads the checked-in BENCH_PR2.json to compare against.
+func pr2Baseline(t *testing.T) (benchRecord, bool) {
+	data, err := os.ReadFile("BENCH_PR2.json")
+	if err != nil {
+		t.Logf("no BENCH_PR2.json baseline: %v", err)
+		return benchRecord{}, false
+	}
+	var doc struct {
+		NoSink benchRecord `json:"no_sink"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Logf("unparsable BENCH_PR2.json: %v", err)
+		return benchRecord{}, false
+	}
+	return doc.NoSink, true
+}
+
+// TestWriteBenchPR3JSON writes the file named by BENCH_PR3_JSON (skipped
+// when unset). Wall-clock numbers use the interleaved best-of-N scheme of
+// TestWriteBenchJSON; allocation counts are deterministic. The sweep section
+// records the host core count alongside the speedup — on a single-core
+// machine the parallel sweep cannot beat serial, and the honest number is
+// the point of the record.
+func TestWriteBenchPR3JSON(t *testing.T) {
+	out := os.Getenv("BENCH_PR3_JSON")
+	if out == "" {
+		t.Skip("BENCH_PR3_JSON not set")
+	}
+
+	// Facebook workload (the BENCH_PR2 comparison surface).
+	workload := func() testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				obsBenchRun(false, false)
+			}
+		})
+	}
+	var noSink, noSinkRepeat testing.BenchmarkResult
+	for i := 0; i < 5; i++ {
+		a, b := workload(), workload()
+		if i == 0 || a.NsPerOp() < noSink.NsPerOp() {
+			noSink = a
+		}
+		if i == 0 || b.NsPerOp() < noSinkRepeat.NsPerOp() {
+			noSinkRepeat = b
+		}
+	}
+
+	// Kernel micro-costs on the pooled heap.
+	scheduleFire := testing.Benchmark(func(b *testing.B) {
+		k := simtime.NewKernel(1)
+		fn := func() {}
+		const batch = 64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i += batch {
+			for j := 0; j < batch; j++ {
+				k.After(time.Duration(j)*time.Microsecond, fn)
+			}
+			k.Run()
+		}
+	})
+	cancelChurn := testing.Benchmark(func(b *testing.B) {
+		k := simtime.NewKernel(1)
+		fn := func() {}
+		var timer simtime.Event
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			timer.Cancel()
+			timer = k.After(time.Second, fn)
+			if i%64 == 63 {
+				k.After(time.Microsecond, fn)
+				k.RunUntil(k.Now() + time.Millisecond)
+			}
+		}
+	})
+
+	// Full-registry sweep, serial vs parallel-4, byte-compared.
+	cells := sweep.Grid(experiments.Registry(), []int64{42})
+	t0 := time.Now()
+	serialRes := sweep.Run(cells, sweep.Options{Workers: 1})
+	serialMs := time.Since(t0).Milliseconds()
+	t0 = time.Now()
+	parallelRes := sweep.Run(cells, sweep.Options{Workers: 4})
+	parallelMs := time.Since(t0).Milliseconds()
+	identical := sweep.Render(serialRes, false) == sweep.Render(parallelRes, false)
+
+	base, haveBase := pr2Baseline(t)
+	doc := struct {
+		Workload       string      `json:"workload"`
+		BaselineFile   string      `json:"baseline_file"`
+		NoSink         benchRecord `json:"no_sink"`
+		NoSinkRepeat   benchRecord `json:"no_sink_repeat"`
+		NoSinkNoisePct float64     `json:"no_sink_aa_noise_pct"`
+		VsPR2AllocsPct float64     `json:"vs_pr2_allocs_pct"`
+		VsPR2BytesPct  float64     `json:"vs_pr2_bytes_pct"`
+		VsPR2NsPct     float64     `json:"vs_pr2_ns_pct"`
+		Kernel         struct {
+			ScheduleFire benchRecord `json:"schedule_fire"`
+			CancelChurn  benchRecord `json:"cancel_churn"`
+		} `json:"kernel"`
+		Sweep struct {
+			Cells            int     `json:"cells"`
+			Cores            int     `json:"cores"`
+			SerialMs         int64   `json:"serial_ms"`
+			Parallel4Ms      int64   `json:"parallel4_ms"`
+			SpeedupX         float64 `json:"speedup_x"`
+			OutputsIdentical bool    `json:"outputs_identical"`
+		} `json:"sweep"`
+	}{
+		Workload:       "facebook pull-to-update x3, LTE, seed 42",
+		BaselineFile:   "BENCH_PR2.json",
+		NoSink:         record(noSink),
+		NoSinkRepeat:   record(noSinkRepeat),
+		NoSinkNoisePct: pctOver(noSink.NsPerOp(), noSinkRepeat.NsPerOp()),
+	}
+	if haveBase {
+		doc.VsPR2AllocsPct = pctOver(base.AllocsOp, noSink.AllocsPerOp())
+		doc.VsPR2BytesPct = pctOver(base.BytesOp, noSink.AllocedBytesPerOp())
+		doc.VsPR2NsPct = pctOver(base.NsOp, noSink.NsPerOp())
+	}
+	doc.Kernel.ScheduleFire = record(scheduleFire)
+	doc.Kernel.CancelChurn = record(cancelChurn)
+	doc.Sweep.Cells = len(cells)
+	doc.Sweep.Cores = runtime.NumCPU()
+	doc.Sweep.SerialMs = serialMs
+	doc.Sweep.Parallel4Ms = parallelMs
+	if parallelMs > 0 {
+		doc.Sweep.SpeedupX = float64(serialMs) / float64(parallelMs)
+	}
+	doc.Sweep.OutputsIdentical = identical
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d allocs/op (%.1f%% vs PR2), sweep %dms serial / %dms parallel on %d cores",
+		out, noSink.AllocsPerOp(), doc.VsPR2AllocsPct, serialMs, parallelMs, doc.Sweep.Cores)
+	if !identical {
+		t.Error("parallel sweep output differs from serial")
+	}
+	if haveBase && doc.VsPR2AllocsPct > -25 {
+		t.Errorf("allocs/op only %.1f%% vs PR2 baseline, want <= -25%%", doc.VsPR2AllocsPct)
+	}
+}
