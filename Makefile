@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench sweep sweep-golden
+.PHONY: build test test-short verify bench bench-analyzer bench-compare analyzer-golden sweep sweep-golden
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,24 @@ verify: build
 bench:
 	$(GO) test -bench=. -benchmem
 	BENCH_PR3_JSON=BENCH_PR3.json $(GO) test -run TestWriteBenchPR3JSON -v .
+
+# PR 4 analyzer performance record: the linear-vs-indexed long-jump mapper
+# and the serial-vs-parallel cross-layer engine on the mapping-heavy 3G
+# browsing workload. Writes BENCH_PR4.json and fails if the indexed mapper
+# falls under the 3x speedup floor.
+bench-analyzer:
+	BENCH_PR4_JSON=$(CURDIR)/BENCH_PR4.json $(GO) test -run TestWriteBenchPR4JSON -v ./internal/core/analyzer/
+
+# Compare a fresh measurement against the checked-in BENCH_PR4.json
+# baseline; fails on >20% ns/op regression in the indexed mapper or the
+# parallel engine.
+bench-compare:
+	BENCH_PR4_BASELINE=$(CURDIR)/BENCH_PR4.json $(GO) test -run TestBenchComparePR4 -v ./internal/core/analyzer/
+
+# Serial-vs-parallel analyzer equivalence over the whole experiment
+# registry (the default test run covers a fast subset).
+analyzer-golden:
+	ANALYZER_GOLDEN_FULL=1 $(GO) test -run TestAnalyzerEngineGolden -v ./internal/experiments/
 
 # Run the full experiment sweep on all cores.
 sweep: build

@@ -205,11 +205,11 @@ func BenchmarkAblationCalibration(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationMappingAnchor compares the time-anchored long-jump
-// resync against a naive cursor-only variant, by disabling the anchor's
-// benefit: the metric of interest is how much mapping survives QxDM capture
-// loss. (The naive variant is emulated by shuffling packet timestamps so
-// the anchor is useless, forcing cursor-local search.)
+// BenchmarkAblationMappingAnchor splits the long-jump mapping ratio into
+// its two mechanisms: packets mapped by simple cursor continuity versus
+// packets that needed the time-anchored resync. The gap between the
+// anchored ratio and the cursor-only ratio is how much mapping the resync
+// recovers after QxDM capture loss.
 func BenchmarkAblationMappingAnchor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Build one 3G photo-upload session.
@@ -224,7 +224,8 @@ func BenchmarkAblationMappingAnchor(b *testing.B) {
 		cl := analyzer.NewCrossLayer(bed.Session(log))
 		b.ReportMetric(cl.ULMap.Ratio(), "anchored_ul_ratio")
 
-		// Naive diagnosis pass: natural cursor only, no resync at all.
+		// Diagnosis pass: "ok" counts natural-cursor hits, "resync" the
+		// packets only the anchored search could place.
 		var ul []analyzer.MappedPacket
 		for _, rec := range bed.Capture.Records() {
 			p, err := rec.Packet()
@@ -245,6 +246,7 @@ func BenchmarkAblationMappingAnchor(b *testing.B) {
 		}
 		if total > 0 {
 			b.ReportMetric(float64(reasons["ok"])/float64(total), "cursor_only_ul_ratio")
+			b.ReportMetric(float64(reasons["resync"])/float64(total), "resync_ul_ratio")
 		}
 	}
 }

@@ -13,6 +13,10 @@
 //	qoedoctor -pcap trace.pcap -qxdm radio.json   # save raw logs
 //	qoedoctor -trace run.json -report             # cross-layer trace + metrics
 //
+// -analyzer selects the cross-layer analyzer engine: the default "parallel"
+// runs the indexed concurrent pipeline; "serial" runs the single-threaded
+// reference implementation (their output is byte-identical).
+//
 // -trace writes the run's cross-layer span trace as Chrome trace_event JSON
 // (open in chrome://tracing or Perfetto, one track per layer); -trace-csv
 // writes the same events as CSV. -report prints the metrics registry
@@ -75,7 +79,18 @@ func main() {
 	doReport := flag.Bool("report", false, "print the metrics registry snapshot as a table")
 	reportJSON := flag.String("report-json", "", "write the metrics snapshot as NDJSON to this file (\"-\" = stdout)")
 	doProfile := flag.Bool("profile", false, "print wall-clock time per kernel callback site")
+	engine := flag.String("analyzer", "parallel", "analyzer engine: parallel (indexed, concurrent stages) | serial (reference)")
 	flag.Parse()
+
+	switch *engine {
+	case "parallel", "":
+		analyzer.SetEngine(analyzer.EngineParallel)
+	case "serial":
+		analyzer.SetEngine(analyzer.EngineSerial)
+	default:
+		fmt.Fprintf(os.Stderr, "qoedoctor: unknown analyzer engine %q (parallel | serial)\n", *engine)
+		os.Exit(1)
+	}
 
 	plan := &faults.Plan{}
 	if *loss > 0 {

@@ -74,8 +74,11 @@ func main() {
 }
 
 func runSweep(cells []sweep.Cell, workers int, showSeed bool) {
-	results := sweep.Run(cells, sweep.Options{Workers: workers})
-	fmt.Print(sweep.Render(results, showSeed))
+	// Stream results as cells finish: the grid-order prefix prints while
+	// later cells are still simulating, and the total output stays
+	// byte-identical to a post-hoc Render.
+	st := sweep.NewStream(os.Stdout, showSeed)
+	results := sweep.Run(cells, sweep.Options{Workers: workers, OnDone: st.Push})
 	if n := sweep.Failed(results); n > 0 {
 		fmt.Fprintf(os.Stderr, "qoeexp: %d of %d cells failed\n", n, len(cells))
 		os.Exit(1)

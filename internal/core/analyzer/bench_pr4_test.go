@@ -1,0 +1,236 @@
+// PR4 analyzer benchmarks: the indexed long-jump mapper against the seed's
+// linear resync scan, and the parallel cross-layer engine against the
+// serial one, on a mapping-heavy 3G workload (3.9% downlink QxDM capture
+// loss drives constant resyncing — the worst case for the linear scan).
+//
+// TestWriteBenchPR4JSON (gated on BENCH_PR4_JSON, wired to
+// `make bench-analyzer`) records the numbers and asserts the >=3x mapping
+// speedup target; TestBenchComparePR4 (gated on BENCH_PR4_BASELINE, wired
+// to `make bench-compare`) fails when a tracked benchmark regresses >20%
+// against the checked-in BENCH_PR4.json.
+package analyzer_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core/analyzer"
+	"repro/internal/core/qoe"
+	"repro/internal/qxdm"
+	"repro/internal/radio"
+)
+
+// benchState is the shared workload: one deterministic 3G browsing session
+// (downlink bulk transfer) built once and reused read-only by every
+// benchmark, with the capture pre-split into mapper inputs.
+type benchState struct {
+	sess   *qoe.Session
+	ul, dl []analyzer.MappedPacket
+	ulPDUs []qxdm.PDURecord
+	dlPDUs []qxdm.PDURecord
+}
+
+var (
+	benchOnce sync.Once
+	bench     benchState
+)
+
+func benchWorkload() *benchState {
+	benchOnce.Do(func() {
+		bench.sess = browseSession(42, radio.Profile3G(), 8, false)
+		bench.ul, bench.dl = analyzer.SplitPacketsForTest(bench.sess)
+		for _, p := range bench.sess.Radio.PDUs {
+			if p.Dir == radio.Uplink {
+				bench.ulPDUs = append(bench.ulPDUs, p)
+			} else {
+				bench.dlPDUs = append(bench.dlPDUs, p)
+			}
+		}
+	})
+	return &bench
+}
+
+func BenchmarkLongJumpMapLinear3G(b *testing.B) {
+	w := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.LongJumpMapLinear(w.dl, w.dlPDUs)
+	}
+}
+
+func BenchmarkLongJumpMapIndexed3G(b *testing.B) {
+	w := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.LongJumpMap(w.dl, w.dlPDUs)
+	}
+}
+
+func BenchmarkCrossLayerSerial(b *testing.B) {
+	w := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.NewCrossLayerSerialForTest(w.sess)
+	}
+}
+
+func BenchmarkCrossLayerParallel(b *testing.B) {
+	w := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzer.NewCrossLayerParallelForTest(w.sess)
+	}
+}
+
+type benchRecord struct {
+	NsOp     int64 `json:"ns_op"`
+	AllocsOp int64 `json:"allocs_op"`
+	BytesOp  int64 `json:"bytes_op"`
+}
+
+func record(r testing.BenchmarkResult) benchRecord {
+	return benchRecord{NsOp: r.NsPerOp(), AllocsOp: r.AllocsPerOp(), BytesOp: r.AllocedBytesPerOp()}
+}
+
+// bestOf interleaves n measurements and keeps the fastest, damping
+// scheduler noise the same way the PR2/PR3 bench writers do.
+func bestOf(n int, f func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for i := 1; i < n; i++ {
+		if r := testing.Benchmark(f); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+type benchPR4 struct {
+	GoMaxProcs int `json:"go_max_procs"`
+	Workload   struct {
+		ULPackets     int     `json:"ul_packets"`
+		DLPackets     int     `json:"dl_packets"`
+		ULPDUs        int     `json:"ul_pdus"`
+		DLPDUs        int     `json:"dl_pdus"`
+		DLMappedRatio float64 `json:"dl_mapped_ratio"`
+	} `json:"workload"`
+	Mapping struct {
+		Linear  benchRecord `json:"linear"`
+		Indexed benchRecord `json:"indexed"`
+		Speedup float64     `json:"speedup"`
+	} `json:"mapping"`
+	CrossLayer struct {
+		Serial   benchRecord `json:"serial"`
+		Parallel benchRecord `json:"parallel"`
+		Speedup  float64     `json:"speedup"`
+	} `json:"cross_layer"`
+}
+
+func TestWriteBenchPR4JSON(t *testing.T) {
+	out := os.Getenv("BENCH_PR4_JSON")
+	if out == "" {
+		t.Skip("BENCH_PR4_JSON not set")
+	}
+	w := benchWorkload()
+
+	var rec benchPR4
+	rec.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rec.Workload.ULPackets = len(w.ul)
+	rec.Workload.DLPackets = len(w.dl)
+	rec.Workload.ULPDUs = len(w.ulPDUs)
+	rec.Workload.DLPDUs = len(w.dlPDUs)
+	rec.Workload.DLMappedRatio = analyzer.LongJumpMap(w.dl, w.dlPDUs).Ratio()
+
+	linear := bestOf(3, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzer.LongJumpMapLinear(w.dl, w.dlPDUs)
+		}
+	})
+	indexed := bestOf(3, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzer.LongJumpMap(w.dl, w.dlPDUs)
+		}
+	})
+	rec.Mapping.Linear = record(linear)
+	rec.Mapping.Indexed = record(indexed)
+	rec.Mapping.Speedup = float64(linear.NsPerOp()) / float64(indexed.NsPerOp())
+
+	serial := bestOf(3, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzer.NewCrossLayerSerialForTest(w.sess)
+		}
+	})
+	parallel := bestOf(3, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzer.NewCrossLayerParallelForTest(w.sess)
+		}
+	})
+	rec.CrossLayer.Serial = record(serial)
+	rec.CrossLayer.Parallel = record(parallel)
+	rec.CrossLayer.Speedup = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mapping: linear %v -> indexed %v (%.1fx); cross-layer: serial %v -> parallel %v (%.2fx on %d procs)",
+		rec.Mapping.Linear.NsOp, rec.Mapping.Indexed.NsOp, rec.Mapping.Speedup,
+		rec.CrossLayer.Serial.NsOp, rec.CrossLayer.Parallel.NsOp, rec.CrossLayer.Speedup, rec.GoMaxProcs)
+
+	// The PR4 acceptance target: the indexed resync must be at least 3x
+	// faster than the seed's linear scan on this mapping-heavy workload.
+	if rec.Mapping.Speedup < 3 {
+		t.Errorf("indexed mapping speedup %.2fx, want >= 3x", rec.Mapping.Speedup)
+	}
+}
+
+// TestBenchComparePR4 guards against performance regressions: it re-measures
+// the tracked benchmarks and fails when ns/op exceeds the checked-in
+// baseline by more than 20%.
+func TestBenchComparePR4(t *testing.T) {
+	base := os.Getenv("BENCH_PR4_BASELINE")
+	if base == "" {
+		t.Skip("BENCH_PR4_BASELINE not set")
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var want benchPR4
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse baseline: %v", err)
+	}
+	w := benchWorkload()
+
+	check := func(name string, baseline benchRecord, f func(b *testing.B)) {
+		if baseline.NsOp == 0 {
+			t.Errorf("%s: baseline has no ns/op; regenerate with make bench-analyzer", name)
+			return
+		}
+		got := bestOf(3, f)
+		over := 100 * (float64(got.NsPerOp()) - float64(baseline.NsOp)) / float64(baseline.NsOp)
+		t.Logf("%s: %d ns/op vs baseline %d (%+.1f%%)", name, got.NsPerOp(), baseline.NsOp, over)
+		if over > 20 {
+			t.Errorf("%s regressed %.1f%% over baseline (limit 20%%)", name, over)
+		}
+	}
+	check("mapping/indexed", want.Mapping.Indexed, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzer.LongJumpMap(w.dl, w.dlPDUs)
+		}
+	})
+	check("cross_layer/parallel", want.CrossLayer.Parallel, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzer.NewCrossLayerParallelForTest(w.sess)
+		}
+	})
+}

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/core/qoe"
 	"repro/internal/qxdm"
-	"repro/internal/radio"
 	"repro/internal/simtime"
 )
 
@@ -42,61 +41,18 @@ func (c *CrossLayer) warn(format string, args ...any) {
 	c.Warnings = append(c.Warnings, fmt.Sprintf(format, args...))
 }
 
-// NewCrossLayer runs flow extraction and both long-jump mappings. Missing or
-// truncated inputs produce Warnings and a partial analysis rather than an
-// error: the tool should still explain what it can observe.
-func NewCrossLayer(sess *qoe.Session) *CrossLayer {
-	c := &CrossLayer{Session: sess}
-	defer func() {
-		if len(sess.Trace) > 0 {
-			c.CrossCheckTrace(sess.Trace)
-		}
-	}()
-	c.Flows = ExtractFlows(sess.Packets, sess.DeviceAddr)
-	if len(sess.Packets) == 0 {
-		c.warn("packet capture empty or absent; transport-layer analysis unavailable")
+// radioCoverageWarnings flags a QxDM log that is empty, lossy, or ends well
+// before the packet capture does (QxDM killed or disabled mid-run). It is a
+// pure function of the session so the parallel engine can run it as an
+// independent stage.
+func radioCoverageWarnings(sess *qoe.Session) []string {
+	log := sess.Radio
+	var warns []string
+	warn := func(format string, args ...any) {
+		warns = append(warns, fmt.Sprintf(format, args...))
 	}
-	if sess.Radio == nil {
-		if len(sess.Packets) > 0 {
-			c.warn("QxDM log absent; radio-layer breakdowns unavailable")
-		}
-		return c
-	}
-	c.checkRadioLogCoverage()
-	var ulAll, dlAll []qxdm.PDURecord
-	for _, p := range sess.Radio.PDUs {
-		if p.Dir == radio.Uplink {
-			ulAll = append(ulAll, p)
-		} else {
-			dlAll = append(dlAll, p)
-		}
-	}
-	c.ULPDUs = dedupPDUs(ulAll)
-	c.DLPDUs = dedupPDUs(dlAll)
-	for i := range sess.Packets {
-		rec := &sess.Packets[i]
-		p, err := rec.Packet()
-		if err != nil {
-			continue
-		}
-		mp := MappedPacket{At: rec.At, Data: rec.Data}
-		if p.Src.Addr == sess.DeviceAddr {
-			c.ulPackets = append(c.ulPackets, mp)
-		} else {
-			c.dlPackets = append(c.dlPackets, mp)
-		}
-	}
-	c.ULMap = LongJumpMap(c.ulPackets, c.ULPDUs)
-	c.DLMap = LongJumpMap(c.dlPackets, c.DLPDUs)
-	return c
-}
-
-// checkRadioLogCoverage flags a QxDM log that is empty, lossy, or ends well
-// before the packet capture does (QxDM killed or disabled mid-run).
-func (c *CrossLayer) checkRadioLogCoverage() {
-	log := c.Session.Radio
 	if miss := log.Missed[0] + log.Missed[1]; miss > 0 {
-		c.warn("QxDM capture loss: %d PDUs missing from the radio log; RLC-layer components are underestimates", miss)
+		warn("QxDM capture loss: %d PDUs missing from the radio log; RLC-layer components are underestimates", miss)
 	}
 	var lastRadio simtime.Time = -1
 	for _, tr := range log.Transitions {
@@ -114,24 +70,25 @@ func (c *CrossLayer) checkRadioLogCoverage() {
 			lastRadio = st.At
 		}
 	}
-	if len(c.Session.Packets) == 0 {
-		return
+	if len(sess.Packets) == 0 {
+		return warns
 	}
 	if lastRadio < 0 {
-		c.warn("QxDM log contains no radio records; radio-layer breakdowns unavailable")
-		return
+		warn("QxDM log contains no radio records; radio-layer breakdowns unavailable")
+		return warns
 	}
 	cutoff := lastRadio + simtime.Time(qxdmTruncationSlack)
 	after := 0
-	for i := range c.Session.Packets {
-		if c.Session.Packets[i].At > cutoff {
+	for i := range sess.Packets {
+		if sess.Packets[i].At > cutoff {
 			after++
 		}
 	}
 	if after > 0 {
-		c.warn("QxDM log appears truncated: last radio record at %v but %d captured packets follow (logging stopped mid-run?); later radio breakdowns fall back to \"other\"",
+		warn("QxDM log appears truncated: last radio record at %v but %d captured packets follow (logging stopped mid-run?); later radio breakdowns fall back to \"other\"",
 			time.Duration(lastRadio), after)
 	}
+	return warns
 }
 
 // QoEWindow is the interval of a user-perceived latency problem (§5.4.1).
@@ -149,12 +106,7 @@ func (c *CrossLayer) ResponsibleFlow(w QoEWindow) *Flow {
 	var best *Flow
 	bestBytes := -1
 	for _, f := range c.Flows.Flows {
-		bytes := 0
-		for _, p := range f.Packets {
-			if p.At >= w.From && p.At <= w.To {
-				bytes += p.WireLen
-			}
-		}
+		bytes := f.WindowBytes(w.From, w.To)
 		if bytes > bestBytes && bytes > 0 {
 			best, bestBytes = f, bytes
 		}

@@ -36,7 +36,16 @@ type Flow struct {
 	Retransmissions      int
 	Start, End           simtime.Time
 	HandshakeRTT         time.Duration // SYN -> SYN/ACK at the device
-	rttSamples           []time.Duration
+
+	// Data-to-ACK RTT accounting (running sum, so MeanRTT is O(1) and the
+	// flow does not accumulate one allocation per sample).
+	rttSum time.Duration
+	rttN   int
+
+	// unsorted is set when packets were appended out of capture-time
+	// order; window queries then fall back to a linear scan instead of
+	// binary search. Capture and libpcap inputs are always time-ordered.
+	unsorted bool
 }
 
 // Endpoint aliases netsim.Endpoint for the public analyzer API.
@@ -49,18 +58,30 @@ func (f *Flow) Duration() time.Duration { return time.Duration(f.End - f.Start) 
 // (uplink payload to covering downlink ACK), falling back to the handshake
 // RTT.
 func (f *Flow) MeanRTT() time.Duration {
-	if len(f.rttSamples) == 0 {
+	if f.rttN == 0 {
 		return f.HandshakeRTT
 	}
-	var sum time.Duration
-	for _, s := range f.rttSamples {
-		sum += s
+	return f.rttSum / time.Duration(f.rttN)
+}
+
+// windowRange returns the half-open packet index range [lo, hi) whose
+// capture times fall inside [from, to], by binary search over the
+// time-sorted packet slice. ok is false when the flow's packets are not
+// time-sorted and callers must scan linearly.
+func (f *Flow) windowRange(from, to simtime.Time) (lo, hi int, ok bool) {
+	if f.unsorted {
+		return 0, 0, false
 	}
-	return sum / time.Duration(len(f.rttSamples))
+	lo = sort.Search(len(f.Packets), func(i int) bool { return f.Packets[i].At >= from })
+	hi = lo + sort.Search(len(f.Packets)-lo, func(i int) bool { return f.Packets[lo+i].At > to })
+	return lo, hi, true
 }
 
 // Overlaps reports whether the flow carried any packet inside [from, to].
 func (f *Flow) Overlaps(from, to simtime.Time) bool {
+	if lo, hi, ok := f.windowRange(from, to); ok {
+		return lo < hi
+	}
 	for _, p := range f.Packets {
 		if p.At >= from && p.At <= to {
 			return true
@@ -74,6 +95,12 @@ func (f *Flow) Overlaps(from, to simtime.Time) bool {
 // difference between the first and last packet of the flow in the QoE
 // window.
 func (f *Flow) WindowSpan(from, to simtime.Time) (first, last simtime.Time, n int) {
+	if lo, hi, ok := f.windowRange(from, to); ok {
+		if lo >= hi {
+			return -1, -1, 0
+		}
+		return f.Packets[lo].At, f.Packets[hi-1].At, hi - lo
+	}
 	first, last = -1, -1
 	for _, p := range f.Packets {
 		if p.At < from || p.At > to {
@@ -86,6 +113,24 @@ func (f *Flow) WindowSpan(from, to simtime.Time) (first, last simtime.Time, n in
 		n++
 	}
 	return first, last, n
+}
+
+// WindowBytes sums the wire bytes of the flow's packets inside [from, to]
+// (the ResponsibleFlow traffic measure).
+func (f *Flow) WindowBytes(from, to simtime.Time) int {
+	bytes := 0
+	if lo, hi, ok := f.windowRange(from, to); ok {
+		for i := lo; i < hi; i++ {
+			bytes += f.Packets[i].WireLen
+		}
+		return bytes
+	}
+	for _, p := range f.Packets {
+		if p.At >= from && p.At <= to {
+			bytes += p.WireLen
+		}
+	}
+	return bytes
 }
 
 // ThroughputSeries bins the flow's downlink wire bytes into width-sized
@@ -227,10 +272,14 @@ func ExtractFlows(records []pcap.Record, deviceAddr netip.Addr) *FlowReport {
 			st.sampleAt = rec.At
 			st.sampleSet = true
 		} else if !uplink && st.sampleSet && p.Flags&netsim.FlagACK != 0 && int32(p.Ack-st.sampleEnd) >= 0 {
-			f.rttSamples = append(f.rttSamples, time.Duration(rec.At-st.sampleAt))
+			f.rttSum += time.Duration(rec.At - st.sampleAt)
+			f.rttN++
 			st.sampleSet = false
 		}
 
+		if len(f.Packets) > 0 && fp.At < f.Packets[len(f.Packets)-1].At {
+			f.unsorted = true
+		}
 		f.Packets = append(f.Packets, fp)
 		f.End = rec.At
 		if uplink {

@@ -1,0 +1,87 @@
+package analyzer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// linearWindow is the seed's O(n) window scan, kept as the reference the
+// binary-search path must match.
+func linearWindow(f *Flow, from, to simtime.Time) (first, last simtime.Time, n, bytes int) {
+	first, last = -1, -1
+	for _, p := range f.Packets {
+		if p.At < from || p.At > to {
+			continue
+		}
+		if first < 0 {
+			first = p.At
+		}
+		last = p.At
+		n++
+		bytes += p.WireLen
+	}
+	return first, last, n, bytes
+}
+
+func randomFlow(rng *rand.Rand, n int, sorted bool) *Flow {
+	f := &Flow{}
+	at := simtime.Time(0)
+	for i := 0; i < n; i++ {
+		if sorted {
+			at += simtime.Time(time.Duration(rng.Intn(50)) * time.Millisecond)
+		} else {
+			at = simtime.Time(time.Duration(rng.Intn(2000)) * time.Millisecond)
+		}
+		fp := FlowPacket{At: at, WireLen: 40 + rng.Intn(1460)}
+		if len(f.Packets) > 0 && fp.At < f.Packets[len(f.Packets)-1].At {
+			f.unsorted = true
+		}
+		f.Packets = append(f.Packets, fp)
+	}
+	return f
+}
+
+// Property: binary-search window queries agree with the linear reference on
+// time-sorted flows (including duplicate timestamps and empty windows), and
+// the unsorted fallback agrees trivially.
+func TestQuickWindowQueriesMatchLinear(t *testing.T) {
+	f := func(seed int64, fromMs, widthMs uint16, nSel uint8, sorted bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := randomFlow(rng, int(nSel%64), sorted)
+		from := simtime.Time(time.Duration(fromMs%3000) * time.Millisecond)
+		to := from + simtime.Time(time.Duration(widthMs%2000)*time.Millisecond)
+		wFirst, wLast, wN, wBytes := linearWindow(fl, from, to)
+		gFirst, gLast, gN := fl.WindowSpan(from, to)
+		if gFirst != wFirst || gLast != wLast || gN != wN {
+			return false
+		}
+		if fl.Overlaps(from, to) != (wN > 0) {
+			return false
+		}
+		return fl.WindowBytes(from, to) == wBytes
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(29))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MeanRTT with the running-sum representation: mean of the samples, with
+// the handshake fallback when no sample exists.
+func TestMeanRTTRunningSum(t *testing.T) {
+	f := &Flow{HandshakeRTT: 80 * time.Millisecond}
+	if f.MeanRTT() != 80*time.Millisecond {
+		t.Fatalf("no samples: MeanRTT = %v, want handshake fallback", f.MeanRTT())
+	}
+	for _, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 60 * time.Millisecond} {
+		f.rttSum += d
+		f.rttN++
+	}
+	if f.MeanRTT() != 30*time.Millisecond {
+		t.Fatalf("MeanRTT = %v, want 30ms", f.MeanRTT())
+	}
+}

@@ -1,0 +1,297 @@
+package analyzer
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/pcap"
+	"repro/internal/qxdm"
+	"repro/internal/simtime"
+)
+
+// pduIndex is a parse-once index over one direction's deduplicated PDU
+// stream. It exists to make LongJumpMap's resync path O(candidates) instead
+// of O(window): the seed analyzer re-anchored by linearly walking up to
+// resyncWindow PDUs per unmapped packet, probing every slot; the index
+// restricts the probes to the only slots that can possibly succeed.
+//
+// A resync candidate is either (a) a PDU entered at payload offset 0 —
+// which tryMap rejects immediately unless the PDU's first logged head byte
+// equals the packet's first byte — or (b) a PDU entered right after a
+// Length Indicator (the previous packet's tail shares the PDU), which has
+// no head-byte precondition. byHead posts (a) per first byte; liSlots posts
+// (b). Both lists are in ascending slot order, so a two-pointer merge
+// visits candidates in exactly the order the seed's linear scan would have
+// reached them, and the first success is the same success.
+type pduIndex struct {
+	dedup []qxdm.PDURecord
+
+	// byHead[b] lists the slots whose logged first head byte is b,
+	// ascending. Entering such a slot at offset 0 is the only way an
+	// offset-0 probe can pass tryMap's head check.
+	byHead [256][]int32
+	// liSlots lists the slots carrying at least one usable Length
+	// Indicator (li < Size), ascending: the mid-PDU resync starts.
+	liSlots []int32
+	// prefMaxAt[i] is max(dedup[0..i].At). The dedup slice is seq-sorted
+	// and therefore only approximately time-sorted (capture-lost first
+	// transmissions survive as later retransmissions), so finding the
+	// linear scan's break slot — the first slot at or after the anchor
+	// whose At exceeds the resync deadline — needs a running maximum:
+	// prefMaxAt is monotone, so that slot binary-searches in O(log n).
+	prefMaxAt []simtime.Time
+	// prefSize[i] is the sum of dedup[0..i-1].Size (len n+1), and runEnd[j]
+	// the last slot of the maximal walkable run from j: every slot after j
+	// up to runEnd[j] continues the sequence numbering with a non-empty
+	// payload. Together they answer "where would a packet laid out at
+	// (j, off) end, and could it get there?" in O(log n), which prunes
+	// resync candidates without the full per-byte probe (candidate heads
+	// are weak discriminators — every IPv4 packet starts 0x45).
+	prefSize []int64
+	runEnd   []int32
+	// liFlat/liIdx are the per-slot Length Indicators in flat form (slot
+	// j's LIs are liFlat[liIdx[j]:liIdx[j+1]]), and sizes/head0/head1 the
+	// per-slot payload size and logged head bytes: the prune's hot loop
+	// reads these dense side arrays instead of chasing each ~80-byte
+	// PDURecord, which is most of the per-probe cost.
+	liFlat []int32
+	liIdx  []int32
+	sizes  []int32
+	head0  []byte
+	head1  []byte
+}
+
+// buildPDUIndex indexes an already-deduplicated, seq-sorted PDU stream.
+func buildPDUIndex(dedup []qxdm.PDURecord) *pduIndex {
+	ix := &pduIndex{dedup: dedup}
+	if len(dedup) == 0 {
+		return ix
+	}
+	ix.prefMaxAt = make([]simtime.Time, len(dedup))
+	ix.prefSize = make([]int64, len(dedup)+1)
+	ix.liIdx = make([]int32, len(dedup)+1)
+	ix.sizes = make([]int32, len(dedup))
+	ix.head0 = make([]byte, len(dedup))
+	ix.head1 = make([]byte, len(dedup))
+	mx := dedup[0].At
+	for i := range dedup {
+		p := &dedup[i]
+		ix.byHead[p.Head[0]] = append(ix.byHead[p.Head[0]], int32(i))
+		ix.sizes[i] = int32(p.Size)
+		ix.head0[i] = p.Head[0]
+		ix.head1[i] = p.Head[1]
+		usable := false
+		for _, li := range p.LI {
+			ix.liFlat = append(ix.liFlat, int32(li))
+			if li < p.Size {
+				usable = true
+			}
+		}
+		if usable {
+			ix.liSlots = append(ix.liSlots, int32(i))
+		}
+		ix.liIdx[i+1] = int32(len(ix.liFlat))
+		if p.At > mx {
+			mx = p.At
+		}
+		ix.prefMaxAt[i] = mx
+		ix.prefSize[i+1] = ix.prefSize[i] + int64(p.Size)
+	}
+	ix.runEnd = make([]int32, len(dedup))
+	ix.runEnd[len(dedup)-1] = int32(len(dedup) - 1)
+	for j := len(dedup) - 2; j >= 0; j-- {
+		if dedup[j+1].Seq == dedup[j].Seq+1 && dedup[j+1].Size > 0 {
+			ix.runEnd[j] = ix.runEnd[j+1]
+		} else {
+			ix.runEnd[j] = int32(j)
+		}
+	}
+	return ix
+}
+
+// canMap replicates tryMap's accept/reject walk for a resync candidate at
+// (j, off) over the dense side arrays: sequence continuity and payload
+// space (runEnd/prefSize), head-byte agreement at every offset-0 PDU entry,
+// and a Length Indicator at the exact end offset. A false result is
+// definitive; a true result still runs the authoritative tryMap — which
+// then nearly always succeeds, so the scattered PDURecord loads are paid
+// at most once per resync. The head check against the candidate slot
+// itself (off == 0) is skipped: byHead posting already guarantees
+// Head[0] and the caller's packet can never fail it.
+//
+// The entry-slot Head[1] byte IS checked here for off == 0 candidates,
+// mirroring tryMap exactly; for LI candidates (off > 0) no entry head
+// check applies.
+func (ix *pduIndex) canMap(j, off, L int, data []byte) bool {
+	rem := int(ix.sizes[j]) - off // bytes the entry slot can hold
+	if rem >= L {
+		// The packet ends inside the entry slot at offset off+L.
+		return ix.liHas(j, int32(off+L))
+	}
+	re := int(ix.runEnd[j])
+	if ix.prefSize[re+1]-ix.prefSize[j]-int64(off) < int64(L) {
+		return false // sequence gap or empty PDU before the packet ends
+	}
+	consumed := rem
+	for k := j + 1; ; k++ {
+		if ix.head0[k] != data[consumed] {
+			return false
+		}
+		sz := int(ix.sizes[k])
+		if sz >= 2 && consumed+1 < L && ix.head1[k] != data[consumed+1] {
+			return false
+		}
+		if L-consumed <= sz {
+			// Ends inside slot k at offset L-consumed.
+			return ix.liHas(k, int32(L-consumed))
+		}
+		consumed += sz
+	}
+}
+
+// quickReject is the branch-only (inlinable) prefix of canMap: it applies
+// the first one or two byte comparisons of the walk — the entry slot's
+// second head byte and the following slot's first — which reject all but
+// ~1/65536 of wrong candidates. false means "maybe"; canMap then finishes
+// the walk.
+func (ix *pduIndex) quickReject(j, off, L int, data []byte) bool {
+	sz := int(ix.sizes[j])
+	if off == 0 && sz >= 2 && L > 1 && ix.head1[j] != data[1] {
+		return true
+	}
+	rem := sz - off
+	if L <= rem {
+		return false // ends inside the entry slot; only the LI check remains
+	}
+	if int(ix.runEnd[j]) == j {
+		return true // sequence gap right after the entry slot
+	}
+	return ix.head0[j+1] != data[rem]
+}
+
+// liHas reports whether slot j carries a Length Indicator at off.
+func (ix *pduIndex) liHas(j int, off int32) bool {
+	for _, li := range ix.liFlat[ix.liIdx[j]:ix.liIdx[j+1]] {
+		if li == off {
+			return true
+		}
+	}
+	return false
+}
+
+// lowerBound32 returns the index of the first element >= v.
+func lowerBound32(s []int32, v int) int {
+	return sort.Search(len(s), func(i int) bool { return int(s[i]) >= v })
+}
+
+// resync re-anchors one unmapped packet, returning the same mapping the
+// seed's linear window scan would find. The scan interval and break
+// condition are reproduced exactly: candidates start at the padded anchor
+// for pkt.At-resyncLead, are capped at resyncWindow slots, and the scan
+// stops at the first slot (in slot order, candidate or not) transmitted
+// after pkt.At+resyncLag.
+func (ix *pduIndex) resync(pkt MappedPacket) (m PacketMapping, nextPDU, nextOff int, ok bool) {
+	if len(pkt.Data) == 0 || len(ix.dedup) == 0 {
+		return PacketMapping{}, 0, 0, false
+	}
+	start := anchorIndex(ix.dedup, pkt.At-resyncLead)
+	limit := start + resyncWindow
+	if limit > len(ix.dedup) {
+		limit = len(ix.dedup)
+	}
+	deadline := pkt.At + resyncLag
+	scanEnd := limit
+	// First slot anywhere with At > deadline; when it lies at or after the
+	// anchor it is exactly where the linear scan would break.
+	j0 := sort.Search(len(ix.prefMaxAt), func(i int) bool { return ix.prefMaxAt[i] > deadline })
+	switch {
+	case j0 >= start:
+		if j0 < scanEnd {
+			scanEnd = j0
+		}
+	default:
+		// A slot before the anchor already exceeds the deadline (a large
+		// time inversion), so the prefix maximum says nothing about
+		// [start, limit); recover the exact break slot linearly. This
+		// needs a multi-second retransmission delay to trigger at all.
+		for j := start; j < limit; j++ {
+			if ix.dedup[j].At > deadline {
+				scanEnd = j
+				break
+			}
+		}
+	}
+
+	L := len(pkt.Data)
+	heads := ix.byHead[pkt.Data[0]]
+	hi := lowerBound32(heads, start)
+	li := lowerBound32(ix.liSlots, start)
+	for {
+		jh, jl := scanEnd, scanEnd
+		if hi < len(heads) && int(heads[hi]) < scanEnd {
+			jh = int(heads[hi])
+		}
+		if li < len(ix.liSlots) && int(ix.liSlots[li]) < scanEnd {
+			jl = int(ix.liSlots[li])
+		}
+		j := min(jh, jl)
+		if j >= scanEnd {
+			return PacketMapping{}, 0, 0, false
+		}
+		// Probe offset 0 first, then the LI starts — the seed's order.
+		// canMap culls candidates that cannot possibly fit before paying
+		// for the authoritative per-byte probe.
+		if j == jh {
+			hi++
+			if !ix.quickReject(j, 0, L, pkt.Data) && ix.canMap(j, 0, L, pkt.Data) {
+				if m, np, no, ok := tryMap(pkt.Data, ix.dedup, j, 0); ok {
+					return m, np, no, true
+				}
+			}
+		}
+		if j == jl {
+			li++
+			sz := ix.sizes[j]
+			for _, off := range ix.liFlat[ix.liIdx[j]:ix.liIdx[j+1]] {
+				if off < sz && !ix.quickReject(j, int(off), L, pkt.Data) && ix.canMap(j, int(off), L, pkt.Data) {
+					if m, np, no, ok := tryMap(pkt.Data, ix.dedup, j, int(off)); ok {
+						return m, np, no, true
+					}
+				}
+			}
+		}
+	}
+}
+
+// predecode decodes every capture record's wire bytes exactly once, in
+// parallel chunks. Record.Packet caches its result in the record, so after
+// this barrier every later stage — flow reassembly, packet splitting, the
+// mappers — reads the decoded form without re-parsing and without writes,
+// which is what makes the concurrent stage graph race-free.
+func predecode(recs []pcap.Record) {
+	n := len(recs)
+	// Below a few thousand records the goroutine fan-out costs more than
+	// the decode.
+	const parallelThreshold = 4096
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers <= 1 {
+		for i := range recs {
+			recs[i].Packet()
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				recs[i].Packet()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

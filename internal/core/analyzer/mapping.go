@@ -62,7 +62,63 @@ type MappedPacket struct {
 //
 // pdus must be a single direction's data PDUs. Retransmissions (duplicate
 // sequence numbers) are ignored, keeping the first transmission of each SN.
+//
+// The resync path runs over a head-byte/LI candidate index (see pduIndex)
+// instead of the seed's linear window walk; the result is bit-identical —
+// longJumpMapLinear retains the seed algorithm as the equivalence
+// reference for tests and A/B benchmarks.
 func LongJumpMap(packets []MappedPacket, pdus []qxdm.PDURecord) MappingResult {
+	return mapIndexed(packets, buildPDUIndex(dedupPDUs(pdus)), nil)
+}
+
+// mapIndexed is the shared mapping driver: natural-cursor continuation
+// first, indexed timestamp-anchored resync on failure. When reasons is
+// non-nil it additionally tallies the post-resync outcome per packet —
+// "ok" (cursor continuation), "resync" (re-anchored), or the first failed
+// check of the cursor attempt for packets that stay unmapped.
+func mapIndexed(packets []MappedPacket, ix *pduIndex, reasons map[string]int) MappingResult {
+	res := MappingResult{Total: len(packets), Packets: make([]PacketMapping, len(packets))}
+	cursorPDU, cursorOff := 0, 0
+	for pi, pkt := range packets {
+		m, nextPDU, nextOff, ok, reason := tryMapReason(pkt.Data, ix.dedup, cursorPDU, cursorOff)
+		if ok {
+			res.Packets[pi] = m
+			res.Mapped++
+			cursorPDU, cursorOff = nextPDU, nextOff
+			if reasons != nil {
+				reasons["ok"]++
+			}
+			continue
+		}
+		// Resync: the packet may start at a later PDU (after capture-lost
+		// PDUs) — either at a PDU's payload start, or right after a Length
+		// Indicator inside one (the previous packet's tail shares the PDU).
+		// The search is anchored to the packet's capture timestamp rather
+		// than the cursor: generic packets (pure ACKs share identical head
+		// bytes) would otherwise alias to arbitrarily distant slots and
+		// poison every subsequent mapping.
+		if m, nextPDU, nextOff, ok := ix.resync(pkt); ok {
+			res.Packets[pi] = m
+			res.Mapped++
+			cursorPDU, cursorOff = nextPDU, nextOff
+			if reasons != nil {
+				reasons["resync"]++
+			}
+			continue
+		}
+		res.Packets[pi] = PacketMapping{Mapped: false}
+		if reasons != nil {
+			reasons[reason]++
+		}
+	}
+	return res
+}
+
+// longJumpMapLinear is the seed implementation of LongJumpMap, with the
+// O(resyncWindow) linear re-anchoring scan. It is retained verbatim as the
+// reference the indexed mapper must match bit-for-bit (property tests,
+// the serial analyzer engine, and the BENCH_PR4 A/B benchmarks).
+func longJumpMapLinear(packets []MappedPacket, pdus []qxdm.PDURecord) MappingResult {
 	dedup := dedupPDUs(pdus)
 	res := MappingResult{Total: len(packets), Packets: make([]PacketMapping, len(packets))}
 
@@ -74,13 +130,6 @@ func LongJumpMap(packets []MappedPacket, pdus []qxdm.PDURecord) MappingResult {
 			cursorPDU, cursorOff = nextPDU, nextOff
 			continue
 		}
-		// Resync: the packet may start at a later PDU (after capture-lost
-		// PDUs) — either at a PDU's payload start, or right after a Length
-		// Indicator inside one (the previous packet's tail shares the PDU).
-		// The search is anchored to the packet's capture timestamp rather
-		// than the cursor: generic packets (pure ACKs share identical head
-		// bytes) would otherwise alias to arbitrarily distant slots and
-		// poison every subsequent mapping.
 		found := false
 		start := anchorIndex(dedup, pkt.At-resyncLead)
 		limit := start + resyncWindow
@@ -214,23 +263,17 @@ func tryMapReason(data []byte, pdus []qxdm.PDURecord, startPDU, startOff int) (m
 	}
 }
 
-// DiagnoseMap runs the natural-cursor mapping like LongJumpMap but records
-// the first-failure reason for every unmapped packet (used by traceview and
-// debugging).
+// DiagnoseMap runs the exact LongJumpMap algorithm — natural cursor plus
+// timestamp-anchored resync — and records the post-resync outcome of every
+// packet (used by traceview and debugging): "ok" for cursor continuations,
+// "resync" for packets recovered by re-anchoring, and the cursor attempt's
+// first-failure reason ("eof", "cursor", "head", "gap", "li") for packets
+// that stay unmapped. ok + resync always equals LongJumpMap's Mapped count
+// on the same inputs; the seed version skipped the resync path entirely,
+// so its tallies described a stricter mapper than the one actually used.
 func DiagnoseMap(packets []MappedPacket, pdus []qxdm.PDURecord) map[string]int {
-	dedup := dedupPDUs(pdus)
 	reasons := map[string]int{}
-	cursorPDU, cursorOff := 0, 0
-	for _, pkt := range packets {
-		m, nextPDU, nextOff, ok, reason := tryMapReason(pkt.Data, dedup, cursorPDU, cursorOff)
-		_ = m
-		if ok {
-			cursorPDU, cursorOff = nextPDU, nextOff
-			reasons["ok"]++
-			continue
-		}
-		reasons[reason]++
-	}
+	mapIndexed(packets, buildPDUIndex(dedupPDUs(pdus)), reasons)
 	return reasons
 }
 

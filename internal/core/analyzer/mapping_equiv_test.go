@@ -1,0 +1,184 @@
+package analyzer
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/qxdm"
+	"repro/internal/simtime"
+)
+
+// damage applies a randomized capture-loss pattern to a clean PDU stream:
+// drops PDUs outright (QxDM misses the transmission entirely) and, for
+// others, simulates "first transmission lost, retransmission captured" by
+// pushing At several milliseconds late — which after the seq-sort leaves
+// the local timestamp inversions anchorIndex must tolerate.
+func damage(rng *rand.Rand, pdus []qxdm.PDURecord, dropP, lateP float64) []qxdm.PDURecord {
+	out := make([]qxdm.PDURecord, 0, len(pdus))
+	for _, p := range pdus {
+		r := rng.Float64()
+		switch {
+		case r < dropP:
+			continue
+		case r < dropP+lateP:
+			p.At += simtime.Time(time.Duration(1+rng.Intn(40)) * time.Millisecond)
+			p.Retx = true
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func sameMapping(a, b MappingResult) bool {
+	if a.Mapped != b.Mapped || a.Total != b.Total {
+		return false
+	}
+	return reflect.DeepEqual(a.Packets, b.Packets)
+}
+
+// Property: the indexed resync path is bit-identical to the seed's linear
+// window scan — same Mapped/Total and identical per-packet FirstPDU/LastPDU
+// — under randomized packet sizes, PDU payload sizes, capture loss, and
+// retransmission-induced timestamp inversions.
+func TestQuickIndexedMapperMatchesLinear(t *testing.T) {
+	f := func(seed int64, ns []uint16, payloadSel, lossSel uint8) bool {
+		if len(ns) == 0 || len(ns) > 40 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		sizes := make([]int, len(ns))
+		for i, n := range ns {
+			sizes[i] = int(n%2000) + 1
+		}
+		payload := []int{40, 128, 480, 1400}[payloadSel%4]
+		drop := []float64{0, 0.01, 0.05, 0.2}[lossSel%4]
+		late := []float64{0, 0.02, 0.1}[int(lossSel/4)%3]
+		packets := mkPackets(seed, sizes...)
+		pdus := damage(rng, segment(rawData(packets), payload), drop, late)
+		return sameMapping(LongJumpMap(packets, pdus), longJumpMapLinear(packets, pdus))
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Heavier deterministic sweep over loss rates, including streams long
+// enough that the resync search meaningfully exercises the break-by-
+// deadline path and the prefix-max fallback.
+func TestIndexedMapperMatchesLinearAcrossLossRates(t *testing.T) {
+	for _, drop := range []float64{0, 0.005, 0.02, 0.08, 0.3} {
+		for _, late := range []float64{0, 0.05} {
+			rng := rand.New(rand.NewSource(int64(drop*1000) + int64(late*100)))
+			sizes := make([]int, 400)
+			for i := range sizes {
+				sizes[i] = 1 + rng.Intn(1500)
+			}
+			packets := mkPackets(7, sizes...)
+			pdus := damage(rng, segment(rawData(packets), 40), drop, late)
+			got := LongJumpMap(packets, pdus)
+			want := longJumpMapLinear(packets, pdus)
+			if !sameMapping(got, want) {
+				t.Fatalf("drop=%v late=%v: indexed (mapped %d/%d) diverges from linear (mapped %d/%d)",
+					drop, late, got.Mapped, got.Total, want.Mapped, want.Total)
+			}
+		}
+	}
+}
+
+// Fuzz the indexed mapper against the linear reference with an arbitrary
+// loss mask: each mask byte drops (odd) or delays (>=192) one PDU.
+func FuzzIndexedMapperEquivalence(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 0, 3, 0})
+	f.Add(int64(9), []byte{1, 1, 1, 1, 1, 1})
+	f.Add(int64(3), []byte{192, 0, 1, 200, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, seed int64, mask []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := make([]int, 60)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(1200)
+		}
+		packets := mkPackets(seed, sizes...)
+		clean := segment(rawData(packets), 128)
+		var pdus []qxdm.PDURecord
+		for i, p := range clean {
+			if len(mask) > 0 {
+				m := mask[i%len(mask)]
+				if m%2 == 1 {
+					continue
+				}
+				if m >= 192 {
+					p.At += simtime.Time(time.Duration(m) * time.Millisecond)
+					p.Retx = true
+				}
+			}
+			pdus = append(pdus, p)
+		}
+		got := LongJumpMap(packets, pdus)
+		want := longJumpMapLinear(packets, pdus)
+		if !sameMapping(got, want) {
+			t.Fatalf("indexed (mapped %d/%d) diverges from linear (mapped %d/%d)",
+				got.Mapped, got.Total, want.Mapped, want.Total)
+		}
+	})
+}
+
+// DiagnoseMap must describe the mapper actually used: cursor continuations
+// plus resyncs account for every mapped packet.
+func TestDiagnoseMapCountsResyncs(t *testing.T) {
+	packets := mkPackets(2, 200, 200, 200, 200)
+	pdus := segment(rawData(packets), 40)
+	// Lose one PDU in the middle of packet 1 (same shape as
+	// TestLongJumpLostPDUBreaksOnlyAffectedPackets): packet 1 stays
+	// unmapped, packet 2 recovers via resync, packets 0 and 3 ride the
+	// cursor.
+	lost := append(append([]qxdm.PDURecord{}, pdus[:6]...), pdus[7:]...)
+	reasons := DiagnoseMap(packets, lost)
+	if reasons["ok"] != 2 || reasons["resync"] != 1 {
+		t.Fatalf("reasons = %v, want ok:2 resync:1", reasons)
+	}
+	if reasons["ok"]+reasons["resync"] != LongJumpMap(packets, lost).Mapped {
+		t.Fatalf("ok+resync != Mapped: %v", reasons)
+	}
+	unmapped := 0
+	for k, v := range reasons {
+		if k != "ok" && k != "resync" {
+			unmapped += v
+		}
+	}
+	if unmapped != 1 {
+		t.Fatalf("want exactly 1 unmapped reason, got %v", reasons)
+	}
+}
+
+// Invariant on randomized damage: DiagnoseMap's ok+resync always equals
+// LongJumpMap's Mapped count, and the reason total equals Total.
+func TestQuickDiagnoseMapConsistent(t *testing.T) {
+	f := func(seed int64, ns []uint16, lossSel uint8) bool {
+		if len(ns) == 0 || len(ns) > 30 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		sizes := make([]int, len(ns))
+		for i, n := range ns {
+			sizes[i] = int(n%1500) + 1
+		}
+		drop := []float64{0, 0.05, 0.2}[lossSel%3]
+		packets := mkPackets(seed, sizes...)
+		pdus := damage(rng, segment(rawData(packets), 128), drop, 0.02)
+		reasons := DiagnoseMap(packets, pdus)
+		res := LongJumpMap(packets, pdus)
+		total := 0
+		for _, v := range reasons {
+			total += v
+		}
+		return reasons["ok"]+reasons["resync"] == res.Mapped && total == res.Total
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

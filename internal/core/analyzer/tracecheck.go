@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"fmt"
 	"strings"
 	"time"
 
@@ -30,8 +31,19 @@ const traceOverlapSlack = time.Second
 //     app-layer span (the app emitted ground truth for the action the
 //     controller measured).
 func (c *CrossLayer) CrossCheckTrace(events []obs.TraceEvent) {
+	c.Warnings = append(c.Warnings, c.crossCheckTrace(events)...)
+}
+
+// crossCheckTrace performs the checks and returns the warnings instead of
+// appending them, so the parallel engine can run it as a concurrent stage
+// and merge its output at a deterministic position.
+func (c *CrossLayer) crossCheckTrace(events []obs.TraceEvent) []string {
 	if len(events) == 0 {
-		return
+		return nil
+	}
+	var warns []string
+	warn := func(format string, args ...any) {
+		warns = append(warns, fmt.Sprintf(format, args...))
 	}
 	var traceRetx, rrcSpans int
 	type appSpan struct{ start, end time.Duration }
@@ -54,7 +66,7 @@ func (c *CrossLayer) CrossCheckTrace(events []obs.TraceEvent) {
 			pcapRetx += f.Retransmissions
 		}
 		if pcapRetx > traceRetx {
-			c.warn("trace cross-check: capture shows %d TCP retransmissions but the trace recorded only %d; the capture should never see more than actually occurred",
+			warn("trace cross-check: capture shows %d TCP retransmissions but the trace recorded only %d; the capture should never see more than actually occurred",
 				pcapRetx, traceRetx)
 		}
 	}
@@ -62,7 +74,7 @@ func (c *CrossLayer) CrossCheckTrace(events []obs.TraceEvent) {
 	if c.Session.Radio != nil && rrcSpans > 0 {
 		transitions := len(c.Session.Radio.Transitions)
 		if rrcSpans != transitions && rrcSpans != transitions+1 {
-			c.warn("trace cross-check: QxDM log has %d RRC transitions but the trace has %d state spans (expected %d or %d)",
+			warn("trace cross-check: QxDM log has %d RRC transitions but the trace has %d state spans (expected %d or %d)",
 				transitions, rrcSpans, transitions, transitions+1)
 		}
 	}
@@ -82,9 +94,10 @@ func (c *CrossLayer) CrossCheckTrace(events []obs.TraceEvent) {
 				}
 			}
 			if !found {
-				c.warn("trace cross-check: behavior entry %s/%s [%v, %v] overlaps no app-layer trace span",
+				warn("trace cross-check: behavior entry %s/%s [%v, %v] overlaps no app-layer trace span",
 					e.App, e.Action, time.Duration(e.Start), time.Duration(e.End))
 			}
 		}
 	}
+	return warns
 }

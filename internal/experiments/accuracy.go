@@ -286,7 +286,9 @@ func accuracyMapping(seed int64) (ul, dl float64) {
 	}
 	run(0)
 	b.K.RunUntil(b.K.Now() + 10*time.Minute)
-	ul = analyzer.NewCrossLayer(b.Session(log)).ULMap.Ratio()
+	// Kick off the uplink analysis asynchronously: it overlaps the
+	// downlink bed's simulation below (the sim/analyze pipeline).
+	ulPending := b.AnalyzeAsync(log)
 
 	// Downlink: 8 page loads (~0.2 MB of download data each).
 	b2 := testbed.New(testbed.Options{Seed: seed + 1, Profile: radio.Profile3G()})
@@ -300,6 +302,7 @@ func accuracyMapping(seed int64) (ul, dl float64) {
 	d2.LoadPages(urls, 2*time.Second, nil)
 	b2.K.RunUntil(10 * time.Minute)
 	dl = analyzer.NewCrossLayer(b2.Session(log2)).DLMap.Ratio()
+	ul = ulPending.Wait().ULMap.Ratio()
 	return ul, dl
 }
 

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/core/analyzer"
+)
+
+// TestAnalyzerEngineGolden proves the PR4 analyzer rebuild changed nothing
+// observable: every experiment renders byte-identical output (and produces
+// identical metric values) whether the serial seed engine or the parallel
+// indexed engine runs underneath. A fast cross-section of the registry runs
+// by default; set ANALYZER_GOLDEN_FULL=1 (wired to `make analyzer-golden`)
+// to sweep all of it.
+func TestAnalyzerEngineGolden(t *testing.T) {
+	ids := []string{"fig8", "fig12", "sec7.7"}
+	if os.Getenv("ANALYZER_GOLDEN_FULL") != "" {
+		ids = nil
+		for _, e := range Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else if testing.Short() {
+		ids = []string{"fig12"}
+	}
+	defer analyzer.SetEngine(analyzer.EngineParallel)
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			analyzer.SetEngine(analyzer.EngineSerial)
+			want := e.Run(77)
+			analyzer.SetEngine(analyzer.EngineParallel)
+			got := e.Run(77)
+			if got.Render() != want.Render() {
+				t.Errorf("%s: render diverges between engines:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, want.Render(), got.Render())
+			}
+			if !reflect.DeepEqual(got.Values, want.Values) {
+				t.Errorf("%s: values diverge between engines", id)
+			}
+		})
+	}
+}

@@ -35,13 +35,18 @@ type impairOutcome struct {
 	warnings  int     // analyzer data-quality warnings
 }
 
-// impairRun plays one video on a bed configured with the given fault plan
-// and measures the outcome across the UI, transport, and radio layers. Both
-// collectors stay on: the point of the sweep is cross-layer attribution
-// under impairment. A nonzero throttleBps adds carrier rate limiting
-// downstream of the fault chain, keeping the playback buffer shallow so
-// bearer outages surface at the UI layer.
-func impairRun(seed int64, plan *faults.Plan, throttleBps float64) impairOutcome {
+// impairStart plays one video on a bed configured with the given fault
+// plan, measuring the outcome across the UI, transport, and radio layers.
+// Both collectors stay on: the point of the sweep is cross-layer
+// attribution under impairment. A nonzero throttleBps adds carrier rate
+// limiting downstream of the fault chain, keeping the playback buffer
+// shallow so bearer outages surface at the UI layer.
+//
+// The simulation runs synchronously; the cross-layer analysis is launched
+// asynchronously and the returned function waits for it. Callers start the
+// next cell's simulation before collecting, pipelining sim N+1 over
+// analysis N.
+func impairStart(seed int64, plan *faults.Plan, throttleBps float64) func() impairOutcome {
 	b := testbed.New(testbed.Options{
 		Seed:    seed,
 		Faults:  plan,
@@ -72,17 +77,21 @@ func impairRun(seed int64, plan *faults.Plan, throttleBps float64) impairOutcome
 	b.K.RunUntil(b.K.Now() + 20*time.Minute)
 
 	sess := b.Session(log)
-	xl := analyzer.NewCrossLayer(sess)
-	for _, f := range xl.Flows.Flows {
-		o.retx += f.Retransmissions
-	}
-	o.warnings = len(xl.Warnings)
-	o.energyJ = power.Analyze(sess.Profile, sess.Radio, 0, b.K.Now()).ActiveJ()
+	pending := analyzer.Analyze(sess)
 	if b.FaultUL != nil {
 		o.drops = b.FaultUL.Dropped() + b.FaultDL.Dropped()
 	}
 	o.outages = b.Net.Bearer.OutageCount()
-	return o
+	end := b.K.Now()
+	return func() impairOutcome {
+		xl := pending.Wait()
+		for _, f := range xl.Flows.Flows {
+			o.retx += f.Retransmissions
+		}
+		o.warnings = len(xl.Warnings)
+		o.energyJ = power.Analyze(sess.Profile, sess.Radio, 0, end).ActiveJ()
+		return o
+	}
 }
 
 // RunImpairmentSweep reports QoE degradation as a function of injected
@@ -100,13 +109,19 @@ func RunImpairmentSweep(seed int64) *Result {
 		Headers: []string{"Mean loss", "Init load", "Rebuf ratio", "Stalls", "TCP retx", "Chain drops", "Energy"},
 	}
 	losses := []float64{0, 0.01, 0.02, 0.05}
+	// Each cell's simulation overlaps the previous cell's analysis: the
+	// starts run back-to-back, the collects drain in order.
+	lossFinish := make([]func() impairOutcome, len(losses))
 	for i, p := range losses {
 		plan := &faults.Plan{}
 		if p > 0 {
 			ge := faults.GEForMeanLoss(p, impairAvgBurst)
 			plan.GE = &ge
 		}
-		o := impairRun(seed+int64(i), plan, 0)
+		lossFinish[i] = impairStart(seed+int64(i), plan, 0)
+	}
+	for i, p := range losses {
+		o := lossFinish[i]()
 		lossTbl.AddRow(fmtPct(p), fmtS(o.initialS), fmt.Sprintf("%.3f", o.rebuffer),
 			fmt.Sprintf("%d", o.rebuffers), fmt.Sprintf("%d", o.retx),
 			fmt.Sprintf("%d", o.drops), fmtJ(o.energyJ))
@@ -123,13 +138,17 @@ func RunImpairmentSweep(seed int64) *Result {
 		Headers: []string{"Outage", "Init load", "Rebuf ratio", "Stalls", "TCP retx", "Outages", "Energy"},
 	}
 	durations := []time.Duration{0, time.Second, 3 * time.Second, 5 * time.Second}
+	outageFinish := make([]func() impairOutcome, len(durations))
 	for i, dur := range durations {
 		ge := faults.GEForMeanLoss(0.02, impairAvgBurst)
 		plan := &faults.Plan{GE: &ge}
 		if dur > 0 {
 			plan.Outages = []faults.Outage{{Start: impairOutageStart, Duration: dur}}
 		}
-		o := impairRun(seed+100+int64(i), plan, 450e3)
+		outageFinish[i] = impairStart(seed+100+int64(i), plan, 450e3)
+	}
+	for i, dur := range durations {
+		o := outageFinish[i]()
 		outageTbl.AddRow(fmt.Sprintf("%v", dur), fmtS(o.initialS),
 			fmt.Sprintf("%.3f", o.rebuffer), fmt.Sprintf("%d", o.rebuffers),
 			fmt.Sprintf("%d", o.retx), fmt.Sprintf("%d", o.outages), fmtJ(o.energyJ))

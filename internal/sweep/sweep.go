@@ -8,6 +8,7 @@ package sweep
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -188,19 +189,72 @@ func Failed(results []Result) int {
 // precedes each seed's block.
 func Render(results []Result, showSeed bool) string {
 	var b strings.Builder
-	lastSeed := int64(0)
-	first := true
+	s := Stream{w: &b, showSeed: showSeed, pending: map[int]Result{}}
 	for _, r := range results {
-		if showSeed && (first || r.Seed != lastSeed) {
-			fmt.Fprintf(&b, "##### seed %d #####\n\n", r.Seed)
-		}
-		first, lastSeed = false, r.Seed
-		if r.Err != nil {
-			fmt.Fprintf(&b, "=== %s: FAILED ===\n%v\n", r.Exp.ID, r.Err)
-		} else {
-			b.WriteString(r.Res.Render())
-		}
-		b.WriteString("\n")
+		s.Push(r)
 	}
 	return b.String()
+}
+
+// Stream renders sweep results incrementally, in grid order, while the
+// sweep is still running: results pushed out of order are buffered until
+// every earlier cell has been emitted, so the concatenated output is
+// byte-identical to Render over the full result slice. Feed it from
+// Options.OnDone (which serializes calls); Stream itself is not
+// goroutine-safe.
+type Stream struct {
+	w        io.Writer
+	showSeed bool
+
+	next     int
+	pending  map[int]Result
+	lastSeed int64
+	started  bool
+	err      error
+}
+
+// NewStream returns a Stream writing to w, with the same showSeed semantics
+// as Render.
+func NewStream(w io.Writer, showSeed bool) *Stream {
+	return &Stream{w: w, showSeed: showSeed, pending: make(map[int]Result)}
+}
+
+// Push accepts one finished cell, in any order, and flushes the contiguous
+// prefix of grid-ordered results that is now complete.
+func (s *Stream) Push(r Result) {
+	s.pending[r.Index] = r
+	for {
+		head, ok := s.pending[s.next]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.next)
+		s.next++
+		s.emit(head)
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *Stream) Err() error { return s.err }
+
+func (s *Stream) emit(r Result) {
+	write := func(err error) {
+		if s.err == nil {
+			s.err = err
+		}
+	}
+	if s.showSeed && (!s.started || r.Seed != s.lastSeed) {
+		_, err := fmt.Fprintf(s.w, "##### seed %d #####\n\n", r.Seed)
+		write(err)
+	}
+	s.started, s.lastSeed = true, r.Seed
+	if r.Err != nil {
+		_, err := fmt.Fprintf(s.w, "=== %s: FAILED ===\n%v\n", r.Exp.ID, r.Err)
+		write(err)
+	} else {
+		_, err := io.WriteString(s.w, r.Res.Render())
+		write(err)
+	}
+	_, err := io.WriteString(s.w, "\n")
+	write(err)
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"testing"
@@ -189,5 +190,45 @@ func TestFullSweepGolden(t *testing.T) {
 	parallel := Render(Run(cells, Options{Workers: 4}), false)
 	if serial != parallel {
 		t.Fatal("full parallel sweep output differs from serial")
+	}
+}
+
+// Stream must emit Render's exact bytes regardless of push order, flushing
+// each result as soon as its grid-order predecessors are all in.
+func TestStreamMatchesRender(t *testing.T) {
+	cells := Grid([]experiments.Experiment{fakeExp("a"), fakeExp("b"), fakeExp("c")}, []int64{1, 2})
+	results := Run(cells, Options{Workers: 2})
+	for _, showSeed := range []bool{false, true} {
+		want := Render(results, showSeed)
+		perm := rand.New(rand.NewSource(5)).Perm(len(results))
+		var buf strings.Builder
+		st := NewStream(&buf, showSeed)
+		for _, i := range perm {
+			before := buf.Len()
+			st.Push(results[i])
+			// Pushing index 0 must flush immediately; later pushes flush
+			// exactly when they complete a grid-order prefix.
+			if i == 0 && buf.Len() == before {
+				t.Fatal("pushing the first grid cell emitted nothing")
+			}
+		}
+		if st.Err() != nil {
+			t.Fatalf("stream error: %v", st.Err())
+		}
+		if got := buf.String(); got != want {
+			t.Fatalf("showSeed=%v: stream output diverges from Render:\n got %q\nwant %q", showSeed, got, want)
+		}
+	}
+}
+
+// A streaming sweep (Push from OnDone) produces Render's bytes too — the
+// incremental path the qoeexp CLI uses.
+func TestStreamFromOnDone(t *testing.T) {
+	cells := Grid([]experiments.Experiment{fakeExp("x"), fakeExp("y")}, []int64{7, 8, 9})
+	var buf strings.Builder
+	st := NewStream(&buf, true)
+	results := Run(cells, Options{Workers: 3, OnDone: st.Push})
+	if got, want := buf.String(), Render(results, true); got != want {
+		t.Fatalf("streamed sweep output diverges:\n got %q\nwant %q", got, want)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/core/analyzer"
 	"repro/internal/core/qoe"
 
 	"repro/internal/apps/browser"
@@ -211,6 +212,18 @@ func (b *Bed) Session(log *qoe.BehaviorLog) *qoe.Session {
 		s.Trace = b.Trace.Events()
 	}
 	return s
+}
+
+// Analyze runs the cross-layer analyzer over the bed's collected logs.
+func (b *Bed) Analyze(log *qoe.BehaviorLog) *analyzer.CrossLayer {
+	return analyzer.NewCrossLayer(b.Session(log))
+}
+
+// AnalyzeAsync starts the analysis on its own goroutine so the caller can
+// overlap it with the next bed's simulation (the sweep pipeline shape);
+// Wait on the returned handle for the result.
+func (b *Bed) AnalyzeAsync(log *qoe.BehaviorLog) *analyzer.Pending {
+	return analyzer.Analyze(b.Session(log))
 }
 
 // Throttle installs carrier rate limiting on the downlink: traffic shaping
