@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench bench-analyzer bench-compare analyzer-golden sweep sweep-golden
+.PHONY: build test test-short verify bench bench-analyzer bench-compare bench-fleet analyzer-golden sweep sweep-golden
 
 build:
 	$(GO) build ./...
 	$(GO) build -o bin/qoeexp ./cmd/qoeexp
 	$(GO) build -o bin/qoedoctor ./cmd/qoedoctor
+	$(GO) build -o bin/qoefleet ./cmd/qoefleet
 	$(GO) build -o bin/traceview ./cmd/traceview
 
 test: build
@@ -44,6 +45,12 @@ bench-analyzer:
 # parallel engine.
 bench-compare:
 	BENCH_PR4_BASELINE=$(CURDIR)/BENCH_PR4.json $(GO) test -run TestBenchComparePR4 -v ./internal/core/analyzer/
+
+# PR 5 fleet scaling record: ns/op and allocs/op per simulated UE at
+# N=1/8/64 on a shared cell. Writes BENCH_PR5.json and fails if the per-UE
+# cost at N=64 exceeds 2x the N=1 per-UE cost.
+bench-fleet:
+	BENCH_PR5_JSON=$(CURDIR)/BENCH_PR5.json $(GO) test -run TestWriteBenchPR5JSON -v ./internal/fleet/
 
 # Serial-vs-parallel analyzer equivalence over the whole experiment
 # registry (the default test run covers a fast subset).

@@ -145,7 +145,7 @@ func BenchmarkSec77RRCSimplify(b *testing.B) {
 // blows through the paper's 40 ms error bound, the calibrated one does not.
 func BenchmarkAblationCalibration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bed := testbed.New(testbed.Options{Seed: benchSeed, Profile: radio.ProfileLTE(), DisableQxDM: true})
+		bed := testbed.MustNew(testbed.Options{Seed: benchSeed, Profile: radio.ProfileLTE(), DisableQxDM: true})
 		bed.Facebook.Connect()
 		bed.K.RunUntil(2 * time.Second)
 		// Inflate the tree so one parse pass costs ~60 ms.
@@ -213,7 +213,7 @@ func BenchmarkAblationCalibration(b *testing.B) {
 func BenchmarkAblationMappingAnchor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Build one 3G photo-upload session.
-		bed := testbed.New(testbed.Options{Seed: benchSeed, Profile: radio.Profile3G()})
+		bed := testbed.MustNew(testbed.Options{Seed: benchSeed, Profile: radio.Profile3G()})
 		bed.Facebook.Connect()
 		bed.K.RunUntil(3 * time.Second)
 		log := &qoe.BehaviorLog{}

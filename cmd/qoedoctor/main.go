@@ -82,11 +82,12 @@ func main() {
 	engine := flag.String("analyzer", "parallel", "analyzer engine: parallel (indexed, concurrent stages) | serial (reference)")
 	flag.Parse()
 
+	var engineOpt analyzer.Option
 	switch *engine {
 	case "parallel", "":
-		analyzer.SetEngine(analyzer.EngineParallel)
+		engineOpt = analyzer.WithEngine(analyzer.EngineParallel)
 	case "serial":
-		analyzer.SetEngine(analyzer.EngineSerial)
+		engineOpt = analyzer.WithEngine(analyzer.EngineSerial)
 	default:
 		fmt.Fprintf(os.Stderr, "qoedoctor: unknown analyzer engine %q (parallel | serial)\n", *engine)
 		os.Exit(1)
@@ -105,16 +106,18 @@ func main() {
 		plan.Outages = []faults.Outage{{Start: *outageAt, Duration: *outageDur}}
 	}
 
-	b := testbed.New(testbed.Options{
-		Seed:     *seed,
-		Profile:  profileByName(*network),
-		Faults:   plan,
-		Trace:    *traceOut != "" || *traceCSV != "",
-		Metrics:  *doReport || *reportJSON != "",
-		Profiler: *doProfile,
+	b, err := testbed.New(testbed.Options{
+		Seed:        *seed,
+		Profile:     profileByName(*network),
+		Faults:      plan,
+		ThrottleBps: *throttle,
+		Trace:       *traceOut != "" || *traceCSV != "",
+		Metrics:     *doReport || *reportJSON != "",
+		Profiler:    *doProfile,
 	})
-	if *throttle > 0 {
-		b.Throttle(*throttle)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoedoctor: %v\n", err)
+		os.Exit(1)
 	}
 	log := &qoe.BehaviorLog{}
 
@@ -137,7 +140,7 @@ func main() {
 	}
 
 	b.CloseObs()
-	report(b, log, *doReport)
+	report(b, log, *doReport, engineOpt)
 
 	if *traceOut != "" {
 		writeOrDie(*traceOut, func(w io.Writer) error { return obs.WriteChromeTrace(w, b.Trace.Events()) })
@@ -287,10 +290,10 @@ func runBrowse(b *testbed.Bed, log *qoe.BehaviorLog, reps int) {
 }
 
 // report prints the multi-layer analysis.
-func report(b *testbed.Bed, log *qoe.BehaviorLog, showMetrics bool) {
+func report(b *testbed.Bed, log *qoe.BehaviorLog, showMetrics bool, engineOpt analyzer.Option) {
 	sess := b.Session(log)
 	app := analyzer.AnalyzeApp(log)
-	cl := analyzer.NewCrossLayer(sess)
+	cl := analyzer.NewCrossLayer(sess, engineOpt)
 
 	// Surface analyzer data-quality warnings in the default output and the
 	// metrics snapshot; previously only the faults experiment looked at them.

@@ -1,0 +1,138 @@
+// Command qoefleet runs a multi-UE fleet scenario: N simulated devices
+// share one cell, a workload drives every device, and the per-UE QoE
+// reports are aggregated into fleet KPIs (p50/p95/p99 rebuffer ratio,
+// pageload, RRC energy).
+//
+// Usage:
+//
+//	qoefleet -ues 8                       # 8 UEs, round-robin, browse
+//	qoefleet -ues 64 -policy pf -workload youtube
+//	qoefleet -ues 8 -gains 0.5:1.5        # linear link-quality spread
+//	qoefleet -ues 4 -trace fleet.json     # per-UE Chrome trace processes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core/analyzer"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/radio"
+)
+
+func profileByName(name string) *radio.Profile {
+	switch name {
+	case "3g":
+		return radio.Profile3G()
+	case "3g-simple":
+		return radio.ProfileSimplified3G()
+	case "wifi":
+		return radio.ProfileWiFi()
+	case "lte", "":
+		return radio.ProfileLTE()
+	}
+	fmt.Fprintf(os.Stderr, "qoefleet: unknown network %q\n", name)
+	os.Exit(1)
+	return nil
+}
+
+func main() {
+	ues := flag.Int("ues", 8, "number of UEs sharing the cell")
+	policy := flag.String("policy", "rr", "cell scheduler: rr (round-robin) | pf (proportional fair)")
+	workload := flag.String("workload", "browse", "workload: youtube | browse | facebook")
+	network := flag.String("network", "lte", "lte | 3g | 3g-simple | wifi")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	horizon := flag.Duration("horizon", 10*time.Minute, "virtual-time run length")
+	gains := flag.String("gains", "", "linear link-quality spread lo:hi across UEs (default: all 1)")
+	engine := flag.String("analyzer", "parallel", "analyzer engine: parallel | serial")
+	traceOut := flag.String("trace", "", "write a merged Chrome trace (one process per UE) to this file")
+	flag.Parse()
+
+	if *ues <= 0 {
+		fmt.Fprintf(os.Stderr, "qoefleet: -ues must be positive\n")
+		os.Exit(1)
+	}
+	pol, err := radio.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoefleet: %v\n", err)
+		os.Exit(1)
+	}
+	wl, err := fleet.ParseWorkload(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoefleet: %v\n", err)
+		os.Exit(1)
+	}
+
+	specs := fleet.UniformUEs(*ues)
+	if *gains != "" {
+		var lo, hi float64
+		if _, err := fmt.Sscanf(strings.Replace(*gains, ":", " ", 1), "%g %g", &lo, &hi); err != nil || lo <= 0 || hi <= 0 {
+			fmt.Fprintf(os.Stderr, "qoefleet: bad -gains %q (want lo:hi, both positive)\n", *gains)
+			os.Exit(1)
+		}
+		fleet.SpreadGains(specs, lo, hi)
+	}
+
+	opts := []fleet.Option{fleet.WithHorizon(*horizon)}
+	switch *engine {
+	case "parallel", "":
+		opts = append(opts, fleet.WithEngine(analyzer.EngineParallel))
+	case "serial":
+		opts = append(opts, fleet.WithEngine(analyzer.EngineSerial))
+	default:
+		fmt.Fprintf(os.Stderr, "qoefleet: unknown analyzer engine %q (parallel | serial)\n", *engine)
+		os.Exit(1)
+	}
+	if *traceOut != "" {
+		opts = append(opts, fleet.WithTrace())
+	}
+
+	scen := fleet.Scenario{
+		Seed:     *seed,
+		Cell:     fleet.CellSpec{Profile: profileByName(*network), Policy: pol},
+		UEs:      specs,
+		Workload: wl,
+	}
+	f, err := fleet.Build(scen, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoefleet: %v\n", err)
+		os.Exit(1)
+	}
+	f.Drive()
+	f.K.RunUntil(*horizon)
+	f.CloseObs()
+	fmt.Print(f.Report().Render())
+
+	if *traceOut != "" {
+		procs := make([]obs.Process, len(f.UEs))
+		total := 0
+		for i, ue := range f.UEs {
+			procs[i] = obs.Process{Pid: i + 1, Name: ue.Name, Events: ue.Trace.Events()}
+			total += len(procs[i].Events)
+		}
+		writeOrDie(*traceOut, func(w io.Writer) error { return obs.WriteChromeTraceMulti(w, procs) })
+		fmt.Printf("wrote %d trace events (%d UE processes) to %s\n", total, len(procs), *traceOut)
+	}
+}
+
+// writeOrDie creates path and writes it with fn, exiting on any error.
+func writeOrDie(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoefleet: %v\n", err)
+		os.Exit(1)
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoefleet: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}

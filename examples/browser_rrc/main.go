@@ -38,7 +38,7 @@ func main() {
 }
 
 func run(prof *radio.Profile) (meanLoad float64, promotions int) {
-	bed := testbed.New(testbed.Options{Seed: 5, Profile: prof})
+	bed := testbed.MustNew(testbed.Options{Seed: 5, Profile: prof})
 	log := &qoe.BehaviorLog{}
 	ctl := controller.New(bed.K, bed.Browser.Screen, log)
 	driver := &controller.BrowserDriver{C: ctl}

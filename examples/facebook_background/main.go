@@ -31,7 +31,7 @@ func main() {
 			RefreshInterval: interval,
 			Subscribe:       true,
 		}
-		bed := testbed.New(testbed.Options{Seed: 99, Profile: radio.ProfileLTE(), Facebook: cfg})
+		bed := testbed.MustNew(testbed.Options{Seed: 99, Profile: radio.ProfileLTE(), Facebook: cfg})
 		bed.Facebook.Connect()
 		bed.K.RunUntil(7 * time.Minute) // de-phase friend posts from refreshes
 		n := 0

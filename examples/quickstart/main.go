@@ -23,7 +23,7 @@ import (
 
 func main() {
 	// 1. The lab: an LTE device with tcpdump and QxDM attached.
-	bed := testbed.New(testbed.Options{Seed: 7, Profile: radio.ProfileLTE()})
+	bed := testbed.MustNew(testbed.Options{Seed: 7, Profile: radio.ProfileLTE()})
 	bed.Facebook.Connect()
 	bed.K.RunUntil(3 * time.Second)
 

@@ -35,7 +35,7 @@ func main() {
 }
 
 func run(prof *radio.Profile, throttled bool) {
-	bed := testbed.New(testbed.Options{Seed: 21, Profile: prof, DisableQxDM: true})
+	bed := testbed.MustNew(testbed.Options{Seed: 21, Profile: prof, DisableQxDM: true})
 	bed.YouTube.Connect()
 	bed.K.RunUntil(2 * time.Second)
 	if throttled {

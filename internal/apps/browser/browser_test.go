@@ -14,7 +14,7 @@ import (
 
 func newBed(t *testing.T, seed int64, prof *radio.Profile, bp browser.Profile) *testbed.Bed {
 	t.Helper()
-	return testbed.New(testbed.Options{Seed: seed, Profile: prof, Browser: bp, DisableQxDM: true})
+	return testbed.MustNew(testbed.Options{Seed: seed, Profile: prof, Browser: bp, DisableQxDM: true})
 }
 
 // loadPage drives a page load via the URL bar and returns the load time.

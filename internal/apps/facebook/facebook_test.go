@@ -15,7 +15,7 @@ import (
 
 func newBed(t *testing.T, cfg facebook.Config) *testbed.Bed {
 	t.Helper()
-	b := testbed.New(testbed.Options{Seed: 11, Profile: radio.ProfileLTE(), Facebook: cfg})
+	b := testbed.MustNew(testbed.Options{Seed: 11, Profile: radio.ProfileLTE(), Facebook: cfg})
 	b.Facebook.Connect()
 	b.K.RunUntil(2 * time.Second) // connect + subscribe
 	return b
@@ -200,7 +200,7 @@ func TestBackgroundRefreshScalesWithInterval(t *testing.T) {
 	traffic := func(interval time.Duration) int {
 		cfg := facebook.DefaultConfig()
 		cfg.RefreshInterval = interval
-		b := testbed.New(testbed.Options{Seed: 3, Profile: radio.ProfileLTE(), Facebook: cfg, DisableQxDM: true})
+		b := testbed.MustNew(testbed.Options{Seed: 3, Profile: radio.ProfileLTE(), Facebook: cfg, DisableQxDM: true})
 		b.Facebook.Connect()
 		b.K.RunUntil(4 * time.Hour)
 		total := 0
@@ -220,7 +220,7 @@ func TestBackgroundRefreshScalesWithInterval(t *testing.T) {
 func TestNoRefreshNoTimerTraffic(t *testing.T) {
 	cfg := facebook.DefaultConfig()
 	cfg.RefreshInterval = 0
-	b := testbed.New(testbed.Options{Seed: 4, Facebook: cfg, DisableQxDM: true})
+	b := testbed.MustNew(testbed.Options{Seed: 4, Facebook: cfg, DisableQxDM: true})
 	b.Facebook.Connect()
 	b.K.RunUntil(30 * time.Second)
 	base := len(b.Capture.Records())
@@ -233,7 +233,7 @@ func TestNoRefreshNoTimerTraffic(t *testing.T) {
 func TestCloseStopsBackgroundRefresh(t *testing.T) {
 	cfg := facebook.DefaultConfig()
 	cfg.RefreshInterval = 10 * time.Minute
-	b := testbed.New(testbed.Options{Seed: 5, Facebook: cfg, DisableQxDM: true})
+	b := testbed.MustNew(testbed.Options{Seed: 5, Facebook: cfg, DisableQxDM: true})
 	b.Facebook.Connect()
 	b.K.RunUntil(30 * time.Minute)
 	b.Facebook.Close()

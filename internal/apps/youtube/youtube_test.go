@@ -13,7 +13,7 @@ import (
 
 func newBed(t *testing.T, seed int64, cfg youtube.Config, prof *radio.Profile) *testbed.Bed {
 	t.Helper()
-	b := testbed.New(testbed.Options{Seed: seed, Profile: prof, YouTube: cfg, DisableQxDM: true})
+	b := testbed.MustNew(testbed.Options{Seed: seed, Profile: prof, YouTube: cfg, DisableQxDM: true})
 	b.YouTube.Connect()
 	b.K.RunUntil(2 * time.Second)
 	return b

@@ -27,23 +27,44 @@ const (
 	EngineSerial
 )
 
-// engine holds the process-wide engine selection (atomic so tests and
+// engine holds the process-wide engine default (atomic so tests and
 // concurrent sweep cells may flip and read it without races).
 var engine atomic.Int32
 
-// SetEngine selects the analyzer implementation used by NewCrossLayer.
+// SetEngine changes the process-wide default engine used when a call passes
+// no WithEngine option.
+//
+// Deprecated: mutable process-wide state composes badly with concurrent
+// runs; pass WithEngine to NewCrossLayer/Analyze instead.
 func SetEngine(e Engine) { engine.Store(int32(e)) }
 
-// CurrentEngine returns the selected analyzer implementation.
+// CurrentEngine returns the process-wide default engine.
 func CurrentEngine() Engine { return Engine(engine.Load()) }
+
+// Option configures one analysis call.
+type Option func(*config)
+
+type config struct {
+	engine Engine
+}
+
+// WithEngine selects the analyzer implementation for this call only,
+// overriding the process-wide default.
+func WithEngine(e Engine) Option {
+	return func(c *config) { c.engine = e }
+}
 
 // NewCrossLayer runs flow extraction and both long-jump mappings. Missing or
 // truncated inputs produce Warnings and a partial analysis rather than an
 // error: the tool should still explain what it can observe. Both engines
 // produce byte-identical results; see DESIGN.md §10 for the determinism
 // argument.
-func NewCrossLayer(sess *qoe.Session) *CrossLayer {
-	if CurrentEngine() == EngineSerial {
+func NewCrossLayer(sess *qoe.Session, opts ...Option) *CrossLayer {
+	cfg := config{engine: CurrentEngine()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.engine == EngineSerial {
 		return newCrossLayerSerial(sess)
 	}
 	return newCrossLayerParallel(sess)
@@ -189,9 +210,9 @@ type Pending struct {
 // so a caller can overlap the analysis of a finished run with the
 // simulation of the next one — the pipeline shape sweeps and multi-bed
 // experiments want now that analysis, not simulation, dominates a cell.
-func Analyze(sess *qoe.Session) *Pending {
+func Analyze(sess *qoe.Session, opts ...Option) *Pending {
 	p := &Pending{ch: make(chan *CrossLayer, 1)}
-	go func() { p.ch <- NewCrossLayer(sess) }()
+	go func() { p.ch <- NewCrossLayer(sess, opts...) }()
 	return p
 }
 

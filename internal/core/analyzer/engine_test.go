@@ -18,7 +18,7 @@ import (
 // uploadSession simulates photo uploads on the given bearer and returns the
 // collected session — a QxDM-heavy, uplink-dominated analyzer input.
 func uploadSession(seed int64, profile *radio.Profile, posts int, trace bool) *qoe.Session {
-	b := testbed.New(testbed.Options{Seed: seed, Profile: profile, Trace: trace})
+	b := testbed.MustNew(testbed.Options{Seed: seed, Profile: profile, Trace: trace})
 	b.Facebook.Connect()
 	b.K.RunUntil(3 * time.Second)
 	log := &qoe.BehaviorLog{}
@@ -42,7 +42,7 @@ func uploadSession(seed int64, profile *radio.Profile, posts int, trace bool) *q
 // browseSession simulates page loads — downlink-dominated, with DNS and
 // multiple flows.
 func browseSession(seed int64, profile *radio.Profile, pages int, trace bool) *qoe.Session {
-	b := testbed.New(testbed.Options{Seed: seed, Profile: profile, Trace: trace})
+	b := testbed.MustNew(testbed.Options{Seed: seed, Profile: profile, Trace: trace})
 	log := &qoe.BehaviorLog{}
 	c := controller.New(b.K, b.Browser.Screen, log)
 	d := &controller.BrowserDriver{C: c}

@@ -64,7 +64,7 @@ func TestCompileValidation(t *testing.T) {
 }
 
 func TestSpecEndToEndReplay(t *testing.T) {
-	b := testbed.New(testbed.Options{Seed: 44, DisableQxDM: true})
+	b := testbed.MustNew(testbed.Options{Seed: 44, DisableQxDM: true})
 	b.Facebook.Connect()
 	b.K.RunUntil(2 * time.Second)
 	log := &qoe.BehaviorLog{}

@@ -23,7 +23,7 @@ type adOutcome struct {
 // adsRun plays videos that carry a pre-roll ad, with ads enabled or not.
 // The app preloads the main video during the ad only on WiFi (unmetered).
 func adsRun(seed int64, prof *radio.Profile, adsEnabled bool, ids []string) []adOutcome {
-	b := testbed.New(testbed.Options{
+	b := testbed.MustNew(testbed.Options{
 		Seed: seed, Profile: prof,
 		YouTube: youtube.Config{
 			AdsEnabled:      adsEnabled,

@@ -35,7 +35,7 @@ func backgroundRun(seed int64, postEvery, refreshInterval time.Duration) bgOutco
 		SelfUpdateOnNotify: false, // backgrounded: no foreground feed refresh
 		Subscribe:          true,
 	}
-	b := testbed.New(testbed.Options{Seed: seed, Profile: radio.ProfileLTE(), Facebook: cfg})
+	b := testbed.MustNew(testbed.Options{Seed: seed, Profile: radio.ProfileLTE(), Facebook: cfg})
 	b.Facebook.Connect()
 	b.K.RunUntil(5 * time.Second)
 

@@ -102,6 +102,8 @@ func Registry() []Experiment {
 			"Impact of the RRC state machine design", RunRRCSimplify},
 		{"faults", "QoE vs injected network impairment (loss/outage sweep)",
 			"Graceful degradation under loss, jitter, and bearer outages", RunImpairmentSweep},
+		{"fleet", "Per-UE QoE vs cell population (fleet contention)",
+			"Cross-UE contention on a shared cell", RunFleetContention},
 	}
 }
 

@@ -27,7 +27,7 @@ func feedRun(seed int64, variant string, prof *radio.Profile, horizon time.Durat
 		SelfUpdateOnNotify: !webView,
 		Subscribe:          true,
 	}
-	b := testbed.New(testbed.Options{Seed: seed, Profile: prof, Facebook: cfg, DisableQxDM: true})
+	b := testbed.MustNew(testbed.Options{Seed: seed, Profile: prof, Facebook: cfg, DisableQxDM: true})
 	b.Facebook.Connect()
 	b.K.RunUntil(5 * time.Second)
 

@@ -47,7 +47,7 @@ type impairOutcome struct {
 // next cell's simulation before collecting, pipelining sim N+1 over
 // analysis N.
 func impairStart(seed int64, plan *faults.Plan, throttleBps float64) func() impairOutcome {
-	b := testbed.New(testbed.Options{
+	b := testbed.MustNew(testbed.Options{
 		Seed:    seed,
 		Faults:  plan,
 		YouTube: youtube.Config{StallTimeout: impairStallGiveUp},

@@ -21,7 +21,7 @@ import (
 func acceptanceRun(t *testing.T, seed int64) string {
 	t.Helper()
 	ge := faults.GEForMeanLoss(0.02, 4)
-	b := testbed.New(testbed.Options{
+	b := testbed.MustNew(testbed.Options{
 		Seed: seed,
 		Faults: &faults.Plan{
 			GE:      &ge,

@@ -17,7 +17,7 @@ import (
 // every 2 seconds like the §7.2 setup, and returns the session plus the
 // logged entries.
 func postRun(seed int64, prof *radio.Profile, kind string, reps int) (*analyzer.CrossLayer, []qoe.BehaviorEntry) {
-	b := testbed.New(testbed.Options{Seed: seed, Profile: prof})
+	b := testbed.MustNew(testbed.Options{Seed: seed, Profile: prof})
 	b.Facebook.Connect()
 	b.K.RunUntil(3 * time.Second)
 	log := &qoe.BehaviorLog{}

@@ -21,7 +21,7 @@ const pageThinkTime = 20 * time.Second
 // page-load times plus the count of RRC promotions that overlapped QoE
 // windows (the §5.4.2 cross-layer diagnosis).
 func pagesRun(seed int64, prof *radio.Profile, nPages int) (loads []float64, promotionsInWindows int) {
-	b := testbed.New(testbed.Options{Seed: seed, Profile: prof})
+	b := testbed.MustNew(testbed.Options{Seed: seed, Profile: prof})
 	log := &qoe.BehaviorLog{}
 	c := controller.New(b.K, b.Browser.Screen, log)
 	c.Timeout = 5 * time.Minute

@@ -53,7 +53,7 @@ type watchOutcome struct {
 // throttleRun plays the given videos sequentially on one bed configuration
 // and collects driver measurements.
 func throttleRun(seed int64, prof *radio.Profile, throttleBps float64, ids []string) []watchOutcome {
-	b := testbed.New(testbed.Options{Seed: seed, Profile: prof, DisableQxDM: true, DisablePcap: true})
+	b := testbed.MustNew(testbed.Options{Seed: seed, Profile: prof, DisableQxDM: true, DisablePcap: true})
 	b.YouTube.Connect()
 	b.K.RunUntil(2 * time.Second)
 	if throttleBps > 0 {
@@ -200,7 +200,7 @@ func RunShapeVsPolice(seed int64) *Result {
 	const horizon = 300 * time.Second
 
 	run := func(prof *radio.Profile) ([]float64, int, float64) {
-		b := testbed.New(testbed.Options{Seed: seed, Profile: prof, DisableQxDM: true})
+		b := testbed.MustNew(testbed.Options{Seed: seed, Profile: prof, DisableQxDM: true})
 		b.YouTube.Connect()
 		b.K.RunUntil(2 * time.Second)
 		b.Throttle(ThrottleRateBps)

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/core/analyzer"
+	"repro/internal/obs"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// Fleet is an assembled multi-UE lab: one kernel, one shared cell, N UEs.
+// Build it from a Scenario, Drive the workload (or drive the UEs yourself),
+// run the kernel, then Report.
+type Fleet struct {
+	K    *simtime.Kernel
+	Cell *radio.Cell
+	UEs  []*UE
+	// Profiler is the kernel-wide wall-clock profiler (nil unless
+	// WithProfiler).
+	Profiler *obs.Profiler
+
+	scen Scenario
+	opts options
+}
+
+// Build assembles a fleet without running it. UEs are constructed in spec
+// order; UE i lives at BaseAddr+i and its bearer is attached to the shared
+// cell in the same order, which is also the scheduler's tie-break order.
+func Build(scen Scenario, opts ...Option) (*Fleet, error) {
+	if err := scen.validate(); err != nil {
+		return nil, err
+	}
+	o := resolveOptions(opts)
+	prof := scen.Cell.Profile
+	if prof == nil {
+		prof = radio.ProfileLTE()
+	}
+	coreDelay := scen.Cell.CoreDelay
+	if coreDelay == 0 {
+		coreDelay = defaultCoreDelay(prof.Tech)
+	}
+
+	k := simtime.NewKernel(scen.Seed)
+	cell := radio.NewCell(k, scen.Cell.Policy)
+	f := &Fleet{K: k, Cell: cell, scen: scen, opts: o}
+	addr := BaseAddr
+	for i, spec := range scen.UEs {
+		ue := buildUE(k, cell, prof, coreDelay, i, addr, spec, scen.Seed, o, len(scen.UEs) == 1)
+		f.UEs = append(f.UEs, ue)
+		addr = addr.Next()
+	}
+	if o.profiler {
+		f.Profiler = obs.NewProfiler()
+		k.SetProfiler(f.Profiler)
+		for _, ue := range f.UEs {
+			ue.Profiler = f.Profiler
+		}
+	}
+	return f, nil
+}
+
+// Drive starts the scenario workload on every UE: immediately (in UE
+// order) for UEs with no start offset, via a kernel timer otherwise. A nil
+// workload is a no-op — the caller drives the UEs itself.
+func (f *Fleet) Drive() {
+	if f.scen.Workload == nil {
+		return
+	}
+	for i, ue := range f.UEs {
+		spec := f.scen.UEs[i]
+		if spec.StartAt <= 0 {
+			f.scen.Workload.Start(ue)
+			continue
+		}
+		u := ue
+		f.K.At(simtime.Time(spec.StartAt), func() { f.scen.Workload.Start(u) })
+	}
+}
+
+// CloseObs finalizes every UE's open observability state. Idempotent.
+func (f *Fleet) CloseObs() {
+	for _, ue := range f.UEs {
+		ue.CloseObs()
+	}
+}
+
+// Run builds the fleet, drives the workload, runs the kernel to the
+// horizon, and analyzes every UE — the one-call entry point behind
+// qoefleet and the fleet experiments.
+func Run(scen Scenario, opts ...Option) (*Report, error) {
+	f, err := Build(scen, opts...)
+	if err != nil {
+		return nil, err
+	}
+	f.Drive()
+	f.K.RunUntil(time.Duration(f.opts.horizon))
+	f.CloseObs()
+	return f.Report(), nil
+}
+
+// Report analyzes every UE's collected logs (cross-layer analyses fan out
+// across goroutines; each is a pure function of its UE's session, so the
+// fan-out cannot perturb results) and assembles the fleet report.
+func (f *Fleet) Report() *Report {
+	pending := make([]*analyzer.Pending, len(f.UEs))
+	for i, ue := range f.UEs {
+		pending[i] = ue.AnalyzeAsync(ue.Log)
+	}
+	r := &Report{
+		Seed:     f.scen.Seed,
+		Policy:   f.Cell.Policy(),
+		Horizon:  f.K.Now(),
+		Workload: "(caller-driven)",
+	}
+	if f.scen.Workload != nil {
+		r.Workload = f.scen.Workload.Name()
+	}
+	for i, ue := range f.UEs {
+		r.UEs = append(r.UEs, ueReport(ue, pending[i].Wait(), f.K.Now()))
+	}
+	r.aggregate()
+	return r
+}

@@ -1,0 +1,162 @@
+// Package fleet simulates many UEs sharing one cell: each device gets its
+// own RRC machine, network stack, apps, behavior log, and observability
+// scope, while a cell-level scheduler multiplexes RLC service among the
+// active bearers — so cross-UE contention, queueing delay, and RRC
+// promotion storms emerge from the model instead of being scripted.
+//
+// The package also owns the Scenario description that replaced the flat
+// testbed.Options: a Scenario composes a cell, a list of UE specs, and a
+// workload, and is consumed both by fleet.Run and by the single-UE
+// testbed.Bed (a thin N=1 wrapper around one fleet UE).
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/browser"
+	"repro/internal/apps/facebook"
+	"repro/internal/apps/youtube"
+	"repro/internal/core/analyzer"
+	"repro/internal/faults"
+	"repro/internal/radio"
+)
+
+// CellSpec describes the shared cell: the radio technology every bearer
+// uses, the scheduling policy dividing the air interface, and the core
+// latency behind the base station.
+type CellSpec struct {
+	// Profile is the radio profile (default: LTE). All UEs in a cell share
+	// one technology, as on a real carrier.
+	Profile *radio.Profile
+	// Policy selects the cell scheduler (round-robin by default).
+	Policy radio.SchedPolicy
+	// CoreDelay overrides the one-way base-station-to-server latency
+	// (zero = technology default).
+	CoreDelay time.Duration
+}
+
+// UESpec describes one device in the fleet.
+type UESpec struct {
+	// Name labels the UE in reports; empty defaults to "ue<i>".
+	Name string
+	// Gain is the UE's link-quality multiplier on the cell's nominal rate
+	// (1 or 0 = nominal). Must not be negative.
+	Gain float64
+	// ThrottleBps installs per-UE carrier rate limiting on the downlink
+	// (0 = none): shaping on 3G, policing on LTE — the §7.5 mechanisms.
+	ThrottleBps float64
+	// Faults injects per-UE network impairments; all randomness derives
+	// from the scenario seed, so impaired fleets stay reproducible.
+	Faults *faults.Plan
+	// StartAt delays this UE's workload start (staggered arrivals).
+	StartAt time.Duration
+
+	Facebook facebook.Config // zero value = facebook.DefaultConfig()
+	YouTube  youtube.Config
+	Browser  browser.Profile // zero value = Chrome
+
+	// DisableQxDM skips radio logging; DisablePcap skips packet capture
+	// (large fleets that only need app-layer QoE).
+	DisableQxDM bool
+	DisablePcap bool
+}
+
+// Scenario is a complete, declarative description of a fleet run: one cell,
+// N UEs, and the workload that drives them. It replaces the organically
+// grown flat option set (faults, throttle, obs toggles scattered across
+// fields and methods) with one composable value that both testbed.New and
+// fleet.Run consume.
+type Scenario struct {
+	Seed int64
+	Cell CellSpec
+	UEs  []UESpec
+	// Workload drives every UE (staggered by UESpec.StartAt). Nil means the
+	// caller drives the UEs itself (the legacy Bed pattern).
+	Workload Workload
+}
+
+// UniformUEs returns n identical UE specs with gain 1 — the common
+// homogeneous-fleet case.
+func UniformUEs(n int) []UESpec {
+	ues := make([]UESpec, n)
+	return ues
+}
+
+// SpreadGains assigns a deterministic gain spread across the specs: gains
+// step linearly from lo to hi in attach order, modeling UEs at different
+// distances from the base station. The slice is returned for chaining.
+func SpreadGains(ues []UESpec, lo, hi float64) []UESpec {
+	if len(ues) == 1 {
+		ues[0].Gain = (lo + hi) / 2
+		return ues
+	}
+	for i := range ues {
+		ues[i].Gain = lo + (hi-lo)*float64(i)/float64(len(ues)-1)
+	}
+	return ues
+}
+
+// validate rejects malformed scenarios with a descriptive error.
+func (s *Scenario) validate() error {
+	if len(s.UEs) == 0 {
+		return fmt.Errorf("fleet: scenario has no UEs")
+	}
+	for i, ue := range s.UEs {
+		if ue.Gain < 0 {
+			return fmt.Errorf("fleet: UE %d has negative gain %v", i, ue.Gain)
+		}
+		if ue.ThrottleBps < 0 {
+			return fmt.Errorf("fleet: UE %d has negative throttle %v bps", i, ue.ThrottleBps)
+		}
+		if ue.StartAt < 0 {
+			return fmt.Errorf("fleet: UE %d has negative start offset %v", i, ue.StartAt)
+		}
+	}
+	return nil
+}
+
+// options collects the run-level functional options.
+type options struct {
+	trace    bool
+	metrics  bool
+	profiler bool
+	horizon  time.Duration
+	analyzer []analyzer.Option
+}
+
+// Option is a run-level knob, orthogonal to the Scenario description:
+// observability sinks, the analyzer engine, the time horizon.
+type Option func(*options)
+
+// DefaultHorizon bounds a fleet run when WithHorizon is not given.
+const DefaultHorizon = 30 * time.Minute
+
+func resolveOptions(opts []Option) options {
+	o := options{horizon: DefaultHorizon}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithTrace attaches a per-UE cross-layer trace bus to every UE.
+func WithTrace() Option { return func(o *options) { o.trace = true } }
+
+// WithMetrics attaches a per-UE metrics registry to every UE.
+func WithMetrics() Option { return func(o *options) { o.metrics = true } }
+
+// WithProfiler attaches the wall-clock kernel profiler (non-deterministic
+// output; for performance work only).
+func WithProfiler() Option { return func(o *options) { o.profiler = true } }
+
+// WithHorizon bounds the virtual-time length of the run.
+func WithHorizon(d time.Duration) Option {
+	return func(o *options) { o.horizon = d }
+}
+
+// WithEngine selects the cross-layer analyzer engine for every per-UE
+// analysis in this run, without touching the process-wide default.
+func WithEngine(e analyzer.Engine) Option {
+	return func(o *options) { o.analyzer = append(o.analyzer, analyzer.WithEngine(e)) }
+}

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/core/analyzer"
+	"repro/internal/core/qoe"
+
+	"repro/internal/apps/browser"
+	"repro/internal/apps/facebook"
+	"repro/internal/apps/serversim"
+	"repro/internal/apps/youtube"
+	"repro/internal/core/controller"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/pcap"
+	"repro/internal/qxdm"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// BaseAddr is the first UE's address on the simulated carrier network;
+// UE i gets BaseAddr + i. It matches the single-device testbed address so
+// a 1-UE fleet is byte-identical to the legacy Bed.
+var BaseAddr = netip.MustParseAddr("10.20.0.2")
+
+// UE is one assembled device: its own network stack, bearer (attached to
+// the shared cell), server cluster, apps, collectors, and observability
+// scope. It is the per-device half of what testbed.Bed used to assemble;
+// Bed now embeds a UE.
+type UE struct {
+	Index int
+	Name  string
+	Addr  netip.Addr
+
+	K        *simtime.Kernel
+	Net      *netsim.Network
+	Servers  *serversim.Cluster
+	Resolver *netsim.Resolver
+
+	Capture *pcap.Capture
+	QxDM    *qxdm.Monitor
+
+	Facebook *facebook.App
+	YouTube  *youtube.App
+	Browser  *browser.App
+
+	// FaultUL and FaultDL are the installed impairment chains (nil when the
+	// spec's fault plan was empty). Throttling composes with them: the
+	// chain feeds the throttle qdisc.
+	FaultUL *faults.Chain
+	FaultDL *faults.Chain
+
+	// Trace, Metrics, and Profiler are the attached observability sinks
+	// (nil unless requested). Each UE has its own trace bus and registry so
+	// concurrent UEs never share a correlation scope; the profiler is
+	// kernel-wide and therefore shared.
+	Trace    *obs.Trace
+	Metrics  *obs.Registry
+	Profiler *obs.Profiler
+	// RadioMon is the radio trace monitor (nil unless Trace or Metrics);
+	// CloseObs finalizes its open RRC state span.
+	RadioMon *radio.TraceMonitor
+
+	// Log is the UE's behavior log; workloads append UI measurements to it.
+	Log *qoe.BehaviorLog
+	// Watch collects the YouTube workload's playback stats for QoE
+	// aggregation (rebuffer ratio).
+	Watch []controller.WatchStats
+
+	// workState seeds the UE's deterministic workload variety (which video,
+	// which page) independently of the kernel's model randomness.
+	workState uint64
+
+	analyzerOpts []analyzer.Option
+	obsClosed    bool
+}
+
+// defaultCoreDelay returns the one-way core latency per technology,
+// matching typical measured first-hop-to-server latencies.
+func defaultCoreDelay(tech radio.Tech) time.Duration {
+	switch tech {
+	case radio.Tech3G:
+		return 35 * time.Millisecond
+	case radio.TechLTE:
+		return 20 * time.Millisecond
+	default:
+		return 12 * time.Millisecond
+	}
+}
+
+// buildUE assembles one UE on the shared kernel and cell. The construction
+// order mirrors the legacy testbed.New exactly — construction-time event
+// scheduling (outage timers) determines kernel tie-breaking, so reordering
+// would silently change results.
+func buildUE(k *simtime.Kernel, cell *radio.Cell, prof *radio.Profile, coreDelay time.Duration, index int, addr netip.Addr, spec UESpec, seed int64, o options, singleUE bool) *UE {
+	net := netsim.NewNetwork(k, prof, addr, coreDelay)
+	cell.Attach(net.Bearer, spec.Gain)
+	servers := serversim.Install(net)
+	resolver := netsim.NewResolver(net.Device, netsim.Endpoint{Addr: serversim.DNSAddr, Port: netsim.DNSPort})
+
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("ue%d", index)
+	}
+	ue := &UE{
+		Index: index, Name: name, Addr: addr,
+		K: k, Net: net, Servers: servers, Resolver: resolver,
+		Log:          &qoe.BehaviorLog{},
+		workState:    uint64(seed)*0x9e3779b97f4a7c15 + uint64(index+1),
+		analyzerOpts: o.analyzer,
+	}
+	if !spec.Faults.Empty() {
+		ue.FaultUL = spec.Faults.Build(k, faults.Uplink, seed)
+		ue.FaultDL = spec.Faults.Build(k, faults.Downlink, seed)
+		net.ULQdisc = ue.FaultUL
+		net.DLQdisc = ue.FaultDL
+		for _, out := range spec.Faults.Outages {
+			net.Bearer.ScheduleOutage(simtime.Time(out.Start), out.Duration)
+		}
+	}
+	if !spec.DisablePcap {
+		ue.Capture = pcap.NewCapture()
+		ue.Capture.Attach(net.Device)
+	}
+	if !spec.DisableQxDM {
+		ue.QxDM = qxdm.Attach(net.Bearer)
+	}
+
+	fbCfg := spec.Facebook
+	if fbCfg == (facebook.Config{}) {
+		fbCfg = facebook.DefaultConfig()
+	}
+	ue.Facebook = facebook.New(k, net.Device, resolver, fbCfg)
+	ue.YouTube = youtube.New(k, net.Device, resolver, spec.YouTube)
+	brProf := spec.Browser
+	if brProf.Name == "" {
+		brProf = browser.Chrome()
+	}
+	ue.Browser = browser.New(k, net.Device, resolver, brProf)
+
+	if o.trace || o.metrics {
+		if o.trace {
+			ue.Trace = obs.NewTrace()
+			if singleUE {
+				// One UE: the kernel's own spans belong to it, exactly as
+				// in the legacy Bed.
+				k.SetTrace(ue.Trace)
+			} else {
+				ue.Trace.Bind(func() time.Duration { return time.Duration(k.Now()) })
+			}
+		}
+		if o.metrics {
+			ue.Metrics = obs.NewRegistry()
+			ue.Metrics.GaugeFunc("kernel_events", func() float64 { return float64(k.Processed()) })
+			ue.Metrics.GaugeFunc("kernel_pending", func() float64 { return float64(k.Pending()) })
+			ue.Metrics.GaugeFunc("sim_time_s", func() float64 { return time.Duration(k.Now()).Seconds() })
+			ue.Metrics.GaugeFunc("bearer_outages", func() float64 { return float64(net.Bearer.OutageCount()) })
+			if ue.FaultUL != nil {
+				ue.Metrics.GaugeFunc("fault_drops_ul", func() float64 { return float64(ue.FaultUL.Dropped()) })
+			}
+			if ue.FaultDL != nil {
+				ue.Metrics.GaugeFunc("fault_drops_dl", func() float64 { return float64(ue.FaultDL.Dropped()) })
+			}
+		}
+		net.SetObs(ue.Trace, ue.Metrics)
+		net.Bearer.SetTrace(ue.Trace)
+		ue.RadioMon = radio.AttachTrace(net.Bearer, ue.Trace, ue.Metrics)
+		ue.Facebook.SetObs(ue.Trace, ue.Metrics)
+		ue.YouTube.SetObs(ue.Trace, ue.Metrics)
+		ue.Browser.SetObs(ue.Trace, ue.Metrics)
+	}
+	if spec.ThrottleBps > 0 {
+		ue.Throttle(spec.ThrottleBps)
+	}
+	return ue
+}
+
+// CloseObs finalizes open observability state (the radio monitor's current
+// RRC residency span) at the present virtual time. Call it after the run,
+// before exporting the trace. Idempotent, and safe when no obs sinks were
+// configured.
+func (ue *UE) CloseObs() {
+	if ue.obsClosed {
+		return
+	}
+	ue.obsClosed = true
+	if ue.RadioMon != nil {
+		ue.RadioMon.Close(ue.K.Now())
+	}
+}
+
+// Session packages the UE's collected logs plus a behavior log into the
+// analyzer's input bundle.
+func (ue *UE) Session(log *qoe.BehaviorLog) *qoe.Session {
+	s := &qoe.Session{
+		Profile:    ue.Net.Bearer.Profile(),
+		DeviceAddr: ue.Addr,
+		Behavior:   log,
+	}
+	if ue.Capture != nil {
+		s.Packets = ue.Capture.Records()
+	}
+	if ue.QxDM != nil {
+		s.Radio = ue.QxDM.Log()
+	}
+	if ue.Trace != nil {
+		s.Trace = ue.Trace.Events()
+	}
+	return s
+}
+
+// Analyze runs the cross-layer analyzer over the UE's collected logs, with
+// the engine the run was configured with (plus any per-call overrides).
+func (ue *UE) Analyze(log *qoe.BehaviorLog, opts ...analyzer.Option) *analyzer.CrossLayer {
+	return analyzer.NewCrossLayer(ue.Session(log), append(ue.analyzerOpts, opts...)...)
+}
+
+// AnalyzeAsync starts the analysis on its own goroutine so the caller can
+// overlap it with the next run's simulation (the sweep pipeline shape);
+// Wait on the returned handle for the result.
+func (ue *UE) AnalyzeAsync(log *qoe.BehaviorLog, opts ...analyzer.Option) *analyzer.Pending {
+	return analyzer.Analyze(ue.Session(log), append(ue.analyzerOpts, opts...)...)
+}
+
+// Throttle installs carrier rate limiting on this UE's downlink: traffic
+// shaping (the C1 3G mechanism) or traffic policing (the C1 LTE mechanism,
+// §7.5). The shaper buffers deeply (carrier-grade queues), so 3G delivers a
+// smooth stream at the cap with few TCP drops; the policer has a shallow
+// token bucket, so LTE slow-start bursts overshoot and drop, producing the
+// retransmissions, bursty goodput, and higher variance of Finding 7.
+func (ue *UE) Throttle(rateBps float64) {
+	var q netsim.Qdisc
+	if ue.Net.Bearer.Profile().Tech == radio.Tech3G {
+		// Deeper than the device's TCP receive-window ceiling, so the
+		// sender's window fills the queue without overflowing it.
+		const queue = 256 * 1024
+		s := netsim.NewShaper(ue.K, rateBps, 16*1024, queue)
+		s.SetObs(ue.Trace, ue.Metrics, "shape_dl")
+		q = s
+	} else {
+		p := netsim.NewPolicer(ue.K, rateBps, 4*1024)
+		p.SetObs(ue.Trace, ue.Metrics, "police_dl")
+		q = p
+	}
+	// Compose with fault injection when present: impairments happen first,
+	// then the carrier throttle.
+	if ue.FaultDL != nil {
+		ue.FaultDL.SetNext(q)
+	} else {
+		ue.Net.DLQdisc = q
+	}
+}
+
+// workNext steps the UE's private xorshift state — workload variety (which
+// keyword, which result index) that must not perturb the kernel's model
+// randomness stream.
+func (ue *UE) workNext() uint64 {
+	x := ue.workState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	ue.workState = x
+	return x
+}

@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/serversim"
+	"repro/internal/core/controller"
+	"repro/internal/core/qoe"
+)
+
+// Workload drives one UE's user behaviour. Start is called once per UE (at
+// virtual time UESpec.StartAt) and must schedule everything else through
+// the UE's kernel — a fleet run has one RunUntil, not per-UE phases.
+// Measurements go to ue.Log (and ue.Watch for playback stats).
+type Workload interface {
+	// Name labels the workload in reports.
+	Name() string
+	// Start begins driving the UE at the current virtual time.
+	Start(ue *UE)
+}
+
+// ParseWorkload builds a built-in workload by name ("youtube" | "browse" |
+// "facebook") with its default shape.
+func ParseWorkload(s string) (Workload, error) {
+	switch s {
+	case "youtube", "":
+		return YouTubeWorkload{}, nil
+	case "browse":
+		return BrowseWorkload{}, nil
+	case "facebook":
+		return FacebookWorkload{}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown workload %q (youtube | browse | facebook)", s)
+}
+
+// YouTubeWorkload replays the paper's search-and-watch behaviour: each UE
+// connects, searches a keyword, plays a result, and follows the playback
+// (logging initial loading and every rebuffer cycle), repeating Videos
+// times with Gap of think time in between. Keyword and result index vary
+// per UE and per repetition from the UE's work stream, so a fleet does not
+// watch one identical video in lockstep.
+type YouTubeWorkload struct {
+	// Videos is how many videos each UE watches (default 1).
+	Videos int
+	// Gap is the think time between watches (default 3s).
+	Gap time.Duration
+}
+
+// Name implements Workload.
+func (w YouTubeWorkload) Name() string { return "youtube" }
+
+// Start implements Workload.
+func (w YouTubeWorkload) Start(ue *UE) {
+	videos := w.Videos
+	if videos <= 0 {
+		videos = 1
+	}
+	gap := w.Gap
+	if gap <= 0 {
+		gap = 3 * time.Second
+	}
+	ue.YouTube.Connect()
+	ue.K.After(2*time.Second, func() {
+		c := controller.New(ue.K, ue.YouTube.Screen, ue.Log)
+		c.Timeout = time.Hour
+		c.Instrumentation().SetPollInterval(100 * time.Millisecond)
+		d := &controller.YouTubeDriver{C: c}
+		var run func(i int)
+		run = func(i int) {
+			if i >= videos {
+				return
+			}
+			draw := ue.workNext()
+			kw := string(rune('a' + draw%26))
+			idx := int(draw>>8) % 10
+			d.SearchAndPlay(kw, idx, func(st controller.WatchStats) {
+				ue.Watch = append(ue.Watch, st)
+				ue.K.After(gap, func() { run(i + 1) })
+			})
+		}
+		run(0)
+	})
+}
+
+// BrowseWorkload replays §4.2.3 web browsing: each UE loads Pages pages
+// back to back with ThinkTime between loads. Page identity varies per UE.
+type BrowseWorkload struct {
+	// Pages is how many pages each UE loads (default 3).
+	Pages int
+	// ThinkTime separates loads (default 10s).
+	ThinkTime time.Duration
+}
+
+// Name implements Workload.
+func (w BrowseWorkload) Name() string { return "browse" }
+
+// Start implements Workload.
+func (w BrowseWorkload) Start(ue *UE) {
+	pages := w.Pages
+	if pages <= 0 {
+		pages = 3
+	}
+	think := w.ThinkTime
+	if think <= 0 {
+		think = 10 * time.Second
+	}
+	c := controller.New(ue.K, ue.Browser.Screen, ue.Log)
+	d := &controller.BrowserDriver{C: c}
+	urls := make([]string, pages)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("%s/page-%d", serversim.WebHostBase, ue.workNext()%64)
+	}
+	d.LoadPages(urls, think, nil)
+}
+
+// FacebookWorkload replays pull-to-update: each UE connects and refreshes
+// its feed Updates times with Gap between pulls.
+type FacebookWorkload struct {
+	// Updates is how many feed refreshes each UE performs (default 3).
+	Updates int
+	// Gap separates refreshes (default 5s).
+	Gap time.Duration
+}
+
+// Name implements Workload.
+func (w FacebookWorkload) Name() string { return "facebook" }
+
+// Start implements Workload.
+func (w FacebookWorkload) Start(ue *UE) {
+	updates := w.Updates
+	if updates <= 0 {
+		updates = 3
+	}
+	gap := w.Gap
+	if gap <= 0 {
+		gap = 5 * time.Second
+	}
+	ue.Facebook.Connect()
+	ue.K.After(3*time.Second, func() {
+		c := controller.New(ue.K, ue.Facebook.Screen, ue.Log)
+		d := controller.NewFacebookDriver(c, false)
+		var run func(i int)
+		run = func(i int) {
+			if i >= updates {
+				return
+			}
+			d.PullToUpdate(func(qoe.BehaviorEntry) {
+				ue.K.After(gap, func() { run(i + 1) })
+			})
+		}
+		run(0)
+	})
+}

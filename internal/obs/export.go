@@ -36,36 +36,77 @@ func chromeTID(l Layer) int {
 func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
-	// Track-name metadata, fixed order.
-	for i := Layer(0); i < numLayers; i++ {
-		if i > 0 {
+	writeThreadMeta(bw, 1, true)
+	writeProcessEvents(bw, 1, events)
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// Process is one exported trace process: a fleet exports one per UE so the
+// viewer groups each device's layer tracks under its own heading.
+type Process struct {
+	Pid    int
+	Name   string
+	Events []TraceEvent
+}
+
+// WriteChromeTraceMulti writes several processes' events into one Chrome
+// trace_event JSON file — the multi-UE export. Ordering is the caller's
+// (fleet exports UEs in index order), so fixed-seed fleets export
+// byte-identical files.
+func WriteChromeTraceMulti(w io.Writer, procs []Process) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	for pi, p := range procs {
+		if pi > 0 {
 			bw.WriteByte(',')
 		}
-		fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
-			chromeTID(i), strconv.Quote(i.String()))
-		fmt.Fprintf(bw, `,{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`,
-			chromeTID(i), chromeTID(i))
+		fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`,
+			p.Pid, strconv.Quote(p.Name))
+		fmt.Fprintf(bw, `,{"name":"process_sort_index","ph":"M","pid":%d,"args":{"sort_index":%d}}`,
+			p.Pid, p.Pid)
+		writeThreadMeta(bw, p.Pid, false)
+		writeProcessEvents(bw, p.Pid, p.Events)
 	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeThreadMeta emits one process's per-layer track metadata, fixed
+// order. When first is set the leading comma of the first object is
+// omitted (the metadata opens the traceEvents array).
+func writeThreadMeta(bw *bufio.Writer, pid int, first bool) {
+	for i := Layer(0); i < numLayers; i++ {
+		if i > 0 || !first {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			pid, chromeTID(i), strconv.Quote(i.String()))
+		fmt.Fprintf(bw, `,{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`,
+			pid, chromeTID(i), chromeTID(i))
+	}
+}
+
+// writeProcessEvents emits one process's events, each preceded by a comma.
+func writeProcessEvents(bw *bufio.Writer, pid int, events []TraceEvent) {
 	for i := range events {
 		ev := &events[i]
 		bw.WriteByte(',')
 		switch ev.Kind {
 		case KindSpan:
-			fmt.Fprintf(bw, `{"name":%s,"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s`,
-				strconv.Quote(ev.Name), chromeTID(ev.Layer), micros(ev.Start), micros(ev.End-ev.Start))
+			fmt.Fprintf(bw, `{"name":%s,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s`,
+				strconv.Quote(ev.Name), pid, chromeTID(ev.Layer), micros(ev.Start), micros(ev.End-ev.Start))
 			writeArgs(bw, ev)
 		case KindInstant:
-			fmt.Fprintf(bw, `{"name":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s`,
-				strconv.Quote(ev.Name), chromeTID(ev.Layer), micros(ev.Start))
+			fmt.Fprintf(bw, `{"name":%s,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s`,
+				strconv.Quote(ev.Name), pid, chromeTID(ev.Layer), micros(ev.Start))
 			writeArgs(bw, ev)
 		case KindCounter:
-			fmt.Fprintf(bw, `{"name":%s,"ph":"C","pid":1,"tid":%d,"ts":%s,"args":{"value":%s}}`,
-				strconv.Quote(ev.Name), chromeTID(ev.Layer), micros(ev.Start),
+			fmt.Fprintf(bw, `{"name":%s,"ph":"C","pid":%d,"tid":%d,"ts":%s,"args":{"value":%s}}`,
+				strconv.Quote(ev.Name), pid, chromeTID(ev.Layer), micros(ev.Start),
 				strconv.FormatFloat(ev.Value, 'f', -1, 64))
 		}
 	}
-	bw.WriteString("]}\n")
-	return bw.Flush()
 }
 
 // writeArgs closes a span/instant object, appending the correlation ID and

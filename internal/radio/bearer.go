@@ -20,6 +20,13 @@ type Bearer struct {
 
 	ul, dl *entity
 
+	// cell, when non-nil, is the shared cell whose per-direction schedulers
+	// arbitrate this bearer's transmissions against other attached bearers.
+	// gain is the bearer's link-quality multiplier (1 = nominal rate); it is
+	// always 1 for standalone bearers.
+	cell *Cell
+	gain float64
+
 	monitors []Monitor
 
 	// payloadRelease, when set, is invoked once per SDU payload as soon as
@@ -40,7 +47,7 @@ type Bearer struct {
 
 // NewBearer builds a bearer over prof, driven by kernel k.
 func NewBearer(k *simtime.Kernel, prof *Profile) *Bearer {
-	b := &Bearer{k: k, prof: prof, rrc: NewMachine(k, prof)}
+	b := &Bearer{k: k, prof: prof, rrc: NewMachine(k, prof), gain: 1}
 	b.ul = newEntity(b, Uplink)
 	b.dl = newEntity(b, Downlink)
 	b.rrc.OnTransition(func(tr Transition) {
@@ -60,6 +67,14 @@ func (b *Bearer) Profile() *Profile { return b.prof }
 // RRC returns the bearer's RRC machine (read-mostly; used by the power model
 // and tests).
 func (b *Bearer) RRC() *Machine { return b.rrc }
+
+// Cell returns the shared cell this bearer is attached to (nil when
+// standalone).
+func (b *Bearer) Cell() *Cell { return b.cell }
+
+// Gain returns the bearer's link-quality multiplier (1 for standalone
+// bearers).
+func (b *Bearer) Gain() float64 { return b.gain }
 
 // Attach registers a radio-layer monitor (e.g. the QxDM simulator).
 func (b *Bearer) Attach(m Monitor) { b.monitors = append(b.monitors, m) }

@@ -1,0 +1,207 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// SchedPolicy selects how a Cell divides each direction's air interface
+// among the active bearers.
+type SchedPolicy uint8
+
+const (
+	// SchedRoundRobin serves active bearers one PDU at a time in rotation —
+	// equal transmission opportunities regardless of channel quality.
+	SchedRoundRobin SchedPolicy = iota
+	// SchedPropFair serves the bearer maximizing instantaneous rate divided
+	// by its exponentially-averaged served rate — the classic cellular
+	// proportional-fair tradeoff between aggregate throughput and fairness.
+	SchedPropFair
+)
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedRoundRobin:
+		return "rr"
+	case SchedPropFair:
+		return "pf"
+	}
+	return fmt.Sprintf("SchedPolicy(%d)", uint8(p))
+}
+
+// ParsePolicy parses a scheduler policy name ("rr" | "pf").
+func ParsePolicy(s string) (SchedPolicy, error) {
+	switch s {
+	case "rr", "round-robin", "":
+		return SchedRoundRobin, nil
+	case "pf", "proportional-fair":
+		return SchedPropFair, nil
+	}
+	return 0, fmt.Errorf("radio: unknown scheduler policy %q (rr | pf)", s)
+}
+
+// pfTau is the proportional-fair averaging window: served-rate EWMAs decay
+// with this time constant, so a bearer that has been starved for a few
+// hundred milliseconds quickly regains priority.
+const pfTau = 500 * time.Millisecond
+
+// Cell is a base-station cell shared by several bearers. Each direction has
+// one air-interface channel that serves a single PDU at a time, so when N
+// devices are active their RLC transmissions serialize and cross-UE
+// contention, queueing delay, and RRC promotion storms emerge naturally
+// instead of being modeled. A cell with one attached bearer is
+// event-for-event identical to a standalone bearer.
+//
+// The cell performs no randomization of its own: scheduling decisions are a
+// pure function of bearer state and attach order, so fleet runs stay
+// deterministic for a fixed seed.
+type Cell struct {
+	k      *simtime.Kernel
+	policy SchedPolicy
+	ul, dl cellChannel
+	n      int
+}
+
+// NewCell creates a cell driven by kernel k.
+func NewCell(k *simtime.Kernel, policy SchedPolicy) *Cell {
+	c := &Cell{k: k, policy: policy}
+	c.ul = cellChannel{cell: c, dir: Uplink}
+	c.dl = cellChannel{cell: c, dir: Downlink}
+	return c
+}
+
+// Policy returns the cell's scheduling policy.
+func (c *Cell) Policy() SchedPolicy { return c.policy }
+
+// Bearers returns the number of attached bearers.
+func (c *Cell) Bearers() int { return c.n }
+
+// Attach puts a bearer's RLC entities under this cell's schedulers. gain is
+// the bearer's link-quality multiplier on its data-plane bandwidth (1 = the
+// profile's nominal rate); values <= 0 default to 1. Attach must happen
+// before traffic flows and a bearer can be attached to at most one cell.
+func (c *Cell) Attach(b *Bearer, gain float64) {
+	if b.cell != nil {
+		panic("radio: bearer already attached to a cell")
+	}
+	if gain <= 0 {
+		gain = 1
+	}
+	b.cell = c
+	b.gain = gain
+	b.ul.ch = &c.ul
+	b.dl.ch = &c.dl
+	b.ul.cellIdx = c.n
+	b.dl.cellIdx = c.n
+	c.n++
+}
+
+// cellChannel is one direction's shared air interface: a busy flag covering
+// the PDU currently on the air plus the ring of entities waiting for a
+// transmission opportunity.
+type cellChannel struct {
+	cell *Cell
+	dir  Direction
+	busy bool
+	ring []*entity
+}
+
+// activate adds an entity to the wait ring (if absent) and starts the
+// dispatcher when the channel is idle.
+func (ch *cellChannel) activate(e *entity) {
+	ch.enqueue(e)
+	ch.dispatch()
+}
+
+func (ch *cellChannel) enqueue(e *entity) {
+	if e.inRing {
+		return
+	}
+	e.inRing = true
+	ch.ring = append(ch.ring, e)
+}
+
+// dispatch grants transmission opportunities until the channel is busy or
+// nothing is left to serve. Entities that turn out to have nothing to send
+// (outage, drained queue) are dropped from the ring and the next is tried.
+func (ch *cellChannel) dispatch() {
+	for !ch.busy && len(ch.ring) > 0 {
+		e := ch.pick()
+		e.inRing = false
+		if e.startTx() {
+			ch.busy = true
+		}
+	}
+}
+
+// served completes one PDU's air occupancy: update the proportional-fair
+// accounting, rotate the entity to the back of the ring when it still has
+// work, and hand the channel to the next bearer on a fresh event (the same
+// zero-delay hop the standalone pacing loop uses).
+func (ch *cellChannel) served(e *entity, p *PDU, more bool) {
+	ch.busy = false
+	if ch.cell.policy == SchedPropFair {
+		e.creditServed(p.Size)
+	}
+	if more {
+		ch.enqueue(e)
+	}
+	if len(ch.ring) > 0 {
+		ch.cell.k.After(0, ch.dispatch)
+	}
+}
+
+// pick removes and returns the next entity to serve. Round-robin takes the
+// ring head (rotation comes from served() re-appending); proportional-fair
+// takes the argmax of instantaneous rate over decayed served rate, breaking
+// ties by attach order so the choice is deterministic.
+func (ch *cellChannel) pick() *entity {
+	if ch.cell.policy == SchedRoundRobin || len(ch.ring) == 1 {
+		e := ch.ring[0]
+		copy(ch.ring, ch.ring[1:])
+		ch.ring = ch.ring[:len(ch.ring)-1]
+		return e
+	}
+	now := ch.cell.k.Now()
+	best, bestMetric := 0, math.Inf(-1)
+	for i, e := range ch.ring {
+		inst := e.bandwidth() * e.b.gain
+		avg := e.decayedRate(now)
+		if avg < 1 {
+			avg = 1 // a never-served bearer gets full priority
+		}
+		m := inst / avg
+		if m > bestMetric || (m == bestMetric && e.cellIdx < ch.ring[best].cellIdx) {
+			best, bestMetric = i, m
+		}
+	}
+	e := ch.ring[best]
+	ch.ring = append(ch.ring[:best], ch.ring[best+1:]...)
+	return e
+}
+
+// decayedRate returns the entity's served-rate EWMA decayed to now.
+func (e *entity) decayedRate(now simtime.Time) float64 {
+	if e.ewmaBps == 0 {
+		return 0
+	}
+	dt := float64(now - e.ewmaAt)
+	if dt > 0 {
+		e.ewmaBps *= math.Exp(-dt / float64(pfTau))
+		e.ewmaAt = now
+	}
+	return e.ewmaBps
+}
+
+// creditServed folds one served PDU into the entity's rate average.
+func (e *entity) creditServed(size int) {
+	now := e.b.k.Now()
+	e.decayedRate(now)
+	// A PDU of size bytes served "now" contributes its bits spread over the
+	// averaging window.
+	e.ewmaBps += float64(size) * 8 / pfTau.Seconds()
+	e.ewmaAt = now
+}

@@ -89,6 +89,18 @@ type entity struct {
 	pollEvery   int
 	maxWindow   int // max unacked PDUs in flight before the sender stalls
 
+	// ch is the shared cell channel this entity transmits on, nil when the
+	// bearer is standalone (self-paced, the single-UE default). cellIdx is
+	// the bearer's attach order on the cell, used for deterministic
+	// tie-breaking; inRing marks membership in the channel's wait ring.
+	ch      *cellChannel
+	cellIdx int
+	inRing  bool
+	// ewmaBps and ewmaAt are the proportional-fair scheduler's served-rate
+	// average (lazily decayed at ewmaAt).
+	ewmaBps float64
+	ewmaAt  simtime.Time
+
 	// Sender state.
 	queue     []*sdu // SDUs not yet fully segmented
 	queuedOff uint64 // stream offset covered by queue (total enqueued)
@@ -170,7 +182,18 @@ func (e *entity) kick() {
 	if ready < now {
 		ready = now
 	}
-	e.b.k.At(ready, e.txNext)
+	e.b.k.At(ready, e.start)
+}
+
+// start begins transmission once the RRC promotion delay has elapsed: on a
+// shared cell the entity joins the channel's wait ring and transmits when
+// scheduled; standalone it self-paces exactly as before.
+func (e *entity) start() {
+	if e.ch != nil {
+		e.ch.activate(e)
+		return
+	}
+	e.txNext()
 }
 
 func (e *entity) hasWork() bool {
@@ -243,6 +266,7 @@ func (e *entity) resume() {
 }
 
 // txNext transmits one PDU (new or retransmission) and schedules the next.
+// It is the standalone (no-cell) pacing loop.
 func (e *entity) txNext() {
 	if e.b.InOutage() {
 		// Bearer went down between scheduling and transmission; park the
@@ -250,22 +274,54 @@ func (e *entity) txNext() {
 		e.sending = false
 		return
 	}
-	var p *PDU
-	if len(e.retx) > 0 {
-		p = e.retx[0]
-		e.retx = e.retx[1:]
-		p.Retx = true
-	} else if e.segOff < e.queuedOff {
-		p = e.buildPDU()
-	} else {
+	p := e.nextPDU()
+	if p == nil {
 		e.sending = false
 		return
 	}
+	e.transmit(p)
+}
 
+// startTx is the cell-scheduler entry point: attempt to start one PDU
+// transmission for this entity. It reports whether the channel is now busy;
+// a parked entity (outage, drained queue) returns false so the dispatcher
+// can move on to the next bearer.
+func (e *entity) startTx() bool {
+	if e.b.InOutage() {
+		e.sending = false
+		return false
+	}
+	p := e.nextPDU()
+	if p == nil {
+		e.sending = false
+		return false
+	}
+	e.transmit(p)
+	return true
+}
+
+// nextPDU pops the next PDU to send: a pending retransmission first, then a
+// fresh segment of the queued SDU stream. Nil when there is nothing to send.
+func (e *entity) nextPDU() *PDU {
+	if len(e.retx) > 0 {
+		p := e.retx[0]
+		e.retx = e.retx[1:]
+		p.Retx = true
+		return p
+	}
+	if e.segOff < e.queuedOff {
+		return e.buildPDU()
+	}
+	return nil
+}
+
+// transmit puts one PDU on the air: refresh the RRC inactivity timer, apply
+// the ARQ polling policy, and schedule completion after the airtime.
+func (e *entity) transmit(p *PDU) {
 	// Refresh the RRC inactivity timer; bandwidth may have changed state.
 	e.b.rrc.OnActivity()
 	txTime := e.b.prof.PDUHeaderTime +
-		simtime.Time(float64(p.Size)*8/e.bandwidth()*float64(simtime.Time(1e9)))
+		simtime.Time(float64(p.Size)*8/(e.bandwidth()*e.b.gain)*float64(simtime.Time(1e9)))
 
 	e.sincePoll++
 	lastOfBurst := len(e.retx) == 0 && e.segOff >= e.queuedOff
@@ -310,6 +366,17 @@ func (e *entity) pduSent(p *PDU) {
 		if !e.statusDue {
 			e.schedStatus() // make sure feedback is coming
 		}
+		if e.ch != nil {
+			e.ch.served(e, p, false)
+		}
+		return
+	}
+	if e.ch != nil {
+		more := e.hasWork()
+		if !more {
+			e.sending = false
+		}
+		e.ch.served(e, p, more)
 		return
 	}
 	if e.hasWork() {

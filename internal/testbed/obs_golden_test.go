@@ -19,7 +19,7 @@ import (
 // and the analyzer's cross-layer view (trace cross-check included).
 func obsRun(t *testing.T, seed int64) (chrome, ndjson []byte, cl *analyzer.CrossLayer) {
 	t.Helper()
-	b := testbed.New(testbed.Options{Seed: seed, Trace: true, Metrics: true})
+	b := testbed.MustNew(testbed.Options{Seed: seed, Trace: true, Metrics: true})
 	b.YouTube.Connect()
 	b.K.RunUntil(2 * time.Second)
 

@@ -3,32 +3,31 @@
 // server cluster, and the two data collectors (pcap on the device's IP
 // layer, QxDM on the radio). Experiments and examples construct a Bed,
 // connect the app under test, and hand the collected logs to the analyzer.
+//
+// Since the fleet redesign a Bed is a thin N=1 wrapper over internal/fleet:
+// Options translates to a one-UE fleet.Scenario, and the Bed embeds the
+// resulting fleet.UE, so the two construction paths share one assembly and
+// a 1-UE fleet run is byte-identical to the legacy Bed path.
 package testbed
 
 import (
+	"fmt"
 	"net/netip"
 	"time"
 
-	"repro/internal/core/analyzer"
-	"repro/internal/core/qoe"
-
 	"repro/internal/apps/browser"
 	"repro/internal/apps/facebook"
-	"repro/internal/apps/serversim"
 	"repro/internal/apps/youtube"
 	"repro/internal/faults"
-	"repro/internal/netsim"
-	"repro/internal/obs"
-	"repro/internal/pcap"
-	"repro/internal/qxdm"
+	"repro/internal/fleet"
 	"repro/internal/radio"
-	"repro/internal/simtime"
 )
 
 // DeviceAddr is the device's address on the simulated carrier network.
 var DeviceAddr = netip.MustParseAddr("10.20.0.2")
 
-// Options configures a Bed.
+// Options configures a Bed. It is the flat, single-UE ancestor of
+// fleet.Scenario; New translates it to a one-UE scenario.
 type Options struct {
 	Seed    int64
 	Profile *radio.Profile // default: LTE
@@ -52,6 +51,10 @@ type Options struct {
 	// means a perfect network.
 	Faults *faults.Plan
 
+	// ThrottleBps installs carrier downlink rate limiting at build time
+	// (0 = none) — the declarative form of the deprecated Throttle method.
+	ThrottleBps float64
+
 	// Trace attaches the cross-layer trace bus (Bed.Trace): every layer
 	// emits virtual-time-stamped spans and instants correlated by user
 	// action. Off by default — detached instrumentation costs only nil
@@ -65,192 +68,93 @@ type Options struct {
 	Profiler bool
 }
 
-// Bed is one assembled lab instance.
+// Scenario converts the flat options to their one-UE fleet scenario.
+func (o Options) Scenario() fleet.Scenario {
+	return fleet.Scenario{
+		Seed: o.Seed,
+		Cell: fleet.CellSpec{Profile: o.Profile, CoreDelay: o.CoreDelay},
+		UEs: []fleet.UESpec{{
+			Facebook:    o.Facebook,
+			YouTube:     o.YouTube,
+			Browser:     o.Browser,
+			Faults:      o.Faults,
+			ThrottleBps: o.ThrottleBps,
+			DisableQxDM: o.DisableQxDM,
+			DisablePcap: o.DisablePcap,
+		}},
+	}
+}
+
+// Bed is one assembled lab instance: a single fleet UE plus its kernel.
+// The embedded UE contributes the device fields (K, Net, Servers, apps,
+// collectors, obs sinks) and the Session/Analyze/CloseObs/Throttle
+// behaviour.
 type Bed struct {
-	K        *simtime.Kernel
-	Net      *netsim.Network
-	Servers  *serversim.Cluster
-	Resolver *netsim.Resolver
-
-	Capture *pcap.Capture
-	QxDM    *qxdm.Monitor
-
-	Facebook *facebook.App
-	YouTube  *youtube.App
-	Browser  *browser.App
-
-	// FaultUL and FaultDL are the installed impairment chains (nil when
-	// Options.Faults was empty). Throttle composes with them: the chain
-	// feeds the throttle qdisc.
-	FaultUL *faults.Chain
-	FaultDL *faults.Chain
-
-	// Trace, Metrics, and Profiler are the attached observability sinks
-	// (nil unless requested in Options).
-	Trace    *obs.Trace
-	Metrics  *obs.Registry
-	Profiler *obs.Profiler
-	// RadioMon is the radio trace monitor (nil unless Trace or Metrics);
-	// CloseObs finalizes its open RRC state span.
-	RadioMon *radio.TraceMonitor
+	*fleet.UE
+	f *fleet.Fleet
 }
 
-// defaultCoreDelay returns the one-way core latency per technology,
-// matching typical measured first-hop-to-server latencies.
-func defaultCoreDelay(tech radio.Tech) time.Duration {
-	switch tech {
-	case radio.Tech3G:
-		return 35 * time.Millisecond
-	case radio.TechLTE:
-		return 20 * time.Millisecond
-	default:
-		return 12 * time.Millisecond
+// New assembles a Bed, reporting malformed options as an error instead of
+// panicking mid-assembly.
+func New(opts Options) (*Bed, error) {
+	f, err := fleet.Build(opts.Scenario(), fleetOptions(opts)...)
+	if err != nil {
+		return nil, err
 	}
+	return &Bed{UE: f.UEs[0], f: f}, nil
 }
 
-// New assembles a Bed.
-func New(opts Options) *Bed {
-	prof := opts.Profile
-	if prof == nil {
-		prof = radio.ProfileLTE()
-	}
-	coreDelay := opts.CoreDelay
-	if coreDelay == 0 {
-		coreDelay = defaultCoreDelay(prof.Tech)
-	}
-	k := simtime.NewKernel(opts.Seed)
-	net := netsim.NewNetwork(k, prof, DeviceAddr, coreDelay)
-	servers := serversim.Install(net)
-	resolver := netsim.NewResolver(net.Device, netsim.Endpoint{Addr: serversim.DNSAddr, Port: netsim.DNSPort})
+// Fleet returns the underlying one-UE fleet (report aggregation, golden
+// comparisons against multi-UE runs).
+func (b *Bed) Fleet() *fleet.Fleet { return b.f }
 
-	b := &Bed{K: k, Net: net, Servers: servers, Resolver: resolver}
-	if !opts.Faults.Empty() {
-		b.FaultUL = opts.Faults.Build(k, faults.Uplink, opts.Seed)
-		b.FaultDL = opts.Faults.Build(k, faults.Downlink, opts.Seed)
-		net.ULQdisc = b.FaultUL
-		net.DLQdisc = b.FaultDL
-		for _, o := range opts.Faults.Outages {
-			net.Bearer.ScheduleOutage(simtime.Time(o.Start), o.Duration)
-		}
+// NewScenario assembles a Bed directly from a one-UE fleet scenario — the
+// composable form of New for callers already speaking the Scenario API.
+func NewScenario(scen fleet.Scenario, opts ...fleet.Option) (*Bed, error) {
+	if len(scen.UEs) != 1 {
+		return nil, fmt.Errorf("testbed: scenario has %d UEs, want exactly 1 (use fleet.Run)", len(scen.UEs))
 	}
-	if !opts.DisablePcap {
-		b.Capture = pcap.NewCapture()
-		b.Capture.Attach(net.Device)
+	f, err := fleet.Build(scen, opts...)
+	if err != nil {
+		return nil, err
 	}
-	if !opts.DisableQxDM {
-		b.QxDM = qxdm.Attach(net.Bearer)
-	}
+	return &Bed{UE: f.UEs[0], f: f}, nil
+}
 
-	fbCfg := opts.Facebook
-	if fbCfg == (facebook.Config{}) {
-		fbCfg = facebook.DefaultConfig()
-	}
-	b.Facebook = facebook.New(k, net.Device, resolver, fbCfg)
-	b.YouTube = youtube.New(k, net.Device, resolver, opts.YouTube)
-	brProf := opts.Browser
-	if brProf.Name == "" {
-		brProf = browser.Chrome()
-	}
-	b.Browser = browser.New(k, net.Device, resolver, brProf)
-
-	if opts.Trace || opts.Metrics {
-		if opts.Trace {
-			b.Trace = obs.NewTrace()
-			k.SetTrace(b.Trace)
-		}
-		if opts.Metrics {
-			b.Metrics = obs.NewRegistry()
-			b.Metrics.GaugeFunc("kernel_events", func() float64 { return float64(k.Processed()) })
-			b.Metrics.GaugeFunc("kernel_pending", func() float64 { return float64(k.Pending()) })
-			b.Metrics.GaugeFunc("sim_time_s", func() float64 { return time.Duration(k.Now()).Seconds() })
-			b.Metrics.GaugeFunc("bearer_outages", func() float64 { return float64(net.Bearer.OutageCount()) })
-			if b.FaultUL != nil {
-				b.Metrics.GaugeFunc("fault_drops_ul", func() float64 { return float64(b.FaultUL.Dropped()) })
-			}
-			if b.FaultDL != nil {
-				b.Metrics.GaugeFunc("fault_drops_dl", func() float64 { return float64(b.FaultDL.Dropped()) })
-			}
-		}
-		net.SetObs(b.Trace, b.Metrics)
-		net.Bearer.SetTrace(b.Trace)
-		b.RadioMon = radio.AttachTrace(net.Bearer, b.Trace, b.Metrics)
-		b.Facebook.SetObs(b.Trace, b.Metrics)
-		b.YouTube.SetObs(b.Trace, b.Metrics)
-		b.Browser.SetObs(b.Trace, b.Metrics)
-	}
-	if opts.Profiler {
-		b.Profiler = obs.NewProfiler()
-		k.SetProfiler(b.Profiler)
+// MustNew is New for tests and examples: it panics on error.
+func MustNew(opts Options) *Bed {
+	b, err := New(opts)
+	if err != nil {
+		panic(err)
 	}
 	return b
 }
 
-// CloseObs finalizes open observability state (the radio monitor's current
-// RRC residency span) at the present virtual time. Call it after the run,
-// before exporting the trace.
-func (b *Bed) CloseObs() {
-	if b.RadioMon != nil {
-		b.RadioMon.Close(b.K.Now())
+// fleetOptions maps the flat obs toggles to fleet run options.
+func fleetOptions(opts Options) []fleet.Option {
+	var fo []fleet.Option
+	if opts.Trace {
+		fo = append(fo, fleet.WithTrace())
 	}
+	if opts.Metrics {
+		fo = append(fo, fleet.WithMetrics())
+	}
+	if opts.Profiler {
+		fo = append(fo, fleet.WithProfiler())
+	}
+	return fo
 }
 
-// Session packages the bed's collected logs plus a behavior log into the
-// analyzer's input bundle.
-func (b *Bed) Session(log *qoe.BehaviorLog) *qoe.Session {
-	s := &qoe.Session{
-		Profile:    b.Net.Bearer.Profile(),
-		DeviceAddr: DeviceAddr,
-		Behavior:   log,
-	}
-	if b.Capture != nil {
-		s.Packets = b.Capture.Records()
-	}
-	if b.QxDM != nil {
-		s.Radio = b.QxDM.Log()
-	}
-	if b.Trace != nil {
-		s.Trace = b.Trace.Events()
-	}
-	return s
-}
+// Throttle installs carrier downlink rate limiting, possibly mid-run (the
+// §7.5 experiments flip it at a virtual instant).
+//
+// Deprecated: for build-time throttling set Options.ThrottleBps (or the
+// fleet UESpec field); this method remains for mid-run rate changes.
+func (b *Bed) Throttle(rateBps float64) { b.UE.Throttle(rateBps) }
 
-// Analyze runs the cross-layer analyzer over the bed's collected logs.
-func (b *Bed) Analyze(log *qoe.BehaviorLog) *analyzer.CrossLayer {
-	return analyzer.NewCrossLayer(b.Session(log))
-}
-
-// AnalyzeAsync starts the analysis on its own goroutine so the caller can
-// overlap it with the next bed's simulation (the sweep pipeline shape);
-// Wait on the returned handle for the result.
-func (b *Bed) AnalyzeAsync(log *qoe.BehaviorLog) *analyzer.Pending {
-	return analyzer.Analyze(b.Session(log))
-}
-
-// Throttle installs carrier rate limiting on the downlink: traffic shaping
-// (the C1 3G mechanism) or traffic policing (the C1 LTE mechanism, §7.5).
-// The shaper buffers deeply (carrier-grade queues), so 3G delivers a smooth
-// stream at the cap with few TCP drops; the policer has a shallow token
-// bucket, so LTE slow-start bursts overshoot and drop, producing the
-// retransmissions, bursty goodput, and higher variance of Finding 7.
-func (b *Bed) Throttle(rateBps float64) {
-	var q netsim.Qdisc
-	if b.Net.Bearer.Profile().Tech == radio.Tech3G {
-		// Deeper than the device's TCP receive-window ceiling, so the
-		// sender's window fills the queue without overflowing it.
-		const queue = 256 * 1024
-		s := netsim.NewShaper(b.K, rateBps, 16*1024, queue)
-		s.SetObs(b.Trace, b.Metrics, "shape_dl")
-		q = s
-	} else {
-		p := netsim.NewPolicer(b.K, rateBps, 4*1024)
-		p.SetObs(b.Trace, b.Metrics, "police_dl")
-		q = p
-	}
-	// Compose with fault injection when present: impairments happen first,
-	// then the carrier throttle.
-	if b.FaultDL != nil {
-		b.FaultDL.SetNext(q)
-	} else {
-		b.Net.DLQdisc = q
-	}
-}
+// compile-time guarantee that the embedded UE keeps satisfying the legacy
+// Bed surface.
+var _ interface {
+	CloseObs()
+	Throttle(float64)
+} = (*Bed)(nil)

@@ -10,7 +10,7 @@ import (
 )
 
 func TestDefaultsAndWiring(t *testing.T) {
-	b := New(Options{Seed: 1})
+	b := MustNew(Options{Seed: 1})
 	if b.Net.Bearer.Profile().Tech != radio.TechLTE {
 		t.Fatal("default profile should be LTE")
 	}
@@ -26,7 +26,7 @@ func TestDefaultsAndWiring(t *testing.T) {
 }
 
 func TestDisableCollectors(t *testing.T) {
-	b := New(Options{Seed: 2, DisableQxDM: true, DisablePcap: true})
+	b := MustNew(Options{Seed: 2, DisableQxDM: true, DisablePcap: true})
 	if b.Capture != nil || b.QxDM != nil {
 		t.Fatal("collectors present despite disable flags")
 	}
@@ -49,24 +49,24 @@ func TestCoreDelayDefaultsByTech(t *testing.T) {
 		{radio.ProfileLTE(), 20 * time.Millisecond},
 		{radio.ProfileWiFi(), 12 * time.Millisecond},
 	} {
-		b := New(Options{Seed: 3, Profile: c.prof})
+		b := MustNew(Options{Seed: 3, Profile: c.prof})
 		if b.Net.CoreDelay != c.want {
 			t.Errorf("%s core delay = %v, want %v", c.prof.Name, b.Net.CoreDelay, c.want)
 		}
 	}
-	b := New(Options{Seed: 4, CoreDelay: 99 * time.Millisecond})
+	b := MustNew(Options{Seed: 4, CoreDelay: 99 * time.Millisecond})
 	if b.Net.CoreDelay != 99*time.Millisecond {
 		t.Fatal("explicit core delay ignored")
 	}
 }
 
 func TestThrottleMechanismByTech(t *testing.T) {
-	b3 := New(Options{Seed: 5, Profile: radio.Profile3G()})
+	b3 := MustNew(Options{Seed: 5, Profile: radio.Profile3G()})
 	b3.Throttle(128e3)
 	if _, ok := b3.Net.DLQdisc.(*netsim.Shaper); !ok {
 		t.Fatalf("3G throttle is %T, want shaper", b3.Net.DLQdisc)
 	}
-	bl := New(Options{Seed: 6, Profile: radio.ProfileLTE()})
+	bl := MustNew(Options{Seed: 6, Profile: radio.ProfileLTE()})
 	bl.Throttle(128e3)
 	if _, ok := bl.Net.DLQdisc.(*netsim.Policer); !ok {
 		t.Fatalf("LTE throttle is %T, want policer", bl.Net.DLQdisc)
@@ -75,7 +75,7 @@ func TestThrottleMechanismByTech(t *testing.T) {
 
 func TestDeterminismAcrossBeds(t *testing.T) {
 	run := func() (int, int) {
-		b := New(Options{Seed: 77, Profile: radio.Profile3G()})
+		b := MustNew(Options{Seed: 77, Profile: radio.Profile3G()})
 		b.Facebook.Connect()
 		b.K.RunUntil(30 * time.Second)
 		return b.Capture.Len(), len(b.QxDM.Log().PDUs)
@@ -91,7 +91,7 @@ func TestDeterminismAcrossBeds(t *testing.T) {
 }
 
 func TestSessionBundlesLogs(t *testing.T) {
-	b := New(Options{Seed: 8})
+	b := MustNew(Options{Seed: 8})
 	b.Facebook.Connect()
 	b.K.RunUntil(10 * time.Second)
 	s := b.Session(nil)

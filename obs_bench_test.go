@@ -20,7 +20,7 @@ import (
 // pull-to-update session, exercising UI input, app logic, DNS, TCP, and the
 // radio bearer — every instrumented layer.
 func obsBenchRun(trace, metrics bool) {
-	b := testbed.New(testbed.Options{Seed: benchSeed, Trace: trace, Metrics: metrics})
+	b := testbed.MustNew(testbed.Options{Seed: benchSeed, Trace: trace, Metrics: metrics})
 	b.Facebook.Connect()
 	b.K.RunUntil(3 * time.Second)
 	log := &qoe.BehaviorLog{}
