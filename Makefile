@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench bench-analyzer bench-compare bench-fleet analyzer-golden sweep sweep-golden
+.PHONY: build test test-short verify chaos bench bench-analyzer bench-compare bench-fleet bench-qoestore analyzer-golden sweep sweep-golden
 
 build:
 	$(GO) build ./...
 	$(GO) build -o bin/qoeexp ./cmd/qoeexp
 	$(GO) build -o bin/qoedoctor ./cmd/qoedoctor
 	$(GO) build -o bin/qoefleet ./cmd/qoefleet
+	$(GO) build -o bin/qoeserve ./cmd/qoeserve
 	$(GO) build -o bin/traceview ./cmd/traceview
 
 test: build
@@ -15,15 +16,24 @@ test: build
 test-short: build
 	$(GO) test -short ./...
 
-# Full verification: static checks plus the race-enabled suite. Each
-# simulation kernel is single-goroutine by design, but the sweep engine runs
-# whole testbeds on concurrent goroutines, so -race exercises real
-# concurrency (internal/sweep's parallel-vs-serial golden runs under it).
+# Full verification: static checks plus the race-enabled suite, then the
+# qoestore chaos drills. Each simulation kernel is single-goroutine by
+# design, but the sweep engine runs whole testbeds on concurrent goroutines,
+# so -race exercises real concurrency (internal/sweep's parallel-vs-serial
+# golden runs under it).
 verify: build
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) chaos
+
+# Crash/overload drills for the durable QoE store: simulated SIGKILLs with
+# zero acked-event loss, torn and corrupt WAL tails, slow-consumer
+# backpressure, and degraded-mode sampling — run twice under the race
+# detector to vary goroutine interleavings.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=2 ./internal/qoestore/
 
 # Benchmarks: every paper-figure benchmark plus the PR 3 perf record —
 # kernel micro-costs, the Facebook-workload allocation profile compared
@@ -51,6 +61,13 @@ bench-compare:
 # cost at N=64 exceeds 2x the N=1 per-UE cost.
 bench-fleet:
 	BENCH_PR5_JSON=$(CURDIR)/BENCH_PR5.json $(GO) test -run TestWriteBenchPR5JSON -v ./internal/fleet/
+
+# PR 6 resilience record for the durable QoE store: sustained ingest
+# throughput with and without fsync, and query latency under hot concurrent
+# ingest. Writes BENCH_PR6.json and fails if NoSync ingest drops under 50k
+# events/s or the hot p99 query exceeds 50ms.
+bench-qoestore:
+	BENCH_PR6_JSON=$(CURDIR)/BENCH_PR6.json $(GO) test -run TestWriteBenchPR6JSON -v ./internal/qoestore/
 
 # Serial-vs-parallel analyzer equivalence over the whole experiment
 # registry (the default test run covers a fast subset).

@@ -16,8 +16,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
@@ -26,21 +28,46 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiments")
-	runID := flag.String("run", "", "experiment id to run (e.g. fig7, table3, sec7.7)")
-	all := flag.Bool("all", false, "run every experiment")
-	seed := flag.Int64("seed", 42, "simulation seed")
-	seeds := flag.String("seeds", "", "seed grid, e.g. 42..49 or 1,5,9 (overrides -seed)")
-	parallel := flag.Int("parallel", 1, "worker count for the sweep; 0 = GOMAXPROCS")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "qoeexp: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flags from args, output on the given
+// writers, errors returned instead of os.Exit, panics converted to errors.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+
+	fs := flag.NewFlagSet("qoeexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiments")
+	runID := fs.String("run", "", "experiment id to run (e.g. fig7, table3, sec7.7)")
+	all := fs.Bool("all", false, "run every experiment")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	seeds := fs.String("seeds", "", "seed grid, e.g. 42..49 or 1,5,9 (overrides -seed)")
+	parallel := fs.Int("parallel", 1, "worker count for the sweep; 0 = GOMAXPROCS")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
+	}
 
 	grid := []int64{*seed}
 	if *seeds != "" {
-		var err error
 		grid, err = sweep.ParseSeeds(*seeds)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "qoeexp: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
@@ -53,34 +80,34 @@ func main() {
 		for _, e := range experiments.Registry() {
 			tbl.AddRow(e.ID, e.Title, e.Goal)
 		}
-		fmt.Print(tbl.String())
+		fmt.Fprint(stdout, tbl.String())
+		return nil
 	case *runID != "":
 		e, ok := experiments.Lookup(*runID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "qoeexp: unknown experiment %q (try -list)\n", *runID)
-			os.Exit(1)
+			return fmt.Errorf("unknown experiment %q (try -list)", *runID)
 		}
 		if len(grid) == 1 && *parallel == 1 {
-			fmt.Print(e.Run(grid[0]).Render())
-			return
+			fmt.Fprint(stdout, e.Run(grid[0]).Render())
+			return nil
 		}
-		runSweep(sweep.Grid([]experiments.Experiment{e}, grid), *parallel, len(grid) > 1)
+		return runSweep(stdout, sweep.Grid([]experiments.Experiment{e}, grid), *parallel, len(grid) > 1)
 	case *all:
-		runSweep(sweep.Grid(experiments.Registry(), grid), *parallel, len(grid) > 1)
+		return runSweep(stdout, sweep.Grid(experiments.Registry(), grid), *parallel, len(grid) > 1)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return flag.ErrHelp
 	}
 }
 
-func runSweep(cells []sweep.Cell, workers int, showSeed bool) {
+func runSweep(stdout io.Writer, cells []sweep.Cell, workers int, showSeed bool) error {
 	// Stream results as cells finish: the grid-order prefix prints while
 	// later cells are still simulating, and the total output stays
 	// byte-identical to a post-hoc Render.
-	st := sweep.NewStream(os.Stdout, showSeed)
+	st := sweep.NewStream(stdout, showSeed)
 	results := sweep.Run(cells, sweep.Options{Workers: workers, OnDone: st.Push})
 	if n := sweep.Failed(results); n > 0 {
-		fmt.Fprintf(os.Stderr, "qoeexp: %d of %d cells failed\n", n, len(cells))
-		os.Exit(1)
+		return fmt.Errorf("%d of %d cells failed", n, len(cells))
 	}
+	return nil
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func runErr(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	err := run(args, &out, &errw)
+	return out.String(), err
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-bogus"}, ""},
+		{"positional args", []string{"fig7"}, "unexpected arguments"},
+		{"unknown experiment", []string{"-run", "fig99"}, "unknown experiment"},
+		{"bad seeds", []string{"-all", "-seeds", "abc"}, ""},
+		{"inverted seed range", []string{"-all", "-seeds", "9..1"}, ""},
+		{"negative parallel", []string{"-all", "-parallel", "-2"}, "-parallel must be >= 0"},
+	}
+	for _, c := range cases {
+		_, err := runErr(t, c.args...)
+		if err == nil {
+			t.Fatalf("%s: run accepted %q", c.name, c.args)
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error = %q, want %q in it", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRunNoModeShowsUsage(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run(nil, &out, &errw)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("no mode returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errw.String(), "-list") {
+		t.Fatal("usage text does not mention -list")
+	}
+}
+
+func TestRunListPrintsRegistry(t *testing.T) {
+	out, err := runErr(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Experiment index", "fig7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}

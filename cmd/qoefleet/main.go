@@ -9,9 +9,11 @@
 //	qoefleet -ues 64 -policy pf -workload youtube
 //	qoefleet -ues 8 -gains 0.5:1.5        # linear link-quality spread
 //	qoefleet -ues 4 -trace fleet.json     # per-UE Chrome trace processes
+//	qoefleet -ues 8 -emit http://127.0.0.1:8711   # stream QoE into qoeserve
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,58 +24,86 @@ import (
 	"repro/internal/core/analyzer"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/qoestore"
 	"repro/internal/radio"
 )
 
-func profileByName(name string) *radio.Profile {
-	switch name {
-	case "3g":
-		return radio.Profile3G()
-	case "3g-simple":
-		return radio.ProfileSimplified3G()
-	case "wifi":
-		return radio.ProfileWiFi()
-	case "lte", "":
-		return radio.ProfileLTE()
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "qoefleet: %v\n", err)
+		}
+		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "qoefleet: unknown network %q\n", name)
-	os.Exit(1)
-	return nil
 }
 
-func main() {
-	ues := flag.Int("ues", 8, "number of UEs sharing the cell")
-	policy := flag.String("policy", "rr", "cell scheduler: rr (round-robin) | pf (proportional fair)")
-	workload := flag.String("workload", "browse", "workload: youtube | browse | facebook")
-	network := flag.String("network", "lte", "lte | 3g | 3g-simple | wifi")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	horizon := flag.Duration("horizon", 10*time.Minute, "virtual-time run length")
-	gains := flag.String("gains", "", "linear link-quality spread lo:hi across UEs (default: all 1)")
-	engine := flag.String("analyzer", "parallel", "analyzer engine: parallel | serial")
-	traceOut := flag.String("trace", "", "write a merged Chrome trace (one process per UE) to this file")
-	flag.Parse()
+func profileByName(name string) (*radio.Profile, error) {
+	switch name {
+	case "3g":
+		return radio.Profile3G(), nil
+	case "3g-simple":
+		return radio.ProfileSimplified3G(), nil
+	case "wifi":
+		return radio.ProfileWiFi(), nil
+	case "lte", "":
+		return radio.ProfileLTE(), nil
+	}
+	return nil, fmt.Errorf("unknown network %q (lte | 3g | 3g-simple | wifi)", name)
+}
+
+// run is the testable entry point: flags from args, output on the given
+// writers, errors returned instead of os.Exit, panics converted to errors.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+
+	fs := flag.NewFlagSet("qoefleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ues := fs.Int("ues", 8, "number of UEs sharing the cell")
+	policy := fs.String("policy", "rr", "cell scheduler: rr (round-robin) | pf (proportional fair)")
+	workload := fs.String("workload", "browse", "workload: youtube | browse | facebook")
+	network := fs.String("network", "lte", "lte | 3g | 3g-simple | wifi")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	horizon := fs.Duration("horizon", 10*time.Minute, "virtual-time run length")
+	gains := fs.String("gains", "", "linear link-quality spread lo:hi across UEs (default: all 1)")
+	engine := fs.String("analyzer", "parallel", "analyzer engine: parallel | serial")
+	traceOut := fs.String("trace", "", "write a merged Chrome trace (one process per UE) to this file")
+	emit := fs.String("emit", "", "stream QoE events to a qoeserve URL (e.g. http://127.0.0.1:8711)")
+	emitSource := fs.String("emit-source", "", "source name for emitted events (default fleet-<seed>)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
 
 	if *ues <= 0 {
-		fmt.Fprintf(os.Stderr, "qoefleet: -ues must be positive\n")
-		os.Exit(1)
+		return fmt.Errorf("-ues must be positive, got %d", *ues)
+	}
+	if *horizon <= 0 {
+		return fmt.Errorf("-horizon must be positive, got %v", *horizon)
 	}
 	pol, err := radio.ParsePolicy(*policy)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "qoefleet: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	wl, err := fleet.ParseWorkload(*workload)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "qoefleet: %v\n", err)
-		os.Exit(1)
+		return err
+	}
+	prof, err := profileByName(*network)
+	if err != nil {
+		return err
 	}
 
 	specs := fleet.UniformUEs(*ues)
 	if *gains != "" {
 		var lo, hi float64
 		if _, err := fmt.Sscanf(strings.Replace(*gains, ":", " ", 1), "%g %g", &lo, &hi); err != nil || lo <= 0 || hi <= 0 {
-			fmt.Fprintf(os.Stderr, "qoefleet: bad -gains %q (want lo:hi, both positive)\n", *gains)
-			os.Exit(1)
+			return fmt.Errorf("bad -gains %q (want lo:hi, both positive)", *gains)
 		}
 		fleet.SpreadGains(specs, lo, hi)
 	}
@@ -85,28 +115,27 @@ func main() {
 	case "serial":
 		opts = append(opts, fleet.WithEngine(analyzer.EngineSerial))
 	default:
-		fmt.Fprintf(os.Stderr, "qoefleet: unknown analyzer engine %q (parallel | serial)\n", *engine)
-		os.Exit(1)
+		return fmt.Errorf("unknown analyzer engine %q (parallel | serial)", *engine)
 	}
-	if *traceOut != "" {
+	if *traceOut != "" || *emit != "" {
 		opts = append(opts, fleet.WithTrace())
 	}
 
 	scen := fleet.Scenario{
 		Seed:     *seed,
-		Cell:     fleet.CellSpec{Profile: profileByName(*network), Policy: pol},
+		Cell:     fleet.CellSpec{Profile: prof, Policy: pol},
 		UEs:      specs,
 		Workload: wl,
 	}
 	f, err := fleet.Build(scen, opts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "qoefleet: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	f.Drive()
 	f.K.RunUntil(*horizon)
 	f.CloseObs()
-	fmt.Print(f.Report().Render())
+	report := f.Report()
+	fmt.Fprint(stdout, report.Render())
 
 	if *traceOut != "" {
 		procs := make([]obs.Process, len(f.UEs))
@@ -115,24 +144,46 @@ func main() {
 			procs[i] = obs.Process{Pid: i + 1, Name: ue.Name, Events: ue.Trace.Events()}
 			total += len(procs[i].Events)
 		}
-		writeOrDie(*traceOut, func(w io.Writer) error { return obs.WriteChromeTraceMulti(w, procs) })
-		fmt.Printf("wrote %d trace events (%d UE processes) to %s\n", total, len(procs), *traceOut)
+		if err := writeFile(*traceOut, func(w io.Writer) error { return obs.WriteChromeTraceMulti(w, procs) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d trace events (%d UE processes) to %s\n", total, len(procs), *traceOut)
 	}
+
+	if *emit != "" {
+		source := *emitSource
+		if source == "" {
+			source = fmt.Sprintf("fleet-%d", *seed)
+		}
+		em, err := qoestore.NewEmitter(&qoestore.HTTPIngestor{BaseURL: strings.TrimRight(*emit, "/")}, qoestore.EmitterConfig{Source: source})
+		if err != nil {
+			return err
+		}
+		n := fleet.EmitReport(em, f, report)
+		em.Close()
+		st := em.Stats()
+		fmt.Fprintf(stdout, "emitted %d QoE events to %s as %q: %d delivered, %d dropped (queue %d, retries %d), %d shed by store\n",
+			n, *emit, source, st.Delivered, st.DroppedQ+st.DroppedRe, st.DroppedQ, st.Retries, st.Shed)
+		if st.Delivered == 0 && n > 0 {
+			return fmt.Errorf("emitted 0 of %d events to %s (is qoeserve running?)", n, *emit)
+		}
+	}
+	return nil
 }
 
-// writeOrDie creates path and writes it with fn, exiting on any error.
-func writeOrDie(path string, fn func(io.Writer) error) {
+// writeFile creates path and writes it with fn, reporting any error with
+// the path attached.
+func writeFile(path string, fn func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "qoefleet: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	err = fn(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "qoefleet: writing %s: %v\n", path, err)
-		os.Exit(1)
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
+	return nil
 }

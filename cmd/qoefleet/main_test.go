@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/qoestore"
+)
+
+func runErr(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	err := run(args, &out, &errw)
+	return out.String(), err
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-bogus"}, ""},
+		{"positional args", []string{"extra"}, "unexpected arguments"},
+		{"zero ues", []string{"-ues", "0"}, "-ues must be positive"},
+		{"negative horizon", []string{"-horizon", "-1s"}, "-horizon must be positive"},
+		{"bad policy", []string{"-policy", "fifo"}, ""},
+		{"bad workload", []string{"-workload", "gaming"}, ""},
+		{"bad network", []string{"-network", "5g"}, "unknown network"},
+		{"bad gains", []string{"-gains", "fast"}, "bad -gains"},
+		{"negative gains", []string{"-gains", "-1:2"}, "bad -gains"},
+		{"bad engine", []string{"-analyzer", "quantum"}, "unknown analyzer engine"},
+	}
+	for _, c := range cases {
+		_, err := runErr(t, c.args...)
+		if err == nil {
+			t.Fatalf("%s: run accepted %q", c.name, c.args)
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error = %q, want %q in it", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRunHelpIsNotAnInternalError(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errw); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestRunUnwritableTracePathFailsCleanly(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "trace.json")
+	_, err := runErr(t, "-ues", "1", "-horizon", "45s", "-trace", bad)
+	if err == nil {
+		t.Fatal("unwritable -trace path accepted")
+	}
+	if strings.Contains(err.Error(), "internal error") {
+		t.Fatalf("file error surfaced as a panic: %v", err)
+	}
+}
+
+// TestRunEmitsIntoLiveCollector is the end-to-end pipe the README
+// advertises: a small fleet run streams its QoE events into a real
+// qoestore-backed HTTP collector, and the events are queryable afterwards.
+func TestRunEmitsIntoLiveCollector(t *testing.T) {
+	s, err := qoestore.Open(t.TempDir(), qoestore.Config{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(qoestore.NewServer(s, qoestore.ServerConfig{}).Handler())
+	defer ts.Close()
+
+	out, err := runErr(t, "-ues", "2", "-horizon", "90s", "-emit", ts.URL, "-emit-source", "itest")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "emitted") {
+		t.Fatalf("stdout missing emit summary:\n%s", out)
+	}
+	res, err := s.Run(qoestore.Query{Metric: "rrc_energy_j"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 {
+		t.Fatalf("collector holds %d per-UE energy events, want 2", res.Count)
+	}
+}
+
+// TestRunEmitToRejectingCollectorFails: a collector that rejects every
+// batch (permanent 4xx) must surface as a CLI error, not a silent success.
+func TestRunEmitToRejectingCollectorFails(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	_, err := runErr(t, "-ues", "1", "-horizon", "45s", "-emit", ts.URL)
+	if err == nil {
+		t.Fatal("run succeeded despite delivering nothing")
+	}
+	if !strings.Contains(err.Error(), "emitted 0 of") {
+		t.Fatalf("error = %q, want undelivered-events report", err)
+	}
+}

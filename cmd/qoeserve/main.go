@@ -1,0 +1,133 @@
+// Command qoeserve is the fleet QoE collector: a crash-safe store of QoE
+// events behind an HTTP/JSON API. Fleet runs (qoefleet -emit) stream
+// per-action and per-UE summary events in; dashboards and scripts query
+// windowed percentiles out. Ingest is durable (WAL with group commit; an
+// acked event survives a SIGKILL) and the server degrades instead of
+// falling over: full queues push back with 429, sustained overload flips
+// the store to sampled coarse-bin mode, and the query path sheds load past
+// a concurrency bound.
+//
+// Usage:
+//
+//	qoeserve -dir /var/lib/qoe            # serve on 127.0.0.1:8711
+//	qoeserve -dir ./qoe -addr :9000 -window 1m -retain 240
+//	curl 'localhost:8711/query?metric=pageload_s&q=0.5,0.95,0.99'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qoestore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "qoeserve: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flags from args, output on the given
+// writers, errors returned instead of os.Exit. When ready is non-nil the
+// bound listen address is sent on it once the server accepts connections;
+// closing stop (when non-nil) triggers the same graceful shutdown as
+// SIGINT/SIGTERM. A panic anywhere below becomes an error, never a crash
+// with a half-synced store.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+
+	fs := flag.NewFlagSet("qoeserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "store directory (WAL segments live here; required)")
+	addr := fs.String("addr", "127.0.0.1:8711", "HTTP listen address")
+	window := fs.Duration("window", time.Minute, "aggregation window size")
+	retain := fs.Int("retain", 240, "windows retained per series key")
+	queue := fs.Int("queue", 256, "ingest queue depth (backpressure past this)")
+	nosync := fs.Bool("nosync", false, "skip fsync on commit (benchmarks only; crash safety off)")
+	maxQ := fs.Int("max-queries", 16, "concurrent query bound (load shed past this)")
+	qTimeout := fs.Duration("query-timeout", 2*time.Second, "per-query wall-time bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *dir == "" {
+		return errors.New("-dir is required")
+	}
+	if *window <= 0 {
+		return fmt.Errorf("-window must be positive, got %v", *window)
+	}
+	if *retain <= 0 {
+		return fmt.Errorf("-retain must be positive, got %d", *retain)
+	}
+	if *queue <= 0 {
+		return fmt.Errorf("-queue must be positive, got %d", *queue)
+	}
+
+	reg := obs.NewRegistry()
+	store, err := qoestore.Open(*dir, qoestore.Config{
+		Window: *window, Retain: *retain, QueueDepth: *queue,
+		NoSync: *nosync, Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := store.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	rec := store.Recovery()
+	fmt.Fprintf(stdout, "recovered %d record(s) from %d segment(s): %d applied, %d duplicate(s), %d torn byte(s) truncated, %d corrupt segment(s)\n",
+		rec.Records, rec.Segments, rec.Applied, rec.Dups, rec.TornBytes, rec.CorruptSegments)
+
+	api := qoestore.NewServer(store, qoestore.ServerConfig{
+		MaxConcurrentQueries: *maxQ, QueryTimeout: *qTimeout, Metrics: reg,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: api.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(stdout, "received %v, draining\n", s)
+		case <-stop:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(stdout, "serving on http://%s (window %v, retain %d, queue %d)\n", ln.Addr(), *window, *retain, *queue)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

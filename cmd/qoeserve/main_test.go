@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/qoestore"
+)
+
+// runErr runs the CLI against throwaway writers and returns its error.
+func runErr(args ...string) error {
+	var out, errw bytes.Buffer
+	return run(args, &out, &errw, nil, nil)
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error; "" means any non-nil error
+	}{
+		{"unknown flag", []string{"-bogus"}, ""},
+		{"missing dir", []string{}, "-dir is required"},
+		{"positional args", []string{"-dir", t.TempDir(), "extra"}, "unexpected arguments"},
+		{"zero window", []string{"-dir", t.TempDir(), "-window", "0s"}, "-window must be positive"},
+		{"negative retain", []string{"-dir", t.TempDir(), "-retain", "-1"}, "-retain must be positive"},
+		{"zero queue", []string{"-dir", t.TempDir(), "-queue", "0"}, "-queue must be positive"},
+		{"unparseable duration", []string{"-dir", t.TempDir(), "-window", "banana"}, ""},
+		{"bad listen addr", []string{"-dir", t.TempDir(), "-addr", "not an address"}, ""},
+	}
+	for _, c := range cases {
+		err := runErr(c.args...)
+		if err == nil {
+			t.Fatalf("%s: run accepted %q", c.name, c.args)
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error = %q, want %q in it", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRunHelpIsNotAnInternalError(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-h"}, &out, &errw, nil, nil)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errw.String(), "-dir") {
+		t.Fatal("usage text does not mention -dir")
+	}
+}
+
+// TestRunServesIngestAndQuery boots the real server on a kernel-assigned
+// port, streams a batch through the HTTP ingest path, queries it back, and
+// shuts down gracefully via the stop channel.
+func TestRunServesIngestAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-dir", dir, "-addr", "127.0.0.1:0", "-nosync"}, &out, &errw, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v\nstderr: %s", err, errw.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	base := "http://" + addr
+	var events []qoestore.Event
+	for i := 1; i <= 10; i++ {
+		events = append(events, qoestore.Event{
+			Source: "t", Seq: uint64(i), At: time.Duration(i) * time.Second,
+			Metric: "pageload_s", Value: 2,
+		})
+	}
+	body, _ := json.Marshal(map[string]any{"events": events})
+	resp, err := http.Post(base+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+	qr, err := http.Get(base + "/query?metric=pageload_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res qoestore.QueryResult
+	if err := json.NewDecoder(qr.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	qr.Body.Close()
+	if res.Count != 10 {
+		t.Fatalf("query count = %d, want 10", res.Count)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v\nstderr: %s", err, errw.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never shut down")
+	}
+	if !strings.Contains(out.String(), "recovered 0 record(s)") {
+		t.Fatalf("stdout missing recovery line:\n%s", out.String())
+	}
+
+	// Restart over the same directory: the acked batch must be recovered.
+	// (NoSync skips fsync but still writes; a graceful close flushes.)
+	var out2 bytes.Buffer
+	ready2 := make(chan string, 1)
+	stop2 := make(chan struct{})
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run([]string{"-dir", dir, "-addr", "127.0.0.1:0"}, &out2, &errw, ready2, stop2)
+	}()
+	select {
+	case <-ready2:
+	case err := <-done2:
+		t.Fatalf("restart exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("restart never became ready")
+	}
+	close(stop2)
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), fmt.Sprintf("recovered %d record(s)", len(events))) {
+		t.Fatalf("restart did not recover the WAL:\n%s", out2.String())
+	}
+}

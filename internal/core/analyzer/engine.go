@@ -2,7 +2,6 @@ package analyzer
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core/qoe"
 	"repro/internal/qxdm"
@@ -27,20 +26,6 @@ const (
 	EngineSerial
 )
 
-// engine holds the process-wide engine default (atomic so tests and
-// concurrent sweep cells may flip and read it without races).
-var engine atomic.Int32
-
-// SetEngine changes the process-wide default engine used when a call passes
-// no WithEngine option.
-//
-// Deprecated: mutable process-wide state composes badly with concurrent
-// runs; pass WithEngine to NewCrossLayer/Analyze instead.
-func SetEngine(e Engine) { engine.Store(int32(e)) }
-
-// CurrentEngine returns the process-wide default engine.
-func CurrentEngine() Engine { return Engine(engine.Load()) }
-
 // Option configures one analysis call.
 type Option func(*config)
 
@@ -60,7 +45,7 @@ func WithEngine(e Engine) Option {
 // produce byte-identical results; see DESIGN.md §10 for the determinism
 // argument.
 func NewCrossLayer(sess *qoe.Session, opts ...Option) *CrossLayer {
-	cfg := config{engine: CurrentEngine()}
+	cfg := config{engine: EngineParallel}
 	for _, o := range opts {
 		o(&cfg)
 	}

@@ -106,16 +106,22 @@ func TestEngineDegenerateSessions(t *testing.T) {
 	}
 }
 
-// SetEngine flips the implementation NewCrossLayer dispatches to.
-func TestSetEngine(t *testing.T) {
-	defer analyzer.SetEngine(analyzer.EngineParallel)
-	analyzer.SetEngine(analyzer.EngineSerial)
-	if analyzer.CurrentEngine() != analyzer.EngineSerial {
-		t.Fatal("SetEngine(serial) not observed")
+// WithEngine selects the implementation per call: an explicit serial
+// selection must reproduce the serial reference exactly, and the default
+// (no option) must be the parallel engine.
+func TestWithEngineDispatch(t *testing.T) {
+	sess := browseSession(16, radio.ProfileLTE(), 2, false)
+	serial := analyzer.NewCrossLayer(sess, analyzer.WithEngine(analyzer.EngineSerial))
+	want := analyzer.NewCrossLayerSerialForTest(sess)
+	if !reflect.DeepEqual(serial.Warnings, want.Warnings) ||
+		!reflect.DeepEqual(serial.ULMap, want.ULMap) || !reflect.DeepEqual(serial.DLMap, want.DLMap) {
+		t.Fatal("WithEngine(EngineSerial) did not dispatch to the serial engine")
 	}
-	analyzer.SetEngine(analyzer.EngineParallel)
-	if analyzer.CurrentEngine() != analyzer.EngineParallel {
-		t.Fatal("SetEngine(parallel) not observed")
+	def := analyzer.NewCrossLayer(sess)
+	par := analyzer.NewCrossLayer(sess, analyzer.WithEngine(analyzer.EngineParallel))
+	if !reflect.DeepEqual(def.Warnings, par.Warnings) ||
+		!reflect.DeepEqual(def.ULMap, par.ULMap) || !reflect.DeepEqual(def.DLMap, par.DLMap) {
+		t.Fatal("default engine diverges from explicit WithEngine(EngineParallel)")
 	}
 }
 

@@ -24,17 +24,14 @@ func TestAnalyzerEngineGolden(t *testing.T) {
 	} else if testing.Short() {
 		ids = []string{"fig12"}
 	}
-	defer analyzer.SetEngine(analyzer.EngineParallel)
 	for _, id := range ids {
 		e, ok := Lookup(id)
 		if !ok {
 			t.Fatalf("unknown experiment %q", id)
 		}
 		t.Run(id, func(t *testing.T) {
-			analyzer.SetEngine(analyzer.EngineSerial)
-			want := e.Run(77)
-			analyzer.SetEngine(analyzer.EngineParallel)
-			got := e.Run(77)
+			want := e.Run(77, analyzer.WithEngine(analyzer.EngineSerial))
+			got := e.Run(77, analyzer.WithEngine(analyzer.EngineParallel))
 			if got.Render() != want.Render() {
 				t.Errorf("%s: render diverges between engines:\n--- serial ---\n%s\n--- parallel ---\n%s",
 					id, want.Render(), got.Render())

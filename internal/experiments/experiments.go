@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/core/analyzer"
 	"repro/internal/metrics"
 )
 
@@ -56,12 +57,16 @@ func (r *Result) Render() string {
 	return out
 }
 
-// Experiment is a registered, reproducible experiment.
+// Experiment is a registered, reproducible experiment. Run is a pure
+// function of the seed; the optional analyzer options select the
+// cross-layer engine per call (the engine-equivalence golden test runs
+// every experiment under both), replacing the retired process-wide
+// analyzer.SetEngine default.
 type Experiment struct {
 	ID    string
 	Title string // the paper artifact it regenerates
 	Goal  string // Table 2's experiment-goal column
-	Run   func(seed int64) *Result
+	Run   func(seed int64, opts ...analyzer.Option) *Result
 }
 
 // Registry lists every experiment in paper order (Table 2 plus the tool

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core/analyzer"
+
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/radio"
@@ -16,7 +18,7 @@ import (
 // study supplies the carrier-scale context (ERRANT-style cell contention)
 // that makes the RRC findings matter — promotion storms and queueing delay
 // emerge from bearers competing for one air interface.
-func RunFleetContention(seed int64) *Result {
+func RunFleetContention(seed int64, opts ...analyzer.Option) *Result {
 	res := &Result{ID: "fleet", Title: "Per-UE QoE vs cell population (fleet contention)"}
 	tbl := &metrics.Table{Headers: []string{
 		"UEs", "Sched", "Pageload p50", "Pageload p95", "RRC trans (mean)", "Energy (mean)",
@@ -36,7 +38,7 @@ func RunFleetContention(seed int64) *Result {
 					ThinkTime: 8 * time.Second,
 				},
 			}
-			rep, err := fleet.Run(scen, fleet.WithHorizon(5*time.Minute))
+			rep, err := fleet.Run(scen, fleet.WithHorizon(5*time.Minute), fleet.WithAnalyzer(opts...))
 			if err != nil {
 				res.Set(fmt.Sprintf("error/%s/n%d", policy, n), 1)
 				continue

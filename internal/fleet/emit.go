@@ -1,0 +1,62 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qoestore"
+)
+
+// appSpanMetrics maps the app-layer trace span names to the qoestore metric
+// each one becomes. Spans not listed here (transport, radio, kernel) stay
+// local to the trace — the collector gets QoE observables, not the firehose.
+var appSpanMetrics = map[string]string{
+	"web:pageload":       "pageload_s",
+	"yt:initial-loading": "initial_loading_s",
+	"yt:rebuffer":        "rebuffer_s",
+	"yt:playback":        "playback_s",
+	"fb:fetch":           "fetch_s",
+	"fb:post":            "post_s",
+}
+
+// EmitReport streams a finished fleet run into a qoestore emitter: one event
+// per app-layer span on each UE's trace (when WithTrace was on), plus
+// end-of-run summary events per UE from the report (rebuffer ratio, RRC
+// energy and transitions, mean latency). Events carry the cell's scheduler
+// policy as the cell key, the workload name, and each UE's cohort; event
+// time is virtual time, so a re-run emits identical events. Returns the
+// number of events handed to the emitter (the emitter's own accounting says
+// how many survived its bounded queue).
+func EmitReport(em *qoestore.Emitter, f *Fleet, r *Report) int {
+	cell := f.Cell.Policy().String()
+	n := 0
+	emit := func(at time.Duration, cohort, metric string, value float64) {
+		em.Emit(qoestore.Event{
+			At: at, Cell: cell, Workload: r.Workload, Cohort: cohort,
+			Metric: metric, Value: value,
+		})
+		n++
+	}
+
+	for i, ue := range f.UEs {
+		cohort := f.scen.UEs[i].Cohort
+		if ue.Trace != nil {
+			for _, ev := range ue.Trace.Events() {
+				if ev.Kind != obs.KindSpan || ev.Layer != obs.LayerApp {
+					continue
+				}
+				metric, ok := appSpanMetrics[ev.Name]
+				if !ok {
+					continue
+				}
+				emit(ev.End, cohort, metric, (ev.End - ev.Start).Seconds())
+			}
+		}
+		ur := r.UEs[i]
+		emit(r.Horizon, cohort, "mean_latency_s", ur.MeanLatency.Seconds())
+		emit(r.Horizon, cohort, "rebuffer_ratio", ur.RebufferRatio)
+		emit(r.Horizon, cohort, "rrc_energy_j", ur.EnergyJ)
+		emit(r.Horizon, cohort, "rrc_transitions", float64(ur.RRCTransitions))
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package fleet_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/qoestore"
+)
+
+// TestEmitReportIntoStore runs a tiny traced fleet and streams it through a
+// real emitter into a real store: per-UE summary events and app-layer span
+// events must arrive keyed by cell, workload, and cohort.
+func TestEmitReportIntoStore(t *testing.T) {
+	ues := fleet.UniformUEs(2)
+	ues[1].Cohort = "edge"
+	scen := fleet.Scenario{
+		Seed:     7,
+		UEs:      ues,
+		Workload: fleet.BrowseWorkload{Pages: 1, ThinkTime: 5 * time.Second},
+	}
+	f, err := fleet.Build(scen, fleet.WithHorizon(90*time.Second), fleet.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Drive()
+	f.K.RunUntil(90 * time.Second)
+	f.CloseObs()
+	report := f.Report()
+
+	s, err := qoestore.Open(t.TempDir(), qoestore.Config{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	em, err := qoestore.NewEmitter(s, qoestore.EmitterConfig{Source: "test-fleet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fleet.EmitReport(em, f, report)
+	em.Close()
+
+	if st := em.Stats(); st.Delivered != uint64(n) || n == 0 {
+		t.Fatalf("emitted %d events but stats = %+v", n, st)
+	}
+	// Four summary metrics per UE, all stamped at the horizon.
+	for _, metric := range []string{"mean_latency_s", "rebuffer_ratio", "rrc_energy_j", "rrc_transitions"} {
+		res, err := s.Run(qoestore.Query{Metric: metric})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 2 {
+			t.Fatalf("%s count = %d, want one per UE", metric, res.Count)
+		}
+	}
+	// The browse workload's pageloads arrive as span events.
+	res, err := s.Run(qoestore.Query{Metric: "pageload_s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == 0 {
+		t.Fatal("no pageload_s span events emitted from the traces")
+	}
+	// Cohort filtering separates the tagged UE from the default cohort.
+	edge, err := s.Run(qoestore.Query{Metric: "rrc_energy_j", Cohort: "edge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.Count != 1 {
+		t.Fatalf("cohort=edge energy count = %d, want 1", edge.Count)
+	}
+}

@@ -51,6 +51,9 @@ type UESpec struct {
 	Faults *faults.Plan
 	// StartAt delays this UE's workload start (staggered arrivals).
 	StartAt time.Duration
+	// Cohort labels this UE's population segment ("premium", "edge-of-cell")
+	// in emitted QoE events; empty UEs group under the empty cohort key.
+	Cohort string
 
 	Facebook facebook.Config // zero value = facebook.DefaultConfig()
 	YouTube  youtube.Config
@@ -156,7 +159,15 @@ func WithHorizon(d time.Duration) Option {
 }
 
 // WithEngine selects the cross-layer analyzer engine for every per-UE
-// analysis in this run, without touching the process-wide default.
+// analysis in this run.
 func WithEngine(e analyzer.Engine) Option {
 	return func(o *options) { o.analyzer = append(o.analyzer, analyzer.WithEngine(e)) }
+}
+
+// WithAnalyzer appends raw analyzer options applied to every per-UE
+// analysis in this run — the pass-through form of WithEngine for callers
+// already holding []analyzer.Option (the experiment registry's engine
+// golden test threads its per-call engine selection here).
+func WithAnalyzer(opts ...analyzer.Option) Option {
+	return func(o *options) { o.analyzer = append(o.analyzer, opts...) }
 }

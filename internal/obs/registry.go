@@ -116,19 +116,21 @@ func (h *Histogram) CumulativeBuckets() []Bucket {
 // single-goroutine and nil-safe: a nil *Registry hands out nil instruments
 // that absorb updates for free.
 type Registry struct {
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	gaugeFns map[string]func() float64
-	hists    map[string]*Histogram
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFns   map[string]func() float64
+	counterFns map[string]func() uint64
+	hists      map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		gaugeFns: make(map[string]func() float64),
-		hists:    make(map[string]*Histogram),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFns:   make(map[string]func() float64),
+		counterFns: make(map[string]func() uint64),
+		hists:      make(map[string]*Histogram),
 	}
 }
 
@@ -168,6 +170,19 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 		return
 	}
 	r.gaugeFns[name] = fn
+}
+
+// CounterFunc registers a monotonic counter evaluated lazily at Snapshot
+// time. It is the bridge for concurrent components (the qoestore ingest
+// path, emitters) whose own counters are atomics: the registry itself
+// stays single-registration-time mutable and Snapshot only reads, so a
+// CounterFunc over an atomic value is safe to snapshot while the
+// component is hot.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.counterFns[name] = fn
 }
 
 // Histogram returns the named histogram, creating it with the given bounds
@@ -222,6 +237,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, fn := range r.gaugeFns {
 		s.Entries = append(s.Entries, Entry{Name: name, Kind: "gauge", Value: fn()})
+	}
+	for name, fn := range r.counterFns {
+		s.Entries = append(s.Entries, Entry{Name: name, Kind: "counter", Value: float64(fn())})
 	}
 	for name, h := range r.hists {
 		s.Entries = append(s.Entries, Entry{

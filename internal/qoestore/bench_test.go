@@ -1,0 +1,202 @@
+package qoestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchBatch builds one ingest batch of n events for source src starting at
+// sequence seq+1, spread over distinct windows so aggregation state is live.
+func benchBatch(src string, seq uint64, n int) []Event {
+	batch := make([]Event, n)
+	for i := range batch {
+		s := seq + uint64(i) + 1
+		batch[i] = Event{
+			Source: src, Seq: s, At: time.Duration(s) * 100 * time.Millisecond,
+			Cell: "rr", Workload: "browse", Metric: "pageload_s",
+			Value: 0.1 + float64(s%100)/10,
+		}
+	}
+	return batch
+}
+
+func benchIngest(b *testing.B, nosync bool) {
+	s := openBenchStore(b, Config{NoSync: nosync, Retain: 64})
+	defer s.Close()
+	b.ReportAllocs()
+	const batchSize = 256
+	seq := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(benchBatch("bench", seq, batchSize)); err != nil {
+			b.Fatal(err)
+		}
+		seq += batchSize
+	}
+	b.StopTimer()
+	evs := float64(b.N) * batchSize
+	b.ReportMetric(evs/b.Elapsed().Seconds(), "events/s")
+}
+
+func openBenchStore(tb testing.TB, cfg Config) *Store {
+	tb.Helper()
+	s, err := Open(tb.TempDir(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkIngestSync(b *testing.B)   { benchIngest(b, false) }
+func BenchmarkIngestNoSync(b *testing.B) { benchIngest(b, true) }
+
+// BenchmarkQueryHot measures query latency while a background goroutine
+// keeps the ingest path busy — the serving profile qoeserve actually runs.
+func BenchmarkQueryHot(b *testing.B) {
+	s := openBenchStore(b, Config{NoSync: true, Retain: 64})
+	defer s.Close()
+	if _, err := s.Ingest(benchBatch("seed", 0, 4096)); err != nil {
+		b.Fatal(err)
+	}
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		seq := uint64(4096)
+		for !stop.Load() {
+			s.Ingest(benchBatch("seed", seq, 256)) //nolint:errcheck
+			seq += 256
+		}
+	}()
+	q := Query{Metric: "pageload_s", Quantiles: []float64{0.5, 0.95, 0.99}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stop.Store(true)
+	<-done
+}
+
+type ingestRecord struct {
+	Mode        string  `json:"mode"`
+	Events      int     `json:"events"`
+	BatchSize   int     `json:"batch_size"`
+	EventsPerS  float64 `json:"events_per_sec"`
+	MicrosBatch float64 `json:"us_per_batch"`
+}
+
+type queryRecord struct {
+	Queries int     `json:"queries"`
+	P50us   float64 `json:"p50_us"`
+	P99us   float64 `json:"p99_us"`
+}
+
+// TestWriteBenchPR6JSON measures sustained ingest throughput (fsync'd and
+// NoSync) and query latency under hot concurrent ingest, writing the record
+// to the file named by BENCH_PR6_JSON (skipped when unset; `make
+// bench-qoestore` sets it). It fails if NoSync ingest cannot sustain 50k
+// events/s or the hot p99 query exceeds 50ms — the overload machinery is
+// pointless if the baseline is already slow.
+func TestWriteBenchPR6JSON(t *testing.T) {
+	out := os.Getenv("BENCH_PR6_JSON")
+	if out == "" {
+		t.Skip("BENCH_PR6_JSON not set")
+	}
+
+	const batchSize, batches = 256, 400
+	measureIngest := func(mode string, nosync bool) ingestRecord {
+		var best ingestRecord
+		// Best-of-3 discards fsync scheduling noise.
+		for round := 0; round < 3; round++ {
+			s := openBenchStore(t, Config{NoSync: nosync, Retain: 64})
+			seq := uint64(0)
+			start := time.Now()
+			for i := 0; i < batches; i++ {
+				if _, err := s.Ingest(benchBatch("bench", seq, batchSize)); err != nil {
+					t.Fatal(err)
+				}
+				seq += batchSize
+			}
+			el := time.Since(start)
+			s.Close()
+			r := ingestRecord{
+				Mode: mode, Events: batches * batchSize, BatchSize: batchSize,
+				EventsPerS:  float64(batches*batchSize) / el.Seconds(),
+				MicrosBatch: float64(el.Microseconds()) / batches,
+			}
+			if round == 0 || r.EventsPerS > best.EventsPerS {
+				best = r
+			}
+		}
+		return best
+	}
+
+	measureQuery := func() queryRecord {
+		s := openBenchStore(t, Config{NoSync: true, Retain: 64})
+		defer s.Close()
+		if _, err := s.Ingest(benchBatch("seed", 0, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		var stop atomic.Bool
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			seq := uint64(4096)
+			for !stop.Load() {
+				s.Ingest(benchBatch("seed", seq, 256)) //nolint:errcheck
+				seq += 256
+			}
+		}()
+		const n = 2000
+		q := Query{Metric: "pageload_s", Quantiles: []float64{0.5, 0.95, 0.99}}
+		lat := make([]time.Duration, n)
+		for i := range lat {
+			start := time.Now()
+			if _, err := s.Run(q); err != nil {
+				t.Fatal(err)
+			}
+			lat[i] = time.Since(start)
+		}
+		stop.Store(true)
+		<-done
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return queryRecord{
+			Queries: n,
+			P50us:   float64(lat[n/2].Nanoseconds()) / 1e3,
+			P99us:   float64(lat[n*99/100].Nanoseconds()) / 1e3,
+		}
+	}
+
+	doc := struct {
+		Workload string         `json:"workload"`
+		Ingest   []ingestRecord `json:"ingest"`
+		Query    queryRecord    `json:"query_under_hot_ingest"`
+	}{Workload: fmt.Sprintf("%d batches x %d events, 64 retained 1-minute windows; queries race a continuous 256-event ingest loop", batches, batchSize)}
+	doc.Ingest = append(doc.Ingest, measureIngest("fsync", false), measureIngest("nosync", true))
+	doc.Query = measureQuery()
+
+	if doc.Ingest[1].EventsPerS < 50_000 {
+		t.Errorf("NoSync ingest = %.0f events/s, floor is 50k", doc.Ingest[1].EventsPerS)
+	}
+	if doc.Query.P99us > 50_000 {
+		t.Errorf("hot p99 query = %.0fus, budget is 50ms", doc.Query.P99us)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: ingest fsync %.0f ev/s, nosync %.0f ev/s, hot query p99 %.0fus",
+		out, doc.Ingest[0].EventsPerS, doc.Ingest[1].EventsPerS, doc.Query.P99us)
+}

@@ -1,0 +1,295 @@
+package qoestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Ingestor is the destination of an Emitter: a local Store, an HTTP client
+// pointed at qoeserve, or a test double. It must be safe for calls from the
+// emitter's single flusher goroutine.
+type Ingestor interface {
+	Ingest(events []Event) (IngestReceipt, error)
+}
+
+// EmitterConfig tunes the fleet-side emitter.
+type EmitterConfig struct {
+	// Source stamps every event and scopes sequence numbers; required.
+	Source string
+	// QueueDepth bounds buffered events; when the queue is full the oldest
+	// pending events are dropped (and counted) rather than blocking the
+	// simulation (default 4096).
+	QueueDepth int
+	// BatchSize caps events per Ingest call (default 256).
+	BatchSize int
+	// MaxRetries bounds attempts per batch before it is dropped with
+	// accounting (default 8).
+	MaxRetries int
+	// BaseBackoff and MaxBackoff shape the capped exponential retry delay
+	// (defaults 50ms and 5s); each delay gets ±50% jitter so a fleet of
+	// emitters reconnecting at once does not resynchronize into a storm.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Metrics receives emitted/dropped/retry counters when non-nil.
+	Metrics *obs.Registry
+	// Sleep is the retry delay function; nil means time.Sleep. Tests inject
+	// a recorder to run reconnect storms without wall-clock waits.
+	Sleep func(time.Duration)
+	// Rand seeds backoff jitter; nil derives a fixed-seed source so reruns
+	// of a simulation emit identical retry schedules.
+	Rand *rand.Rand
+}
+
+func (c EmitterConfig) withDefaults() EmitterConfig {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+	return c
+}
+
+// EmitterStats is a point-in-time view of an emitter's accounting.
+type EmitterStats struct {
+	Enqueued  uint64 `json:"enqueued"`        // events accepted into the queue
+	Delivered uint64 `json:"delivered"`       // events acked by the ingestor
+	DroppedQ  uint64 `json:"dropped_queue"`   // evicted from a full queue
+	DroppedRe uint64 `json:"dropped_retries"` // gave up after MaxRetries
+	Shed      uint64 `json:"shed_remote"`     // acked but shed by a degraded store
+	Retries   uint64 `json:"retries"`
+}
+
+// Emitter buffers QoE events on a bounded queue and ships them to an
+// Ingestor from a single flusher goroutine. Delivery is at-least-once: a
+// batch that fails mid-flight is retried whole, and the store's per-source
+// sequence numbers (assigned here, monotonically) make the retry idempotent.
+// The emitter never blocks its producer: when the queue is full the oldest
+// pending events are dropped and counted, because a stalled collector must
+// degrade telemetry, not the system being measured.
+type Emitter struct {
+	cfg  EmitterConfig
+	dst  Ingestor
+	next uint64 // next sequence number to assign
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Event
+	closed bool
+
+	wg   sync.WaitGroup
+	stat struct {
+		enq, delivered, dropQ, dropR, shed, retries atomic.Uint64
+	}
+}
+
+// NewEmitter starts an emitter shipping to dst.
+func NewEmitter(dst Ingestor, cfg EmitterConfig) (*Emitter, error) {
+	if cfg.Source == "" {
+		return nil, errors.New("qoestore: emitter needs a Source")
+	}
+	if dst == nil {
+		return nil, errors.New("qoestore: emitter needs an Ingestor")
+	}
+	e := &Emitter{cfg: cfg.withDefaults(), dst: dst, next: 1}
+	e.cond = sync.NewCond(&e.mu)
+	if m := e.cfg.Metrics; m != nil {
+		p := "qoeemit_" + e.cfg.Source + "_"
+		m.CounterFunc(p+"enqueued", e.stat.enq.Load)
+		m.CounterFunc(p+"delivered", e.stat.delivered.Load)
+		m.CounterFunc(p+"dropped_queue", e.stat.dropQ.Load)
+		m.CounterFunc(p+"dropped_retries", e.stat.dropR.Load)
+		m.CounterFunc(p+"retries", e.stat.retries.Load)
+	}
+	e.wg.Add(1)
+	go e.flusher()
+	return e, nil
+}
+
+// Emit queues one event. The Source and Seq fields are assigned here; the
+// caller fills At, Cell, Workload, Cohort, Metric, Value. Emit never blocks:
+// on a full queue it evicts the oldest pending event (returning false) so
+// the newest data survives a slow or unreachable collector.
+func (e *Emitter) Emit(ev Event) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	ev.Source = e.cfg.Source
+	ev.Seq = e.next
+	e.next++
+	ok := true
+	if len(e.queue) >= e.cfg.QueueDepth {
+		e.queue = e.queue[1:]
+		e.stat.dropQ.Add(1)
+		ok = false
+	}
+	e.queue = append(e.queue, ev)
+	e.stat.enq.Add(1)
+	e.cond.Signal()
+	return ok
+}
+
+// flusher is the single consumer: it drains batches off the queue and
+// pushes them through the ingestor with capped exponential backoff.
+func (e *Emitter) flusher() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		n := len(e.queue)
+		if n > e.cfg.BatchSize {
+			n = e.cfg.BatchSize
+		}
+		batch := make([]Event, n)
+		copy(batch, e.queue)
+		e.queue = e.queue[n:]
+		e.mu.Unlock()
+
+		e.push(batch)
+	}
+}
+
+// ErrPermanent wraps ingest failures that retrying cannot fix (a rejected
+// payload, a closed store); the emitter drops such batches immediately.
+var ErrPermanent = errors.New("qoestore: permanent ingest error")
+
+// push delivers one batch, retrying with capped exponential backoff plus
+// jitter until it lands or MaxRetries is exhausted (then the batch is
+// dropped with accounting — at-least-once, not at-all-costs).
+func (e *Emitter) push(batch []Event) {
+	for attempt := 0; ; attempt++ {
+		rec, err := e.dst.Ingest(batch)
+		if err == nil {
+			e.stat.delivered.Add(uint64(rec.Accepted + rec.Dups))
+			e.stat.shed.Add(uint64(rec.Shed))
+			return
+		}
+		if errors.Is(err, ErrPermanent) || attempt+1 >= e.cfg.MaxRetries {
+			e.stat.dropR.Add(uint64(len(batch)))
+			return
+		}
+		e.stat.retries.Add(1)
+		e.cfg.Sleep(e.backoff(attempt))
+	}
+}
+
+// backoff returns the delay before retry number attempt (0-based):
+// Base*2^attempt capped at MaxBackoff, jittered to 50–150%.
+func (e *Emitter) backoff(attempt int) time.Duration {
+	d := e.cfg.BaseBackoff << uint(attempt)
+	if d <= 0 || d > e.cfg.MaxBackoff {
+		d = e.cfg.MaxBackoff
+	}
+	e.mu.Lock()
+	j := 0.5 + e.cfg.Rand.Float64()
+	e.mu.Unlock()
+	return time.Duration(float64(d) * j)
+}
+
+// Close stops intake and flushes the remaining queue (each batch still
+// subject to the retry budget), then returns.
+func (e *Emitter) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Stats returns a point-in-time copy of the accounting counters.
+func (e *Emitter) Stats() EmitterStats {
+	return EmitterStats{
+		Enqueued:  e.stat.enq.Load(),
+		Delivered: e.stat.delivered.Load(),
+		DroppedQ:  e.stat.dropQ.Load(),
+		DroppedRe: e.stat.dropR.Load(),
+		Shed:      e.stat.shed.Load(),
+		Retries:   e.stat.retries.Load(),
+	}
+}
+
+// Pending returns the number of events waiting in the queue.
+func (e *Emitter) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// HTTPIngestor ships batches to a qoeserve /ingest endpoint. A 429 maps to
+// ErrBackpressure so the emitter's backoff kicks in; 5xx and transport
+// errors are likewise retryable; a 4xx other than 429 is a permanent error
+// reported as such (retrying a rejected payload cannot help).
+type HTTPIngestor struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8711".
+	BaseURL string
+	// Client defaults to a client with a 5s timeout.
+	Client *http.Client
+}
+
+// Ingest implements Ingestor over POST /ingest.
+func (h *HTTPIngestor) Ingest(events []Event) (IngestReceipt, error) {
+	var rec IngestReceipt
+	body, err := json.Marshal(ingestBody{Events: events})
+	if err != nil {
+		return rec, err
+	}
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	resp, err := client.Post(h.BaseURL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return rec, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		err = json.NewDecoder(resp.Body).Decode(&rec)
+		return rec, err
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return rec, fmt.Errorf("%w (server 429)", ErrBackpressure)
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return rec, fmt.Errorf("%w: ingest HTTP %d: %s", ErrPermanent, resp.StatusCode, bytes.TrimSpace(msg))
+		}
+		return rec, fmt.Errorf("qoestore: ingest HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+}

@@ -1,0 +1,233 @@
+package qoestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeIngestor scripts an Ingestor: fail the first failN calls, then accept.
+type fakeIngestor struct {
+	mu      sync.Mutex
+	failN   int
+	err     error
+	calls   int
+	batches [][]Event
+}
+
+func (f *fakeIngestor) Ingest(events []Event) (IngestReceipt, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls <= f.failN {
+		return IngestReceipt{}, f.err
+	}
+	cp := make([]Event, len(events))
+	copy(cp, events)
+	f.batches = append(f.batches, cp)
+	return IngestReceipt{Accepted: len(events)}, nil
+}
+
+func (f *fakeIngestor) events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Event
+	for _, b := range f.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestEmitterAssignsSourceAndSeq(t *testing.T) {
+	dst := &fakeIngestor{}
+	em, err := NewEmitter(dst, EmitterConfig{Source: "fleet-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		em.Emit(Event{Metric: "m", Value: float64(i)})
+	}
+	em.Close()
+
+	got := dst.events()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d events, want 10", len(got))
+	}
+	for i, e := range got {
+		if e.Source != "fleet-1" || e.Seq != uint64(i+1) {
+			t.Fatalf("event %d = %q/%d, want fleet-1/%d", i, e.Source, e.Seq, i+1)
+		}
+	}
+	st := em.Stats()
+	if st.Delivered != 10 || st.DroppedQ != 0 || st.DroppedRe != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEmitterValidation(t *testing.T) {
+	if _, err := NewEmitter(&fakeIngestor{}, EmitterConfig{}); err == nil {
+		t.Fatal("emitter accepted empty source")
+	}
+	if _, err := NewEmitter(nil, EmitterConfig{Source: "s"}); err == nil {
+		t.Fatal("emitter accepted nil ingestor")
+	}
+}
+
+// TestEmitterReconnectStorm scripts an unreachable collector that comes
+// back: the emitter must retry with capped exponential backoff (recorded
+// via the injected sleeper), deliver everything on reconnect, and drop
+// nothing.
+func TestEmitterReconnectStorm(t *testing.T) {
+	dst := &fakeIngestor{failN: 5, err: errors.New("connection refused")}
+	var mu sync.Mutex
+	var delays []time.Duration
+	em, err := NewEmitter(dst, EmitterConfig{
+		Source: "s", MaxRetries: 10,
+		BaseBackoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond,
+		Sleep: func(d time.Duration) { mu.Lock(); delays = append(delays, d); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		em.Emit(Event{Metric: "m", Value: 1})
+	}
+	em.Close()
+
+	if got := len(dst.events()); got != 20 {
+		t.Fatalf("delivered %d events after reconnect, want 20", got)
+	}
+	st := em.Stats()
+	if st.Retries == 0 || st.DroppedRe != 0 {
+		t.Fatalf("stats = %+v, want retries > 0 and no drops", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delays) == 0 {
+		t.Fatal("no backoff sleeps recorded")
+	}
+	// Jitter is 50%..150% of the nominal delay; nominal grows 10,20,40 and
+	// caps at 40ms. Every recorded delay must respect the jittered cap.
+	for i, d := range delays {
+		if d < 5*time.Millisecond || d > 60*time.Millisecond {
+			t.Fatalf("delay %d = %v outside jittered [5ms, 60ms]", i, d)
+		}
+	}
+	// The first retry's nominal 10ms means it can never exceed 15ms — the
+	// exponential must start at the base, not the cap.
+	if delays[0] > 15*time.Millisecond {
+		t.Fatalf("first backoff = %v, want <= 15ms", delays[0])
+	}
+}
+
+// TestEmitterDropsAfterRetryBudget gives up on a dead collector: the batch
+// is dropped and accounted, and the emitter keeps serving later batches.
+func TestEmitterDropsAfterRetryBudget(t *testing.T) {
+	dst := &fakeIngestor{failN: 3, err: errors.New("down")}
+	em, err := NewEmitter(dst, EmitterConfig{
+		Source: "s", MaxRetries: 3, Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Emit(Event{Metric: "m", Value: 1}) // first batch burns the 3 attempts
+	em.Close()
+
+	st := em.Stats()
+	if st.DroppedRe != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v, want 1 dropped after retries", st)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", st.Retries)
+	}
+}
+
+// TestEmitterPermanentErrorSkipsRetries: a 4xx-style rejection is dropped
+// immediately — retrying a rejected payload cannot help.
+func TestEmitterPermanentErrorSkipsRetries(t *testing.T) {
+	dst := &fakeIngestor{failN: 1000, err: fmt.Errorf("%w: HTTP 400", ErrPermanent)}
+	slept := 0
+	em, err := NewEmitter(dst, EmitterConfig{
+		Source: "s", MaxRetries: 50, Sleep: func(time.Duration) { slept++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Emit(Event{Metric: "m", Value: 1})
+	em.Close()
+	if st := em.Stats(); st.DroppedRe != 1 {
+		t.Fatalf("stats = %+v, want immediate drop", st)
+	}
+	if slept != 0 {
+		t.Fatalf("emitter slept %d times on a permanent error", slept)
+	}
+}
+
+// TestEmitterBoundedQueueDropsOldest: a wedged flusher must not buffer
+// without bound; the oldest events fall off and are counted.
+func TestEmitterBoundedQueueDropsOldest(t *testing.T) {
+	block := make(chan struct{})
+	dst := &blockingIngestor{release: block}
+	em, err := NewEmitter(dst, EmitterConfig{Source: "s", QueueDepth: 8, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flusher wedges on the first event; everything else queues.
+	for i := 0; i < 40; i++ {
+		em.Emit(Event{Metric: "m", Value: float64(i)})
+	}
+	if p := em.Pending(); p > 8 {
+		t.Fatalf("queue grew to %d, bound is 8", p)
+	}
+	st := em.Stats()
+	if st.DroppedQ == 0 {
+		t.Fatal("no queue drops recorded despite overflow")
+	}
+	close(block)
+	em.Close()
+	if got := em.Stats(); got.Delivered+got.DroppedQ != got.Enqueued {
+		t.Fatalf("accounting leak: %+v", got)
+	}
+}
+
+// blockingIngestor wedges every Ingest until released.
+type blockingIngestor struct {
+	release <-chan struct{}
+	mu      sync.Mutex
+	n       int
+}
+
+func (b *blockingIngestor) Ingest(events []Event) (IngestReceipt, error) {
+	<-b.release
+	b.mu.Lock()
+	b.n += len(events)
+	b.mu.Unlock()
+	return IngestReceipt{Accepted: len(events)}, nil
+}
+
+// TestEmitterIntoStore is the end-to-end pair: emitter → real store, with
+// duplicate re-sends on the wire handled by the store's dedup.
+func TestEmitterIntoStore(t *testing.T) {
+	s := openStore(t, t.TempDir(), Config{})
+	defer s.Close()
+	em, err := NewEmitter(s, EmitterConfig{Source: "fleet-7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		em.Emit(Event{At: time.Duration(i) * time.Second, Metric: "pageload_s", Value: 1.5})
+	}
+	em.Close()
+	res, err := s.Run(Query{Metric: "pageload_s", Quantiles: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 50 {
+		t.Fatalf("store holds %d events, want 50", res.Count)
+	}
+	if st := em.Stats(); st.Delivered != 50 {
+		t.Fatalf("emitter stats = %+v", st)
+	}
+}

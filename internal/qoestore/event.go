@@ -1,0 +1,150 @@
+// Package qoestore is the streaming QoE analytics service behind ROADMAP
+// item 2: an append-only, WAL-backed ingest path fed live by running
+// fleets, time-windowed keyed aggregation (fixed-bin log-scale histograms
+// for p50/p95/p99 pageload, rebuffer ratio, RRC energy per
+// cell/workload/cohort), and an HTTP/JSON query API.
+//
+// Robustness is the design driver at every layer:
+//
+//   - Crash safety. Every ingest batch is CRC-framed into a segmented WAL
+//     and fsynced before it is acknowledged; recovery truncates a torn
+//     tail and replays idempotently (per-source sequence numbers dedup
+//     re-sent batches), so acked events survive a hard kill exactly once.
+//   - Backpressure, not collapse. The ingest queue is bounded; a full
+//     queue rejects with ErrBackpressure (HTTP 429) instead of buffering
+//     without bound, and emitters retry with capped exponential backoff
+//     plus jitter, accounting explicitly for what they drop.
+//   - Graceful degradation. Past a queue-fill watermark the store sheds
+//     load predictably — sampled ingest and coarser histogram bins — and
+//     every drop/shed/eviction is counted in the obs metrics registry,
+//     so overload is visible, bounded, and reversible.
+package qoestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is one QoE measurement from a fleet UE (or any other emitter).
+// Source+Seq give at-least-once delivery exactly-once application: a
+// source's sequence numbers are strictly increasing, so replayed or
+// re-sent events are deduplicated by comparing against the highest
+// sequence already applied for that source.
+type Event struct {
+	// Source identifies the emitting stream (e.g. "qoefleet-417/ue3").
+	// Sequence numbers are scoped to it.
+	Source string `json:"source"`
+	// Seq is the per-source sequence number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// At is the event's virtual timestamp within its run (event time, not
+	// arrival time); windows are keyed by it.
+	At time.Duration `json:"at_ns"`
+
+	// Cell, Workload, and Cohort are the aggregation dimensions.
+	Cell     string `json:"cell,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Cohort   string `json:"cohort,omitempty"`
+
+	// Metric names the measurement ("pageload_s", "rebuffer_ratio", ...);
+	// Value is its magnitude.
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+// Key is the aggregation identity of an event: one histogram exists per
+// (cell, workload, cohort, metric) per time window.
+type Key struct {
+	Cell, Workload, Cohort, Metric string
+}
+
+// key extracts the event's aggregation key.
+func (e *Event) key() Key {
+	return Key{Cell: e.Cell, Workload: e.Workload, Cohort: e.Cohort, Metric: e.Metric}
+}
+
+// validate rejects events that cannot be applied.
+func (e *Event) validate() error {
+	if e.Source == "" {
+		return fmt.Errorf("qoestore: event has empty source")
+	}
+	if e.Seq == 0 {
+		return fmt.Errorf("qoestore: event from %q has zero sequence number", e.Source)
+	}
+	if e.Metric == "" {
+		return fmt.Errorf("qoestore: event %s/%d has empty metric", e.Source, e.Seq)
+	}
+	if e.At < 0 {
+		return fmt.Errorf("qoestore: event %s/%d has negative timestamp", e.Source, e.Seq)
+	}
+	if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+		return fmt.Errorf("qoestore: event %s/%d has non-finite value", e.Source, e.Seq)
+	}
+	return nil
+}
+
+// appendString writes a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encode appends the event's compact binary form (the WAL payload).
+func (e *Event) encode(b []byte) []byte {
+	b = appendString(b, e.Source)
+	b = binary.AppendUvarint(b, e.Seq)
+	b = binary.AppendVarint(b, int64(e.At))
+	b = appendString(b, e.Cell)
+	b = appendString(b, e.Workload)
+	b = appendString(b, e.Cohort)
+	b = appendString(b, e.Metric)
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Value))
+}
+
+// decodeString reads a uvarint-length-prefixed string.
+func decodeString(b []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > uint64(len(b)-w) {
+		return "", nil, fmt.Errorf("qoestore: truncated string field")
+	}
+	return string(b[w : w+int(n)]), b[w+int(n):], nil
+}
+
+// decodeEvent parses one binary-encoded event, requiring the payload to be
+// consumed exactly (a trailing-garbage guard on top of the frame CRC).
+func decodeEvent(b []byte) (Event, error) {
+	var e Event
+	var err error
+	if e.Source, b, err = decodeString(b); err != nil {
+		return e, err
+	}
+	var w int
+	if e.Seq, w = binary.Uvarint(b); w <= 0 {
+		return e, fmt.Errorf("qoestore: truncated seq")
+	}
+	b = b[w:]
+	var at int64
+	if at, w = binary.Varint(b); w <= 0 {
+		return e, fmt.Errorf("qoestore: truncated timestamp")
+	}
+	e.At = time.Duration(at)
+	b = b[w:]
+	if e.Cell, b, err = decodeString(b); err != nil {
+		return e, err
+	}
+	if e.Workload, b, err = decodeString(b); err != nil {
+		return e, err
+	}
+	if e.Cohort, b, err = decodeString(b); err != nil {
+		return e, err
+	}
+	if e.Metric, b, err = decodeString(b); err != nil {
+		return e, err
+	}
+	if len(b) != 8 {
+		return e, fmt.Errorf("qoestore: bad value field length %d", len(b))
+	}
+	e.Value = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	return e, nil
+}

@@ -1,0 +1,141 @@
+package qoestore
+
+import "math"
+
+// The histogram grid is log-scale and scheme-fixed: every histogram, fine
+// or coarse, buckets values over [histMin, histMax) with bin edges at
+// histMin * growth^i. Fixing the grid (rather than per-histogram bounds)
+// makes coarsening a pure fold — a coarse bin covers an aligned group of
+// fine bins — so histograms written under different overload modes merge
+// without resampling error beyond bin width.
+const (
+	histMin = 1e-4 // 0.1 ms / 0.0001 of a ratio: everything below lands in bin 0
+	histMax = 1e5  // everything at or above lands in the last bin
+
+	// FineBins is the normal-mode resolution: ~±17% relative error per bin
+	// over nine decades. CoarseFold is the degraded-mode fold factor:
+	// coarse histograms carry FineBins/CoarseFold bins (~±91% per bin),
+	// one quarter of the memory and merge cost.
+	FineBins   = 64
+	CoarseFold = 4
+)
+
+// decades spanned by the grid, used to derive the per-bin growth factor.
+var histDecades = math.Log10(histMax / histMin)
+
+// hist is a fixed-bin log-scale histogram on the shared grid. fold is 1
+// for fine histograms and CoarseFold for coarse ones; counts has
+// FineBins/fold entries.
+type hist struct {
+	counts []uint64
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+	fold   int
+}
+
+func newHist(fold int) *hist {
+	if fold < 1 {
+		fold = 1
+	}
+	return &hist{counts: make([]uint64, FineBins/fold), fold: fold, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// binOf maps a value to a fine-grid bin index.
+func binOf(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	i := int(math.Log10(v/histMin) / histDecades * FineBins)
+	if i >= FineBins {
+		return FineBins - 1
+	}
+	return i
+}
+
+// binMid returns the geometric midpoint of fine-grid bins [lo, hi] — the
+// representative value reported for quantiles landing in that range.
+func binMid(lo, hi int) float64 {
+	edge := func(i int) float64 { return histMin * math.Pow(10, histDecades*float64(i)/FineBins) }
+	return math.Sqrt(edge(lo) * edge(hi+1))
+}
+
+// observe records one value (weight w, for replaying merged bins).
+func (h *hist) observe(v float64, w uint64) {
+	if w == 0 {
+		return
+	}
+	h.counts[binOf(v)/h.fold] += w
+	h.n += w
+	h.sum += v * float64(w)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// mergeInto folds this histogram into dst. dst's fold must be >= h's fold
+// (you can only lose resolution); binAt verifies grid alignment.
+func (h *hist) mergeInto(dst *hist) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		fine := i * h.fold // first fine bin covered by source bin i
+		dst.counts[fine/dst.fold] += c
+	}
+	dst.n += h.n
+	dst.sum += h.sum
+	if h.min < dst.min {
+		dst.min = h.min
+	}
+	if h.max > dst.max {
+		dst.max = h.max
+	}
+}
+
+// quantile returns the value at rank q in [0,1]: the geometric midpoint of
+// the bin where the cumulative count crosses q*n, clamped to the observed
+// min/max so degenerate single-value histograms answer exactly.
+func (h *hist) quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := binMid(i*h.fold, (i+1)*h.fold-1)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// mean returns the exact running mean (the sum is tracked outside the
+// bins, so it has no quantization error).
+func (h *hist) mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}

@@ -1,0 +1,93 @@
+package qoestore
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinOfMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []float64{0, 1e-9, 1e-4, 1e-3, 0.05, 1, 30, 1e4, 1e5, 1e9} {
+		b := binOf(v)
+		if b < 0 || b >= FineBins {
+			t.Fatalf("binOf(%v) = %d out of range", v, b)
+		}
+		if b < prev {
+			t.Fatalf("binOf not monotone at %v: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHistQuantileRelativeError(t *testing.T) {
+	h := newHist(1)
+	// Log-uniform values over three decades.
+	n := 3000
+	for i := 0; i < n; i++ {
+		v := 0.01 * math.Pow(10, 3*float64(i)/float64(n))
+		h.observe(v, 1)
+	}
+	if h.n != uint64(n) {
+		t.Fatalf("n = %d", h.n)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := 0.01 * math.Pow(10, 3*q)
+		got := h.quantile(q)
+		// Fine bins are 10^(9/64) ≈ 1.38 wide; the geometric-midpoint
+		// answer is within one bin of exact.
+		if got < exact/1.4 || got > exact*1.4 {
+			t.Fatalf("q%v = %v, want within a bin of %v", q, got, exact)
+		}
+	}
+	if h.quantile(0) < h.min || h.quantile(1) > h.max {
+		t.Fatal("quantile escaped observed [min, max]")
+	}
+}
+
+func TestHistMeanExact(t *testing.T) {
+	h := newHist(CoarseFold)
+	sum := 0.0
+	for i := 1; i <= 10; i++ {
+		h.observe(float64(i), 1)
+		sum += float64(i)
+	}
+	if got := h.mean(); math.Abs(got-sum/10) > 1e-12 {
+		t.Fatalf("mean = %v, want %v (tracked outside the bins)", got, sum/10)
+	}
+}
+
+// TestHistFineCoarseMergeAligned is the degradation invariant: folding a
+// fine histogram into the coarse grid gives bin-for-bin the same result as
+// having observed the values coarse in the first place.
+func TestHistFineCoarseMergeAligned(t *testing.T) {
+	fine := newHist(1)
+	direct := newHist(CoarseFold)
+	for i := 0; i < 500; i++ {
+		v := 0.001 * math.Pow(10, 6*float64(i)/500)
+		fine.observe(v, 1)
+		direct.observe(v, 1)
+	}
+	merged := newHist(CoarseFold)
+	fine.mergeInto(merged)
+	if merged.n != direct.n || merged.sum != direct.sum {
+		t.Fatalf("merged n/sum = %d/%v, direct = %d/%v", merged.n, merged.sum, direct.n, direct.sum)
+	}
+	for i := range merged.counts {
+		if merged.counts[i] != direct.counts[i] {
+			t.Fatalf("coarse bin %d: merged %d, direct %d — fold misaligned", i, merged.counts[i], direct.counts[i])
+		}
+	}
+}
+
+func TestHistEmptyAndSingleValue(t *testing.T) {
+	h := newHist(1)
+	if h.quantile(0.5) != 0 || h.mean() != 0 {
+		t.Fatal("empty histogram must answer zero")
+	}
+	h.observe(42, 1)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.quantile(q); got != 42 {
+			t.Fatalf("single-value q%v = %v, want exactly 42 (min/max clamp)", q, got)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package qoestore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ServerConfig tunes the HTTP front end.
+type ServerConfig struct {
+	// MaxConcurrentQueries bounds in-flight /query requests; excess load
+	// is shed with 503 instead of piling onto the store lock (default 16).
+	MaxConcurrentQueries int
+	// QueryTimeout bounds one query's wall time (default 2s).
+	QueryTimeout time.Duration
+	// Metrics receives the server's shed/timeout counters and is served
+	// at /metricz (falls back to the store's registry view when nil).
+	Metrics *obs.Registry
+}
+
+// Server is the HTTP/JSON API over a Store:
+//
+//	POST /ingest      {"events":[...]}            → IngestReceipt | 429
+//	GET  /query?metric=...&cell=...&q=0.5,0.99    → QueryResult   | 503
+//	GET  /healthz                                 → 200 (process liveness)
+//	GET  /readyz                                  → 200 after recovery, 503 when closed/overloaded
+//	GET  /statz                                   → recovery + robustness counters
+//	GET  /metricz                                 → obs registry snapshot (NDJSON)
+type Server struct {
+	store *Store
+	cfg   ServerConfig
+	mux   *http.ServeMux
+	sem   chan struct{}
+
+	cShed       atomic.Uint64 // queries shed by the concurrency guard
+	cTimeout    atomic.Uint64 // queries that hit the timeout
+	cQueries    atomic.Uint64
+	cIngests    atomic.Uint64
+	cRetryAfter atomic.Uint64 // 429 responses issued
+}
+
+// NewServer wraps store with the HTTP API.
+func NewServer(store *Store, cfg ServerConfig) *Server {
+	if cfg.MaxConcurrentQueries <= 0 {
+		cfg.MaxConcurrentQueries = 16
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 2 * time.Second
+	}
+	s := &Server{store: store, cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrentQueries)}
+	if m := cfg.Metrics; m != nil {
+		m.CounterFunc("qoeserve_queries", s.cQueries.Load)
+		m.CounterFunc("qoeserve_queries_shed", s.cShed.Load)
+		m.CounterFunc("qoeserve_queries_timeout", s.cTimeout.Load)
+		m.CounterFunc("qoeserve_ingest_requests", s.cIngests.Load)
+		m.CounterFunc("qoeserve_backpressure_429", s.cRetryAfter.Load)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { writeJSON(w, 200, map[string]string{"status": "ok"}) })
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /statz", s.handleStats)
+	mux.HandleFunc("GET /metricz", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ingestBody is the /ingest request payload.
+type ingestBody struct {
+	Events []Event `json:"events"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.cIngests.Add(1)
+	var body ingestBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad ingest body: %w", err))
+		return
+	}
+	if len(body.Events) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("ingest body has no events"))
+		return
+	}
+	rec, err := s.store.Ingest(body.Events)
+	switch {
+	case errors.Is(err, ErrBackpressure):
+		s.cRetryAfter.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, rec)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.cQueries.Add(1)
+	// Load-shedding guard: queries must stay cheap while ingest is hot,
+	// so excess concurrency is refused immediately rather than queued.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.cShed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, errors.New("query load shed, retry"))
+		return
+	}
+
+	q, err := parseQuery(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	type out struct {
+		res QueryResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := s.store.Run(q)
+		done <- out{res, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			writeErr(w, http.StatusBadRequest, o.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, o.res)
+	case <-time.After(s.cfg.QueryTimeout):
+		s.cTimeout.Add(1)
+		writeErr(w, http.StatusGatewayTimeout, errors.New("query timed out"))
+	case <-r.Context().Done():
+		writeErr(w, http.StatusServiceUnavailable, r.Context().Err())
+	}
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	// Open returns only after recovery, so an existing store is ready
+	// unless it has been closed or its WAL is failing.
+	st := s.store.Stats()
+	if s.store.closedNow() {
+		writeErr(w, http.StatusServiceUnavailable, ErrClosed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ready",
+		"degraded":   s.store.Degraded(),
+		"wal_errors": st.WALErrors,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recovery": s.store.Recovery(),
+		"store":    s.store.Stats(),
+		"server": map[string]uint64{
+			"queries":          s.cQueries.Load(),
+			"queries_shed":     s.cShed.Load(),
+			"queries_timeout":  s.cTimeout.Load(),
+			"ingest_requests":  s.cIngests.Load(),
+			"backpressure_429": s.cRetryAfter.Load(),
+		},
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.cfg.Metrics
+	if m == nil {
+		m = s.store.cfg.Metrics
+	}
+	if m == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no metrics registry attached"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = m.Snapshot().WriteNDJSON(w)
+}
+
+// closedNow reports the intake state for readiness.
+func (s *Store) closedNow() bool {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	return s.closed
+}
+
+// parseQuery maps URL parameters onto a Query.
+func parseQuery(r *http.Request) (Query, error) {
+	v := r.URL.Query()
+	q := Query{
+		Metric:   v.Get("metric"),
+		Cell:     v.Get("cell"),
+		Workload: v.Get("workload"),
+		Cohort:   v.Get("cohort"),
+	}
+	if q.Metric == "" {
+		return q, errors.New("missing ?metric=")
+	}
+	parseDur := func(name string) (time.Duration, error) {
+		raw := v.Get(name)
+		if raw == "" {
+			return 0, nil
+		}
+		if ns, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			return time.Duration(ns), nil
+		}
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s %q (want ns or a duration like 5m)", name, raw)
+		}
+		return d, nil
+	}
+	var err error
+	if q.From, err = parseDur("from"); err != nil {
+		return q, err
+	}
+	if q.To, err = parseDur("to"); err != nil {
+		return q, err
+	}
+	if raw := v.Get("q"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || f < 0 || f > 1 {
+				return q, fmt.Errorf("bad quantile %q (want 0..1)", part)
+			}
+			q.Quantiles = append(q.Quantiles, f)
+		}
+	} else {
+		q.Quantiles = []float64{0.5, 0.95, 0.99}
+	}
+	return q, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,264 @@
+package qoestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T, cfg Config, scfg ServerConfig) (*Store, *httptest.Server) {
+	t.Helper()
+	s, ts, _ := newTestServerAPI(t, cfg, scfg)
+	return s, ts
+}
+
+func newTestServerAPI(t *testing.T, cfg Config, scfg ServerConfig) (*Store, *httptest.Server, *Server) {
+	t.Helper()
+	s := openStore(t, t.TempDir(), cfg)
+	t.Cleanup(func() { s.Close() })
+	api := NewServer(s, scfg)
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, api
+}
+
+func postIngest(t *testing.T, url string, events []Event) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(ingestBody{Events: events})
+	resp, err := http.Post(url+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerIngestQueryRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, ServerConfig{})
+
+	var events []Event
+	for i := 1; i <= 20; i++ {
+		events = append(events, ev("web", uint64(i), time.Duration(i)*time.Second, "pageload_s", 2.0))
+	}
+	resp := postIngest(t, ts.URL, events)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	var rec IngestReceipt
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Accepted != 20 {
+		t.Fatalf("receipt = %+v", rec)
+	}
+
+	qr, err := http.Get(ts.URL + "/query?metric=pageload_s&cell=c0&q=0.5,0.95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qr.Body.Close()
+	if qr.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", qr.StatusCode)
+	}
+	var res QueryResult
+	if err := json.NewDecoder(qr.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 20 || len(res.Quantiles) != 2 {
+		t.Fatalf("query result = %+v", res)
+	}
+	if res.Quantiles[0].V != 2 {
+		t.Fatalf("p50 = %v, want exactly 2 (single-value clamp)", res.Quantiles[0].V)
+	}
+}
+
+func TestServerIngestErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, ServerConfig{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{"events": [`, http.StatusBadRequest},
+		{"no events", `{"events": []}`, http.StatusBadRequest},
+		{"invalid event", `{"events": [{"source":"s","seq":0,"metric":"m"}]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Fatalf("%s: status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+	// GET on a POST-only route.
+	resp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServerBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 2}, ServerConfig{})
+
+	// Wedge the writer and fill the queue; the next HTTP ingest must get
+	// 429 with a Retry-After hint.
+	s.mu.Lock()
+	seq := uint64(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(s.reqs) < cap(s.reqs) && time.Now().Before(deadline) {
+		seq++
+		go s.Ingest([]Event{ev("fill", seq, 0, "m", 1)}) //nolint:errcheck
+		time.Sleep(time.Millisecond)
+	}
+	if len(s.reqs) < cap(s.reqs) {
+		s.mu.Unlock()
+		t.Fatal("queue never filled")
+	}
+	resp := postIngest(t, ts.URL, []Event{ev("probe", 1, 0, "m", 1)})
+	s.mu.Unlock()
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestServerQueryErrorsAndDefaults(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, ServerConfig{})
+	for path, want := range map[string]int{
+		"/query":                            http.StatusBadRequest, // no metric
+		"/query?metric=m&q=1.5":             http.StatusBadRequest, // quantile > 1
+		"/query?metric=m&q=abc":             http.StatusBadRequest,
+		"/query?metric=m&from=notaduration": http.StatusBadRequest,
+		"/query?metric=m&from=5m&to=10m":    http.StatusOK,
+		"/query?metric=m":                   http.StatusOK, // default quantiles
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: status = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestServerQueryLoadShed wedges the store lock with one in-flight query;
+// with a concurrency bound of 1, a second query must be shed with 503
+// instead of queueing behind it.
+func TestServerQueryLoadShed(t *testing.T) {
+	s, ts, api := newTestServerAPI(t, Config{}, ServerConfig{MaxConcurrentQueries: 1, QueryTimeout: 30 * time.Second})
+
+	s.mu.Lock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/query?metric=m")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the first query holds the semaphore (blocked on s.mu).
+	deadline := time.Now().Add(10 * time.Second)
+	for len(api.sem) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/query?metric=m")
+	if err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	code := resp.StatusCode
+	resp.Body.Close()
+	s.mu.Unlock()
+	wg.Wait()
+
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("second query = %d, want 503 shed", code)
+	}
+}
+
+// TestServerQueryTimeout wedges the store lock so the query cannot finish;
+// the handler must give up at its deadline with 504.
+func TestServerQueryTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{}, ServerConfig{QueryTimeout: 30 * time.Millisecond})
+	s.mu.Lock()
+	resp, err := http.Get(ts.URL + "/query?metric=m")
+	if err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	code := resp.StatusCode
+	resp.Body.Close()
+	s.mu.Unlock()
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("wedged query = %d, want 504", code)
+	}
+}
+
+func TestServerHealthReadyStatsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Config{Metrics: reg}, ServerConfig{Metrics: reg})
+
+	for _, path := range []string{"/healthz", "/readyz", "/statz", "/metricz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// After close, liveness stays 200 but readiness flips to 503.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := http.Get(ts.URL + "/healthz")
+	h.Body.Close()
+	r, _ := http.Get(ts.URL + "/readyz")
+	r.Body.Close()
+	if h.StatusCode != http.StatusOK || r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("after close: healthz=%d readyz=%d, want 200/503", h.StatusCode, r.StatusCode)
+	}
+}
+
+func TestServerMetricsExposesRobustnessCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{Metrics: reg}, ServerConfig{Metrics: reg})
+
+	resp := postIngest(t, ts.URL, []Event{ev("s", 1, 0, "m", 1)})
+	resp.Body.Close()
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"qoestore_events_acked", "qoestore_events_rejected", "qoestore_events_shed",
+		"qoestore_degraded_transitions", "qoeserve_ingest_requests", "qoeserve_queries_shed",
+	} {
+		if _, ok := snap.Get(name); !ok {
+			t.Fatalf("metric %s not registered", name)
+		}
+	}
+	if e, _ := snap.Get("qoestore_events_acked"); e.Value != 1 {
+		t.Fatalf("acked = %v, want 1", e.Value)
+	}
+}

@@ -1,0 +1,548 @@
+package qoestore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrBackpressure is returned by Ingest when the bounded ingest queue is
+// full: the caller should back off and retry (the HTTP layer maps it to
+// 429). Nothing from the rejected batch was accepted.
+var ErrBackpressure = errors.New("qoestore: ingest queue full, back off and retry")
+
+// ErrClosed is returned by Ingest after Close (or a chaos kill). Queries
+// keep answering from the frozen in-memory state.
+var ErrClosed = errors.New("qoestore: store is closed")
+
+// Config tunes a Store. The zero value of every field selects a sensible
+// default.
+type Config struct {
+	// Window is the event-time width of one aggregation window (default
+	// 1 minute of virtual time).
+	Window time.Duration
+	// Retain bounds how many windows are kept (default 240). Older
+	// windows are evicted oldest-first — this, plus the bounded queue, is
+	// the store's memory ceiling under overload.
+	Retain int
+	// QueueDepth bounds the ingest queue in batches (default 256). A full
+	// queue rejects with ErrBackpressure.
+	QueueDepth int
+	// DegradeHigh and DegradeLow are load watermarks with hysteresis,
+	// measured as (commit group + queued batches) / QueueDepth: at or
+	// above High the store enters degraded mode (sampled ingest, coarse
+	// bins for new histograms); at or below Low it returns to normal.
+	// Defaults 0.75 / 0.25.
+	DegradeHigh, DegradeLow float64
+	// SampleK is the degraded-mode sampling rate: 1 of every K events is
+	// kept (default 4). Sampling happens before the WAL, so shed events
+	// are never acknowledged as durable — the receipt reports them.
+	SampleK int
+	// MaxSegmentBytes rotates WAL segments (default 4 MiB).
+	MaxSegmentBytes int64
+	// NoSync skips the per-batch fsync (benchmarks; forfeits crash
+	// safety, which is the point of having a flag to measure it).
+	NoSync bool
+	// Metrics receives the store's drop/shed/recovery counters and
+	// queue-depth gauges. Nil detaches them for free (obs nil-safety).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.Retain <= 0 {
+		c.Retain = 240
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DegradeHigh <= 0 || c.DegradeHigh > 1 {
+		c.DegradeHigh = 0.75
+	}
+	if c.DegradeLow <= 0 || c.DegradeLow >= c.DegradeHigh {
+		c.DegradeLow = c.DegradeHigh / 3
+	}
+	if c.SampleK <= 1 {
+		c.SampleK = 4
+	}
+	return c
+}
+
+// ingestAck is the writer's per-batch receipt.
+type ingestAck struct {
+	err  error
+	dups int // events skipped as duplicates (already applied)
+	shed int // events shed by degraded-mode sampling (not durable)
+}
+
+type ingestReq struct {
+	events []Event
+	done   chan ingestAck
+}
+
+// StoreStats are the store's cumulative robustness counters, also
+// published through the obs registry as qoestore_* metrics.
+type StoreStats struct {
+	Acked     uint64 `json:"acked"`    // events durably applied
+	Dups      uint64 `json:"dups"`     // events deduplicated (live or replay)
+	Rejected  uint64 `json:"rejected"` // events rejected with backpressure
+	Shed      uint64 `json:"shed"`     // events sampled out under overload
+	Evicted   uint64 `json:"evicted"`  // windows evicted by retention
+	Degraded  uint64 `json:"degraded"` // transitions into degraded mode
+	WALErrors uint64 `json:"wal_errors"`
+}
+
+// Store is the WAL-backed windowed aggregation engine. Ingest may be
+// called from any goroutine; a single writer goroutine owns the WAL and
+// serializes application, and queries take a short lock over the window
+// index.
+type Store struct {
+	cfg      Config
+	recovery RecoveryStats
+
+	// qmu serializes enqueue against Close so a send never races the
+	// channel close; closed is checked under its read lock.
+	qmu    sync.RWMutex
+	reqs   chan *ingestReq
+	closed bool
+	killed atomic.Bool
+	wg     sync.WaitGroup
+
+	wal *wal // owned by the writer goroutine until it exits
+
+	// mu guards the aggregation state below (writer applies, queries read).
+	mu       sync.Mutex
+	windows  map[int64]*window
+	winOrder []int64 // ascending window indexes, for range scans + eviction
+	lastSeq  map[string]uint64
+	degraded bool
+	sampleN  uint64
+
+	cAcked, cDup, cRejected, cShed  atomic.Uint64
+	cEvicted, cDegraded, cWALErrors atomic.Uint64
+}
+
+// window is one event-time window's keyed histograms.
+type window struct {
+	hists map[Key]*hist
+}
+
+// Open recovers the WAL in dir (truncating a torn tail, replaying all
+// acked events idempotently) and starts the ingest writer. The returned
+// store is ready: recovery completes before Open returns.
+func Open(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:     cfg,
+		reqs:    make(chan *ingestReq, cfg.QueueDepth),
+		windows: make(map[int64]*window),
+		lastSeq: make(map[string]uint64),
+	}
+
+	w, st, err := openWAL(dir, cfg.MaxSegmentBytes, cfg.NoSync, func(ev Event) {
+		// Recovery runs before the writer starts; apply without the lock
+		// contention-free. Dedup here is what makes replay idempotent
+		// when retried batches were logged twice.
+		if s.apply(ev, false) {
+			st := &s.recovery
+			st.Applied++
+		} else {
+			s.recovery.Dups++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	st.Applied, st.Dups = s.recovery.Applied, s.recovery.Dups
+	s.recovery = *st
+	s.cDup.Add(uint64(st.Dups))
+
+	if m := cfg.Metrics; m != nil {
+		m.CounterFunc("qoestore_events_acked", s.cAcked.Load)
+		m.CounterFunc("qoestore_events_dup", s.cDup.Load)
+		m.CounterFunc("qoestore_events_rejected", s.cRejected.Load)
+		m.CounterFunc("qoestore_events_shed", s.cShed.Load)
+		m.CounterFunc("qoestore_windows_evicted", s.cEvicted.Load)
+		m.CounterFunc("qoestore_degraded_transitions", s.cDegraded.Load)
+		m.CounterFunc("qoestore_wal_errors", s.cWALErrors.Load)
+		m.CounterFunc("qoestore_recovered_records", func() uint64 { return uint64(s.recovery.Records) })
+		m.GaugeFunc("qoestore_ingest_queue", func() float64 { return float64(len(s.reqs)) })
+		m.GaugeFunc("qoestore_windows", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.windows))
+		})
+		m.GaugeFunc("qoestore_degraded", func() float64 {
+			if s.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	}
+
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// Recovery returns what opening the WAL found and repaired.
+func (s *Store) Recovery() RecoveryStats { return s.recovery }
+
+// Stats returns the cumulative robustness counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Acked:     s.cAcked.Load(),
+		Dups:      s.cDup.Load(),
+		Rejected:  s.cRejected.Load(),
+		Shed:      s.cShed.Load(),
+		Evicted:   s.cEvicted.Load(),
+		Degraded:  s.cDegraded.Load(),
+		WALErrors: s.cWALErrors.Load(),
+	}
+}
+
+// IngestReceipt acknowledges a durable batch.
+type IngestReceipt struct {
+	Accepted int `json:"accepted"` // newly applied and durable
+	Dups     int `json:"dups"`     // deduplicated (seen before; still durable)
+	Shed     int `json:"shed"`     // sampled out under overload (not durable)
+}
+
+// Ingest submits a batch. It returns only after the batch is durable
+// (WAL-appended and fsynced) and applied — or immediately with
+// ErrBackpressure when the bounded queue is full, in which case nothing
+// was accepted. The receipt reports how many events were deduplicated or
+// shed by degraded-mode sampling, so emitters can account for loss.
+func (s *Store) Ingest(events []Event) (IngestReceipt, error) {
+	for i := range events {
+		if err := events[i].validate(); err != nil {
+			return IngestReceipt{}, err
+		}
+	}
+	req := &ingestReq{events: events, done: make(chan ingestAck, 1)}
+
+	s.qmu.RLock()
+	if s.closed {
+		s.qmu.RUnlock()
+		return IngestReceipt{}, ErrClosed
+	}
+	select {
+	case s.reqs <- req:
+		s.qmu.RUnlock()
+	default:
+		s.qmu.RUnlock()
+		s.cRejected.Add(uint64(len(events)))
+		return IngestReceipt{}, ErrBackpressure
+	}
+
+	ack := <-req.done
+	if ack.err != nil {
+		return IngestReceipt{}, ack.err
+	}
+	return IngestReceipt{Accepted: len(events) - ack.dups - ack.shed, Dups: ack.dups, Shed: ack.shed}, nil
+}
+
+// writer is the single goroutine owning the WAL: it drains the queue in
+// group-commit batches (one fsync covers every request in the group),
+// applies events, and acks.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for req := range s.reqs {
+		batch := []*ingestReq{req}
+	drain:
+		for len(batch) < 64 {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		if s.killed.Load() {
+			// Simulated hard kill: queued work is abandoned un-acked,
+			// exactly as a SIGKILL would leave callers hanging.
+			s.fail(batch, ErrClosed)
+			continue
+		}
+		// Instantaneous load: the group in hand plus what queued behind it,
+		// over the queue's capacity. Including the group means a backlog
+		// being drained still reads as load even at the moment the channel
+		// itself is briefly empty.
+		load := float64(len(batch)+len(s.reqs)) / float64(cap(s.reqs))
+		s.commit(batch, load)
+	}
+}
+
+// commit makes one group durable and applies it.
+func (s *Store) commit(batch []*ingestReq, load float64) {
+	s.mu.Lock()
+	s.updateMode(load)
+	degraded := s.degraded
+	sampleK := uint64(s.cfg.SampleK)
+
+	// Degraded-mode sampling happens before the WAL: shed events are
+	// neither durable nor acknowledged as applied, and the receipt says
+	// so — bounded, explicit loss instead of an unbounded queue.
+	acks := make([]ingestAck, len(batch))
+	var toLog []Event
+	for bi, req := range batch {
+		for _, ev := range req.events {
+			if degraded {
+				s.sampleN++
+				if s.sampleN%sampleK != 0 {
+					acks[bi].shed++
+					s.cShed.Add(1)
+					continue
+				}
+			}
+			toLog = append(toLog, ev)
+		}
+	}
+	s.mu.Unlock()
+
+	if err := s.wal.append(toLog); err != nil {
+		s.cWALErrors.Add(1)
+		s.fail(batch, fmt.Errorf("qoestore: wal append: %w", err))
+		return
+	}
+
+	s.mu.Lock()
+	li := 0
+	for bi, req := range batch {
+		kept := len(req.events) - acks[bi].shed
+		for ; kept > 0; kept-- {
+			if s.apply(toLog[li], degraded) {
+				s.cAcked.Add(1)
+			} else {
+				acks[bi].dups++
+				s.cDup.Add(1)
+			}
+			li++
+		}
+	}
+	s.mu.Unlock()
+	for bi, req := range batch {
+		req.done <- acks[bi]
+	}
+}
+
+// fail acks every request in the group with err.
+func (s *Store) fail(batch []*ingestReq, err error) {
+	for _, req := range batch {
+		req.done <- ingestAck{err: err}
+	}
+}
+
+// updateMode flips degraded mode on load watermarks with hysteresis.
+// Caller holds mu.
+func (s *Store) updateMode(fill float64) {
+	switch {
+	case !s.degraded && fill >= s.cfg.DegradeHigh:
+		s.degraded = true
+		s.cDegraded.Add(1)
+	case s.degraded && fill <= s.cfg.DegradeLow:
+		s.degraded = false
+	}
+}
+
+// apply merges one event into its window histogram, returning false for
+// duplicates. Caller holds mu (or is the single-threaded recovery path).
+func (s *Store) apply(ev Event, coarse bool) bool {
+	if last, ok := s.lastSeq[ev.Source]; ok && ev.Seq <= last {
+		return false
+	}
+	s.lastSeq[ev.Source] = ev.Seq
+
+	idx := int64(ev.At / s.cfg.Window)
+	w := s.windows[idx]
+	if w == nil {
+		w = &window{hists: make(map[Key]*hist)}
+		s.windows[idx] = w
+		pos := sort.Search(len(s.winOrder), func(i int) bool { return s.winOrder[i] >= idx })
+		s.winOrder = append(s.winOrder, 0)
+		copy(s.winOrder[pos+1:], s.winOrder[pos:])
+		s.winOrder[pos] = idx
+		s.evictLocked()
+	}
+	h := w.hists[ev.key()]
+	if h == nil {
+		fold := 1
+		if coarse {
+			fold = CoarseFold
+		}
+		h = newHist(fold)
+		w.hists[ev.key()] = h
+	}
+	h.observe(ev.Value, 1)
+	return true
+}
+
+// evictLocked drops the oldest windows beyond the retention bound.
+func (s *Store) evictLocked() {
+	for len(s.winOrder) > s.cfg.Retain {
+		idx := s.winOrder[0]
+		s.winOrder = s.winOrder[1:]
+		delete(s.windows, idx)
+		s.cEvicted.Add(1)
+	}
+}
+
+// Query describes one aggregate lookup. Empty dimension filters match
+// everything; a zero To means "end of time".
+type Query struct {
+	Metric    string        `json:"metric"`
+	Cell      string        `json:"cell,omitempty"`
+	Workload  string        `json:"workload,omitempty"`
+	Cohort    string        `json:"cohort,omitempty"`
+	From      time.Duration `json:"from_ns,omitempty"`
+	To        time.Duration `json:"to_ns,omitempty"`
+	Quantiles []float64     `json:"quantiles,omitempty"`
+}
+
+// QueryResult is the merged aggregate over every matching histogram.
+type QueryResult struct {
+	Metric    string   `json:"metric"`
+	Count     uint64   `json:"count"`
+	Mean      float64  `json:"mean"`
+	Min       float64  `json:"min"`
+	Max       float64  `json:"max"`
+	Quantiles []QuantV `json:"quantiles,omitempty"`
+	// Windows counts the retained windows that contributed events.
+	Windows int `json:"windows"`
+	// Degraded reports that at least one contributing histogram was
+	// recorded under overload at coarse resolution, so quantiles carry
+	// wider error bars.
+	Degraded bool `json:"degraded"`
+}
+
+// QuantV is one quantile answer.
+type QuantV struct {
+	Q float64 `json:"q"`
+	V float64 `json:"v"`
+}
+
+// Run answers the query from the in-memory window index. It holds the
+// store lock for one linear scan over retained windows — the query path
+// stays cheap while ingest is hot, and the HTTP layer adds a concurrency
+// guard and timeout on top.
+func (s *Store) Run(q Query) (QueryResult, error) {
+	if q.Metric == "" {
+		return QueryResult{}, fmt.Errorf("qoestore: query needs a metric")
+	}
+	to := q.To
+	if to <= 0 {
+		to = time.Duration(1<<63 - 1)
+	}
+	merged := newHist(CoarseFold) // coarsest common resolution
+	fine := newHist(1)
+	res := QueryResult{Metric: q.Metric}
+
+	s.mu.Lock()
+	lo := int64(q.From / s.cfg.Window)
+	hi := int64(to / s.cfg.Window)
+	from := sort.Search(len(s.winOrder), func(i int) bool { return s.winOrder[i] >= lo })
+	for _, idx := range s.winOrder[from:] {
+		if idx > hi {
+			break
+		}
+		contributed := false
+		for k, h := range s.windows[idx].hists {
+			if k.Metric != q.Metric {
+				continue
+			}
+			if q.Cell != "" && k.Cell != q.Cell {
+				continue
+			}
+			if q.Workload != "" && k.Workload != q.Workload {
+				continue
+			}
+			if q.Cohort != "" && k.Cohort != q.Cohort {
+				continue
+			}
+			contributed = true
+			if h.fold > 1 {
+				res.Degraded = true
+				h.mergeInto(merged)
+			} else {
+				h.mergeInto(fine)
+			}
+		}
+		if contributed {
+			res.Windows++
+		}
+	}
+	s.mu.Unlock()
+
+	// Merge at the finest resolution the data allows: only fall to the
+	// coarse grid when degraded-mode histograms actually contributed.
+	total := fine
+	if merged.n > 0 {
+		fine.mergeInto(merged)
+		total = merged
+	}
+	res.Count = total.n
+	res.Mean = total.mean()
+	if total.n > 0 {
+		res.Min, res.Max = total.min, total.max
+	}
+	for _, quant := range q.Quantiles {
+		res.Quantiles = append(res.Quantiles, QuantV{Q: quant, V: total.quantile(quant)})
+	}
+	return res, nil
+}
+
+// Degraded reports whether the store is currently shedding load.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// shutdown closes the intake; the writer drains what remains (or abandons
+// it when killed) and the WAL is released.
+func (s *Store) shutdown() bool {
+	s.qmu.Lock()
+	if s.closed {
+		s.qmu.Unlock()
+		return false
+	}
+	s.closed = true
+	close(s.reqs)
+	s.qmu.Unlock()
+	s.wg.Wait()
+	return true
+}
+
+// Close drains queued ingests, syncs the WAL, and stops the writer.
+// Ingests submitted after Close fail with ErrClosed.
+func (s *Store) Close() error {
+	if !s.shutdown() {
+		return nil
+	}
+	return s.wal.close()
+}
+
+// kill is the chaos hook: a simulated SIGKILL. Queued-but-uncommitted
+// work is abandoned (callers get ErrClosed instead of hanging forever,
+// the one place the simulation is kinder than the real signal) and the
+// WAL file descriptor is dropped without a final sync — exactly the
+// on-disk state a hard-killed process leaves, including a torn tail if
+// one was mid-write.
+func (s *Store) kill() {
+	s.killed.Store(true)
+	if !s.shutdown() {
+		return
+	}
+	s.wal.abort()
+}

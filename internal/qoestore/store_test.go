@@ -1,0 +1,240 @@
+package qoestore
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func openStore(t *testing.T, dir string, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestStoreIngestQuery(t *testing.T) {
+	s := openStore(t, t.TempDir(), Config{Window: time.Minute})
+	defer s.Close()
+
+	var batch []Event
+	for i := 1; i <= 100; i++ {
+		batch = append(batch, ev("src", uint64(i), time.Duration(i)*time.Second, "pageload_s", float64(i)/10))
+	}
+	rec, err := s.Ingest(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Accepted != 100 || rec.Dups != 0 || rec.Shed != 0 {
+		t.Fatalf("receipt = %+v", rec)
+	}
+
+	res, err := s.Run(Query{Metric: "pageload_s", Quantiles: []float64{0.5, 0.99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 100 {
+		t.Fatalf("count = %d, want 100", res.Count)
+	}
+	if math.Abs(res.Mean-5.05) > 1e-9 {
+		t.Fatalf("mean = %v, want 5.05", res.Mean)
+	}
+	if res.Min != 0.1 || res.Max != 10 {
+		t.Fatalf("min/max = %v/%v", res.Min, res.Max)
+	}
+	// Values 0.1..10 span two decades; the fine grid's ~±17% per-bin error
+	// bounds the quantile answers.
+	for _, q := range res.Quantiles {
+		exact := float64(int(math.Ceil(q.Q*100))) / 10
+		if q.V < exact*0.8 || q.V > exact*1.25 {
+			t.Fatalf("q%v = %v, want within a bin of %v", q.Q, q.V, exact)
+		}
+	}
+	// Events 1s..100s at 1-minute windows span windows 0 and 1.
+	if res.Windows != 2 {
+		t.Fatalf("windows = %d, want 2", res.Windows)
+	}
+	if res.Degraded {
+		t.Fatal("normal-mode ingest reported degraded data")
+	}
+}
+
+func TestStoreQueryFilters(t *testing.T) {
+	s := openStore(t, t.TempDir(), Config{})
+	defer s.Close()
+
+	mk := func(seq uint64, cell, cohort string, v float64) Event {
+		return Event{Source: "s", Seq: seq, At: time.Second, Cell: cell, Workload: "browse", Cohort: cohort, Metric: "m", Value: v}
+	}
+	if _, err := s.Ingest([]Event{
+		mk(1, "rr", "premium", 1), mk(2, "rr", "edge", 2), mk(3, "pf", "premium", 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q    Query
+		want uint64
+	}{
+		{Query{Metric: "m"}, 3},
+		{Query{Metric: "m", Cell: "rr"}, 2},
+		{Query{Metric: "m", Cohort: "premium"}, 2},
+		{Query{Metric: "m", Cell: "pf", Cohort: "premium"}, 1},
+		{Query{Metric: "m", Cell: "nope"}, 0},
+		{Query{Metric: "other"}, 0},
+	}
+	for _, c := range cases {
+		res, err := s.Run(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != c.want {
+			t.Fatalf("query %+v count = %d, want %d", c.q, res.Count, c.want)
+		}
+	}
+	if _, err := s.Run(Query{}); err == nil {
+		t.Fatal("metric-less query accepted")
+	}
+}
+
+func TestStoreQueryTimeRange(t *testing.T) {
+	s := openStore(t, t.TempDir(), Config{Window: time.Minute})
+	defer s.Close()
+	var batch []Event
+	for i := 1; i <= 10; i++ {
+		batch = append(batch, ev("s", uint64(i), time.Duration(i)*time.Minute, "m", 1))
+	}
+	if _, err := s.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(Query{Metric: "m", From: 3 * time.Minute, To: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 {
+		t.Fatalf("ranged count = %d, want 3 (minutes 3,4,5)", res.Count)
+	}
+}
+
+func TestStoreDuplicateIngestDedups(t *testing.T) {
+	s := openStore(t, t.TempDir(), Config{})
+	defer s.Close()
+	batch := []Event{ev("s", 1, time.Second, "m", 1), ev("s", 2, time.Second, "m", 2)}
+	if _, err := s.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	// An emitter that never saw the first ack re-sends the whole batch.
+	rec, err := s.Ingest(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Accepted != 0 || rec.Dups != 2 {
+		t.Fatalf("duplicate receipt = %+v, want all dups", rec)
+	}
+	res, _ := s.Run(Query{Metric: "m"})
+	if res.Count != 2 {
+		t.Fatalf("count after duplicate batch = %d, want 2", res.Count)
+	}
+}
+
+func TestStoreRejectsInvalidEvents(t *testing.T) {
+	s := openStore(t, t.TempDir(), Config{})
+	defer s.Close()
+	bad := []Event{
+		{Seq: 1, Metric: "m", Value: 1},                        // no source
+		{Source: "s", Metric: "m", Value: 1},                   // seq 0
+		{Source: "s", Seq: 1, Value: 1},                        // no metric
+		{Source: "s", Seq: 1, Metric: "m", At: -time.Second},   // negative time
+		{Source: "s", Seq: 1, Metric: "m", Value: math.NaN()},  // NaN
+		{Source: "s", Seq: 1, Metric: "m", Value: math.Inf(1)}, // Inf
+	}
+	for _, e := range bad {
+		if _, err := s.Ingest([]Event{e}); err == nil {
+			t.Fatalf("invalid event accepted: %+v", e)
+		}
+	}
+	if _, err := s.Run(Query{Metric: "m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRetentionBoundsMemory(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := openStore(t, t.TempDir(), Config{Window: time.Minute, Retain: 5, Metrics: reg})
+	defer s.Close()
+
+	for i := 1; i <= 50; i++ {
+		if _, err := s.Ingest([]Event{ev("s", uint64(i), time.Duration(i)*time.Minute, "m", 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	nw := len(s.windows)
+	s.mu.Unlock()
+	if nw > 5 {
+		t.Fatalf("%d windows retained, want <= 5", nw)
+	}
+	if got := s.Stats().Evicted; got != 45 {
+		t.Fatalf("evicted = %d, want 45", got)
+	}
+	// Only the newest windows answer.
+	res, _ := s.Run(Query{Metric: "m"})
+	if res.Count != 5 {
+		t.Fatalf("count = %d, want 5 retained", res.Count)
+	}
+	if e, ok := reg.Snapshot().Get("qoestore_windows_evicted"); !ok || e.Value != 45 {
+		t.Fatalf("registry eviction counter = %+v, %v", e, ok)
+	}
+}
+
+func TestStoreCloseIdempotentAndRejectsIngest(t *testing.T) {
+	s := openStore(t, t.TempDir(), Config{})
+	if _, err := s.Ingest([]Event{ev("s", 1, 0, "m", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest([]Event{ev("s", 2, 0, "m", 2)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ingest after close = %v, want ErrClosed", err)
+	}
+	// Queries still answer from the frozen state.
+	res, err := s.Run(Query{Metric: "m"})
+	if err != nil || res.Count != 1 {
+		t.Fatalf("query after close = %+v, %v", res, err)
+	}
+}
+
+func TestStoreRestartPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Config{})
+	if _, err := s.Ingest([]Event{ev("a", 1, time.Second, "m", 1), ev("b", 1, time.Second, "m", 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, Config{})
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Records != 2 || rec.Applied != 2 || rec.Dups != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	res, _ := s2.Run(Query{Metric: "m"})
+	if res.Count != 2 || res.Mean != 2 {
+		t.Fatalf("recovered query = %+v", res)
+	}
+	// Sequence state also recovered: the old events are dups now.
+	r, err := s2.Ingest([]Event{ev("a", 1, time.Second, "m", 1)})
+	if err != nil || r.Dups != 1 {
+		t.Fatalf("re-ingest after restart = %+v, %v", r, err)
+	}
+}

@@ -1,0 +1,300 @@
+package qoestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WAL framing. Each segment file starts with an 8-byte magic; each record
+// is [u32 payload length][u32 CRC-32C of payload][payload]. A record is
+// valid only if the full frame is present and the CRC matches; recovery
+// stops a segment at the first invalid frame, and for the final segment
+// truncates the file back to the last valid frame (a torn tail is the
+// expected shape of a crash mid-append).
+const (
+	walMagic      = "QOESWAL1"
+	walHeaderLen  = len(walMagic)
+	walFrameMax   = 1 << 20 // sanity bound on a single record
+	segmentPrefix = "wal-"
+	segmentSuffix = ".seg"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DefaultMaxSegmentBytes rotates segments at 4 MiB — small enough that
+// retention/archival tooling has units to work with, large enough that
+// rotation cost is noise.
+const DefaultMaxSegmentBytes = 4 << 20
+
+// wal is the segmented append-only log. Not safe for concurrent use; the
+// store's single writer goroutine owns it.
+type wal struct {
+	dir     string
+	maxSeg  int64
+	nosync  bool
+	f       *os.File
+	size    int64
+	index   int
+	scratch []byte
+}
+
+// segmentName formats the on-disk name for segment i.
+func segmentName(i int) string {
+	return fmt.Sprintf("%s%08d%s", segmentPrefix, i, segmentSuffix)
+}
+
+// segmentIndex parses a segment file name; ok is false for foreign files.
+func segmentIndex(name string) (int, bool) {
+	var i int
+	_, err := fmt.Sscanf(name, segmentPrefix+"%08d"+segmentSuffix, &i)
+	return i, err == nil
+}
+
+// listSegments returns the segment indexes present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if i, ok := segmentIndex(ent.Name()); ok {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// RecoveryStats summarizes what WAL recovery found and repaired.
+type RecoveryStats struct {
+	Segments int // segment files scanned
+	Records  int // valid records replayed
+	Applied  int // records applied (Records minus duplicates)
+	Dups     int // records skipped as already-applied duplicates
+	// TornBytes counts bytes truncated off the final segment's torn tail.
+	TornBytes int64
+	// CorruptSegments counts non-final segments whose replay stopped early
+	// at a corrupt frame (their tail records are lost but later segments
+	// still replay).
+	CorruptSegments int
+	// Invalid counts records whose frames were intact but whose payloads
+	// failed validation (skipped, not fatal).
+	Invalid int
+}
+
+// recoverSegment replays one segment file, calling apply for every valid
+// record. It returns the offset just past the last valid frame and whether
+// the segment ended cleanly (false means a torn or corrupt frame stopped
+// the scan).
+func recoverSegment(path string, apply func(Event)) (validEnd int64, clean bool, stats struct{ records, invalid int }, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, stats, err
+	}
+	if len(data) < walHeaderLen || string(data[:walHeaderLen]) != walMagic {
+		// Empty or headerless file: everything in it is torn tail.
+		return 0, len(data) == 0, stats, nil
+	}
+	off := int64(walHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return off, true, stats, nil
+		}
+		if len(rest) < 8 {
+			return off, false, stats, nil
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n == 0 || n > walFrameMax || uint64(len(rest)-8) < uint64(n) {
+			return off, false, stats, nil
+		}
+		payload := rest[8 : 8+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return off, false, stats, nil
+		}
+		ev, derr := decodeEvent(payload)
+		if derr != nil || ev.validate() != nil {
+			// The frame survived its CRC but the payload is nonsense (a
+			// foreign or future record format). Skip it rather than lose
+			// the rest of the segment.
+			stats.invalid++
+		} else {
+			stats.records++
+			apply(ev)
+		}
+		off += int64(8 + n)
+	}
+}
+
+// openWAL scans dir, replays every segment through apply, repairs the
+// final segment's torn tail, and returns a WAL positioned to append after
+// the last valid record.
+func openWAL(dir string, maxSeg int64, nosync bool, apply func(Event)) (*wal, *RecoveryStats, error) {
+	if maxSeg <= 0 {
+		maxSeg = DefaultMaxSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &RecoveryStats{Segments: len(segs)}
+	w := &wal{dir: dir, maxSeg: maxSeg, nosync: nosync}
+
+	for i, seg := range segs {
+		path := filepath.Join(dir, segmentName(seg))
+		validEnd, clean, s, err := recoverSegment(path, apply)
+		if err != nil {
+			return nil, nil, fmt.Errorf("qoestore: recovering %s: %w", path, err)
+		}
+		st.Records += s.records
+		st.Invalid += s.invalid
+		if !clean {
+			if i == len(segs)-1 {
+				// Torn tail on the final segment: the crash interrupted an
+				// append mid-frame. Truncate back to the last valid frame.
+				info, err := os.Stat(path)
+				if err != nil {
+					return nil, nil, err
+				}
+				st.TornBytes += info.Size() - validEnd
+				if err := os.Truncate(path, validEnd); err != nil {
+					return nil, nil, fmt.Errorf("qoestore: truncating torn tail of %s: %w", path, err)
+				}
+			} else {
+				// Corruption mid-way through an older segment: its tail is
+				// lost, but later segments are independent — keep going.
+				st.CorruptSegments++
+			}
+		}
+	}
+
+	// Open the final segment for appending (creating the first one on a
+	// fresh directory).
+	w.index = 1
+	if len(segs) > 0 {
+		w.index = segs[len(segs)-1]
+	}
+	if err := w.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	return w, st, nil
+}
+
+// openSegment opens (or creates) the current segment for appending.
+func (w *wal) openSegment() error {
+	path := filepath.Join(w.dir, segmentName(w.index))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.size = f, info.Size()
+	if w.size < int64(walHeaderLen) {
+		// Fresh or previously-empty segment: (re)write the header. An
+		// empty segment file left by a crash between create and header
+		// write recovers to this same path.
+		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+			f.Close()
+			return err
+		}
+		w.size = int64(walHeaderLen)
+	}
+	if _, err := f.Seek(w.size, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	return nil
+}
+
+// rotate finalizes the current segment and starts the next one.
+func (w *wal) rotate() error {
+	if err := w.sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.index++
+	return w.openSegment()
+}
+
+// append frames and writes a batch of events, then syncs once. The batch
+// is durable — and may be acknowledged — only after append returns nil.
+func (w *wal) append(events []Event) error {
+	if w.f == nil {
+		return errors.New("qoestore: wal is closed")
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	buf := w.scratch[:0]
+	for i := range events {
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+		buf = events[i].encode(buf)
+		payload := buf[start+8:]
+		binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	}
+	w.scratch = buf[:0]
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	w.size += int64(len(buf))
+	if err := w.sync(); err != nil {
+		return err
+	}
+	if w.size >= w.maxSeg {
+		return w.rotate()
+	}
+	return nil
+}
+
+// sync flushes the OS buffers unless the WAL was opened nosync (benchmarks
+// and tests that model durability elsewhere).
+func (w *wal) sync() error {
+	if w.nosync || w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// close syncs and closes the active segment.
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// abort closes the active segment file descriptor without syncing — the
+// simulated hard-kill used by chaos tests.
+func (w *wal) abort() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}

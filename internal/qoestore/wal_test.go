@@ -1,0 +1,291 @@
+package qoestore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func ev(source string, seq uint64, at time.Duration, metric string, v float64) Event {
+	return Event{Source: source, Seq: seq, At: at, Cell: "c0", Workload: "browse", Metric: metric, Value: v}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	events := []Event{
+		ev("fleet-1/ue0", 1, 90*time.Second, "pageload_s", 1.25),
+		{Source: "s", Seq: 18446744073709551615, At: 0, Metric: "m", Value: -3.5},
+		{Source: "s2", Seq: 7, At: time.Hour, Cell: "pf", Workload: "youtube", Cohort: "edge", Metric: "rebuffer_ratio", Value: 0.031},
+	}
+	for _, want := range events {
+		got, err := decodeEvent(want.encode(nil))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestEventDecodeRejectsTrailingGarbage(t *testing.T) {
+	e := ev("s", 1, 0, "m", 1)
+	if _, err := decodeEvent(append(e.encode(nil), 0xff)); err == nil {
+		t.Fatal("decode accepted trailing garbage")
+	}
+	if _, err := decodeEvent(e.encode(nil)[:3]); err == nil {
+		t.Fatal("decode accepted truncated payload")
+	}
+}
+
+// replayAll recovers the WAL in dir, collecting every replayed event.
+func replayAll(t *testing.T, dir string) ([]Event, *RecoveryStats) {
+	t.Helper()
+	var got []Event
+	w, st, err := openWAL(dir, 0, false, func(e Event) { got = append(got, e) })
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return got, st
+}
+
+func TestWALAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	w, st, err := openWAL(dir, 0, false, func(Event) { t.Fatal("fresh dir replayed an event") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 0 || st.Records != 0 {
+		t.Fatalf("fresh dir stats = %+v", st)
+	}
+	batch := []Event{ev("a", 1, time.Second, "m", 1), ev("a", 2, 2*time.Second, "m", 2)}
+	if err := w.append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, st := replayAll(t, dir)
+	if st.Records != 2 || st.TornBytes != 0 || st.CorruptSegments != 0 {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+	if len(got) != 2 || got[0] != batch[0] || got[1] != batch[1] {
+		t.Fatalf("replayed %+v, want %+v", got, batch)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir, 0, false, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append([]Event{ev("a", 1, 0, "m", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a partial frame: a plausible length header
+	// with only half the payload behind it.
+	path := filepath.Join(dir, segmentName(1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(path)
+
+	got, st := replayAll(t, dir)
+	if len(got) != 1 || st.Records != 1 {
+		t.Fatalf("replayed %d events (stats %+v), want 1", len(got), st)
+	}
+	if st.TornBytes != int64(len(torn)) {
+		t.Fatalf("TornBytes = %d, want %d", st.TornBytes, len(torn))
+	}
+	after, _ := os.Stat(path)
+	if after.Size() != before.Size()-int64(len(torn)) {
+		t.Fatalf("segment not truncated: %d -> %d", before.Size(), after.Size())
+	}
+
+	// Recovery is idempotent: a crash immediately after the repair (or
+	// during it, since truncation is the only write) recovers identically.
+	got2, st2 := replayAll(t, dir)
+	if len(got2) != 1 || st2.TornBytes != 0 {
+		t.Fatalf("second recovery: %d events, stats %+v", len(got2), st2)
+	}
+}
+
+func TestWALTornTailMidFrame(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir, 0, false, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append([]Event{ev("a", 1, 0, "m", 1), ev("a", 2, 0, "m", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	size := w.size
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file 3 bytes short: the second frame loses its CRC'd tail.
+	path := filepath.Join(dir, segmentName(1))
+	if err := os.Truncate(path, size-3); err != nil {
+		t.Fatal(err)
+	}
+	got, st := replayAll(t, dir)
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("replayed %+v, want only seq 1", got)
+	}
+	if st.TornBytes == 0 {
+		t.Fatal("expected torn bytes from the cut frame")
+	}
+}
+
+func TestWALMidSegmentCorruptionSkipsToNextSegment(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segment cap so every append rotates into a new segment.
+	w, _, err := openWAL(dir, 1, false, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := w.append([]Event{ev("a", seq, 0, "m", float64(seq))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the first segment: its record is lost, but
+	// recovery must keep replaying the later segments.
+	path := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, st := replayAll(t, dir)
+	if st.CorruptSegments != 1 {
+		t.Fatalf("CorruptSegments = %d, want 1 (stats %+v)", st.CorruptSegments, st)
+	}
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("replayed %+v, want seqs 2,3", got)
+	}
+}
+
+func TestWALEmptySegmentRecovers(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir, 0, false, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append([]Event{ev("a", 1, 0, "m", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between segment creation and header write leaves a 0-byte
+	// final segment.
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Event
+	w2, st, err := openWAL(dir, 0, false, func(e Event) { got = append(got, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || st.Segments != 2 {
+		t.Fatalf("replayed %d events over %d segments, want 1 over 2", len(got), st.Segments)
+	}
+	// The empty segment must be appendable after its header is repaired.
+	if err := w2.append([]Event{ev("a", 2, 0, "m", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.close(); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := replayAll(t, dir)
+	if len(got2) != 2 {
+		t.Fatalf("after repair+append replayed %d events, want 2", len(got2))
+	}
+}
+
+func TestWALValidFrameBadPayloadSkipped(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir, 0, false, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append([]Event{ev("a", 1, 0, "m", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft a frame whose CRC is fine but whose payload is not an
+	// event (a foreign or future record type).
+	payload := []byte("not an event")
+	var frame []byte
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	w.size += int64(len(frame))
+	if err := w.append([]Event{ev("a", 2, 0, "m", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, st := replayAll(t, dir)
+	if len(got) != 2 || st.Invalid != 1 {
+		t.Fatalf("replayed %d events, Invalid=%d; want 2 and 1", len(got), st.Invalid)
+	}
+}
+
+func TestWALSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir, 256, false, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 50; seq++ {
+		if err := w.append([]Event{ev("src", seq, time.Duration(seq)*time.Second, "m", 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) != 50 {
+		t.Fatalf("replayed %d events across segments, want 50", len(got))
+	}
+}

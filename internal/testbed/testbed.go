@@ -145,15 +145,9 @@ func fleetOptions(opts Options) []fleet.Option {
 	return fo
 }
 
-// Throttle installs carrier downlink rate limiting, possibly mid-run (the
-// §7.5 experiments flip it at a virtual instant).
-//
-// Deprecated: for build-time throttling set Options.ThrottleBps (or the
-// fleet UESpec field); this method remains for mid-run rate changes.
-func (b *Bed) Throttle(rateBps float64) { b.UE.Throttle(rateBps) }
-
 // compile-time guarantee that the embedded UE keeps satisfying the legacy
-// Bed surface.
+// Bed surface: CloseObs and mid-run Throttle promote from fleet.UE
+// (build-time throttling is declarative via Options.ThrottleBps).
 var _ interface {
 	CloseObs()
 	Throttle(float64)
