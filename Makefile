@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify chaos bench bench-analyzer bench-compare bench-fleet bench-qoestore analyzer-golden sweep sweep-golden
+.PHONY: build test test-short verify cover chaos bench bench-analyzer bench-compare bench-fleet bench-qoestore bench-qoemon bench-all analyzer-golden sweep sweep-golden
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,21 @@ verify: build
 		echo "gofmt: needs formatting:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) cover
 	$(MAKE) chaos
+
+# Coverage floor for the monitoring-critical packages: the SLO engine and
+# the durable store must each keep >= 80% statement coverage — an alert
+# pipeline nobody tests is worse than no alert pipeline.
+COVER_FLOOR ?= 80
+cover:
+	@set -e; for pkg in ./internal/qoemon/ ./internal/qoestore/; do \
+		line=$$($(GO) test -cover $$pkg | tail -1); echo "$$line"; \
+		pct=$$(echo "$$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage figure for $$pkg"; exit 1; fi; \
+		if [ "$$(awk -v p=$$pct -v f=$(COVER_FLOOR) 'BEGIN{print (p>=f)?1:0}')" != 1 ]; then \
+			echo "cover: $$pkg at $$pct% is under the $(COVER_FLOOR)% floor"; exit 1; fi; \
+	done
 
 # Crash/overload drills for the durable QoE store: simulated SIGKILLs with
 # zero acked-event loss, torn and corrupt WAL tails, slow-consumer
@@ -68,6 +82,16 @@ bench-fleet:
 # events/s or the hot p99 query exceeds 50ms.
 bench-qoestore:
 	BENCH_PR6_JSON=$(CURDIR)/BENCH_PR6.json $(GO) test -run TestWriteBenchPR6JSON -v ./internal/qoestore/
+
+# PR 7 monitoring record: one full SLO evaluation pass over 10k series keys
+# and the Prometheus text encode of a ~300-instrument registry. Writes
+# BENCH_PR7.json and fails if evaluation drops under 100k series/s or one
+# encode exceeds 10ms.
+bench-qoemon:
+	BENCH_PR7_JSON=$(CURDIR)/BENCH_PR7.json $(GO) test -run TestWriteBenchPR7JSON -v ./internal/qoemon/
+
+# Every per-PR benchmark record in one pass.
+bench-all: bench bench-analyzer bench-fleet bench-qoestore bench-qoemon
 
 # Serial-vs-parallel analyzer equivalence over the whole experiment
 # registry (the default test run covers a fast subset).

@@ -20,12 +20,27 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
+
+// newLogger builds the structured JSON logger on w, or a discard logger
+// for level "off" so call sites stay unconditional. Tables stay on stdout;
+// slog records go to stderr for machines.
+func newLogger(w io.Writer, level string) (*slog.Logger, error) {
+	if level == "off" {
+		return slog.New(slog.NewJSONHandler(io.Discard, nil)), nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lvl})), nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -53,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	seed := fs.Int64("seed", 42, "simulation seed")
 	seeds := fs.String("seeds", "", "seed grid, e.g. 42..49 or 1,5,9 (overrides -seed)")
 	parallel := fs.Int("parallel", 1, "worker count for the sweep; 0 = GOMAXPROCS")
+	logLevel := fs.String("log-level", "off", "structured JSON log level on stderr: debug|info|warn|error|off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
+	}
+	logger, err := newLogger(stderr, *logLevel)
+	if err != nil {
+		return err
 	}
 
 	grid := []int64{*seed}
@@ -88,26 +108,39 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			return fmt.Errorf("unknown experiment %q (try -list)", *runID)
 		}
 		if len(grid) == 1 && *parallel == 1 {
+			logger.Info("experiment start", "id", e.ID, "seed", grid[0])
 			fmt.Fprint(stdout, e.Run(grid[0]).Render())
+			logger.Info("experiment done", "id", e.ID, "seed", grid[0])
 			return nil
 		}
-		return runSweep(stdout, sweep.Grid([]experiments.Experiment{e}, grid), *parallel, len(grid) > 1)
+		return runSweep(stdout, logger, sweep.Grid([]experiments.Experiment{e}, grid), *parallel, len(grid) > 1)
 	case *all:
-		return runSweep(stdout, sweep.Grid(experiments.Registry(), grid), *parallel, len(grid) > 1)
+		return runSweep(stdout, logger, sweep.Grid(experiments.Registry(), grid), *parallel, len(grid) > 1)
 	default:
 		fs.Usage()
 		return flag.ErrHelp
 	}
 }
 
-func runSweep(stdout io.Writer, cells []sweep.Cell, workers int, showSeed bool) error {
+func runSweep(stdout io.Writer, logger *slog.Logger, cells []sweep.Cell, workers int, showSeed bool) error {
 	// Stream results as cells finish: the grid-order prefix prints while
 	// later cells are still simulating, and the total output stays
 	// byte-identical to a post-hoc Render.
+	logger.Info("sweep start", "cells", len(cells), "workers", workers)
 	st := sweep.NewStream(stdout, showSeed)
-	results := sweep.Run(cells, sweep.Options{Workers: workers, OnDone: st.Push})
-	if n := sweep.Failed(results); n > 0 {
-		return fmt.Errorf("%d of %d cells failed", n, len(cells))
+	// OnDone is serialized by the sweep, so logging from it is safe.
+	results := sweep.Run(cells, sweep.Options{Workers: workers, OnDone: func(r sweep.Result) {
+		if r.Err != nil {
+			logger.Error("cell failed", "id", r.Exp.ID, "seed", r.Seed, "elapsed", r.Elapsed.String(), "err", r.Err.Error())
+		} else {
+			logger.Info("cell done", "id", r.Exp.ID, "seed", r.Seed, "elapsed", r.Elapsed.String())
+		}
+		st.Push(r)
+	}})
+	failed := sweep.Failed(results)
+	logger.Info("sweep done", "cells", len(cells), "failed", failed)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d cells failed", failed, len(cells))
 	}
 	return nil
 }

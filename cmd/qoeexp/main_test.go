@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"strings"
@@ -59,5 +60,38 @@ func TestRunListPrintsRegistry(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestSweepStructuredLogs: a sweep with -log-level info emits per-cell JSON
+// records on stderr while the tables stay byte-stable on stdout.
+func TestSweepStructuredLogs(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-run", "fig7", "-seeds", "42,43", "-log-level", "info"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&errw)
+	cells := 0
+	var sweepDone bool
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("stderr is not a JSON record stream: %v", err)
+		}
+		switch rec["msg"] {
+		case "cell done":
+			cells++
+		case "sweep done":
+			sweepDone = true
+		}
+	}
+	if cells != 2 || !sweepDone {
+		t.Fatalf("cell done = %d (want 2), sweep done = %v", cells, sweepDone)
+	}
+}
+
+func TestRunBadLogLevel(t *testing.T) {
+	if _, err := runErr(t, "-list", "-log-level", "loud"); err == nil || !strings.Contains(err.Error(), "-log-level") {
+		t.Fatalf("bad -log-level accepted: %v", err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -35,6 +36,20 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the structured JSON logger on w, or a discard logger
+// for level "off" so call sites stay unconditional. Human-readable status
+// lines stay on stdout; slog records go to stderr for machines.
+func newLogger(w io.Writer, level string) (*slog.Logger, error) {
+	if level == "off" {
+		return slog.New(slog.NewJSONHandler(io.Discard, nil)), nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lvl})), nil
 }
 
 func profileByName(name string) (*radio.Profile, error) {
@@ -73,11 +88,16 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	traceOut := fs.String("trace", "", "write a merged Chrome trace (one process per UE) to this file")
 	emit := fs.String("emit", "", "stream QoE events to a qoeserve URL (e.g. http://127.0.0.1:8711)")
 	emitSource := fs.String("emit-source", "", "source name for emitted events (default fleet-<seed>)")
+	logLevel := fs.String("log-level", "off", "structured JSON log level on stderr: debug|info|warn|error|off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	logger, err := newLogger(stderr, *logLevel)
+	if err != nil {
+		return err
 	}
 
 	if *ues <= 0 {
@@ -131,10 +151,13 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	logger.Info("fleet built", "ues", *ues, "policy", *policy, "workload", *workload,
+		"network", *network, "seed", *seed, "horizon", horizon.String())
 	f.Drive()
 	f.K.RunUntil(*horizon)
 	f.CloseObs()
 	report := f.Report()
+	logger.Info("run complete", "ues", len(report.UEs), "virtual_time", horizon.String())
 	fmt.Fprint(stdout, report.Render())
 
 	if *traceOut != "" {
@@ -162,6 +185,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		n := fleet.EmitReport(em, f, report)
 		em.Close()
 		st := em.Stats()
+		logger.Info("emitted", "events", n, "collector", *emit, "source", source,
+			"delivered", st.Delivered, "dropped", st.DroppedQ+st.DroppedRe, "retries", st.Retries, "shed", st.Shed)
 		fmt.Fprintf(stdout, "emitted %d QoE events to %s as %q: %d delivered, %d dropped (queue %d, retries %d), %d shed by store\n",
 			n, *emit, source, st.Delivered, st.DroppedQ+st.DroppedRe, st.DroppedQ, st.Retries, st.Shed)
 		if st.Delivered == 0 && n > 0 {

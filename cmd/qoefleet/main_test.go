@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"net/http"
@@ -107,5 +108,39 @@ func TestRunEmitToRejectingCollectorFails(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "emitted 0 of") {
 		t.Fatalf("error = %q, want undelivered-events report", err)
+	}
+}
+
+// TestRunStructuredLogs: -log-level info emits JSON records on stderr while
+// the human-readable report stays on stdout.
+func TestRunStructuredLogs(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-ues", "1", "-horizon", "45s", "-log-level", "info"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fleet") && out.Len() == 0 {
+		t.Fatal("report missing from stdout")
+	}
+	dec := json.NewDecoder(&errw)
+	msgs := map[string]bool{}
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("stderr is not a JSON record stream: %v", err)
+		}
+		if m, _ := rec["msg"].(string); m != "" {
+			msgs[m] = true
+		}
+	}
+	for _, want := range []string{"fleet built", "run complete"} {
+		if !msgs[want] {
+			t.Fatalf("no %q log record; got %v", want, msgs)
+		}
+	}
+}
+
+func TestRunBadLogLevel(t *testing.T) {
+	if _, err := runErr(t, "-ues", "1", "-log-level", "loud"); err == nil || !strings.Contains(err.Error(), "-log-level") {
+		t.Fatalf("bad -log-level accepted: %v", err)
 	}
 }

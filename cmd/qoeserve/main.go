@@ -7,11 +7,21 @@
 // the store to sampled coarse-bin mode, and the query path sheds load past
 // a concurrency bound.
 //
+// With -slo the collector also runs the qoemon burn-rate engine: /slo,
+// /alerts and /attrib serve deterministic SLO status, active alerts (with
+// cross-layer attribution naming the responsible layer), and per-series
+// layer breakdowns. -debug-addr binds a second listener with pprof and Go
+// runtime metrics; /metricz?format=prometheus serves the registry in the
+// Prometheus text exposition format.
+//
 // Usage:
 //
 //	qoeserve -dir /var/lib/qoe            # serve on 127.0.0.1:8711
 //	qoeserve -dir ./qoe -addr :9000 -window 1m -retain 240
+//	qoeserve -dir ./qoe -slo 'rebuffer_ratio p95 < 0.02' -debug-addr 127.0.0.1:6060
 //	curl 'localhost:8711/query?metric=pageload_s&q=0.5,0.95,0.99'
+//	curl 'localhost:8711/alerts'
+//	curl 'localhost:8711/metricz?format=prometheus'
 package main
 
 import (
@@ -20,14 +30,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/qoemon"
 	"repro/internal/qoestore"
 )
 
@@ -63,6 +76,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	nosync := fs.Bool("nosync", false, "skip fsync on commit (benchmarks only; crash safety off)")
 	maxQ := fs.Int("max-queries", 16, "concurrent query bound (load shed past this)")
 	qTimeout := fs.Duration("query-timeout", 2*time.Second, "per-query wall-time bound")
+	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug|info|warn|error|off")
+	debugAddr := fs.String("debug-addr", "", "optional second listener with pprof and Go runtime metrics")
+	var slos []qoemon.SLO
+	fs.Func("slo", "SLO spec \"[name:] <metric> p<q> < <threshold>\" (repeatable); enables /slo /alerts /attrib", func(s string) error {
+		slo, err := qoemon.ParseSLO(s)
+		if err != nil {
+			return err
+		}
+		slos = append(slos, slo)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +104,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	}
 	if *queue <= 0 {
 		return fmt.Errorf("-queue must be positive, got %d", *queue)
+	}
+
+	// Structured service telemetry: one JSON record per request on stderr,
+	// machine-parseable, separate from the human status lines on stdout.
+	var logger *slog.Logger
+	if *logLevel != "off" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			return fmt.Errorf("-log-level: %w", err)
+		}
+		logger = slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: lvl}))
 	}
 
 	reg := obs.NewRegistry()
@@ -101,12 +136,44 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 
 	api := qoestore.NewServer(store, qoestore.ServerConfig{
 		MaxConcurrentQueries: *maxQ, QueryTimeout: *qTimeout, Metrics: reg,
+		Log: logger,
 	})
+	mux := http.NewServeMux()
+	mux.Handle("/", api.Handler())
+	if len(slos) > 0 {
+		monitor, err := qoemon.New(store, qoemon.Config{SLOs: slos, Metrics: reg, Log: logger})
+		if err != nil {
+			return err
+		}
+		monitor.Mount(mux)
+		fmt.Fprintf(stdout, "monitoring %d SLO(s): /slo /alerts /attrib live\n", len(slos))
+	}
+
+	if *debugAddr != "" {
+		// Runtime introspection stays off the service port: pprof and the
+		// Go runtime gauges bind a second listener so profiling a drowning
+		// collector never competes with ingest.
+		obs.RegisterRuntimeMetrics(reg)
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		defer dln.Close()
+		go func() { _ = http.Serve(dln, dmux) }()
+		fmt.Fprintf(stdout, "debug endpoint on http://%s/debug/pprof/\n", dln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: api.Handler()}
+	srv := &http.Server{Handler: mux}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -123,6 +190,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	}()
 
 	fmt.Fprintf(stdout, "serving on http://%s (window %v, retain %d, queue %d)\n", ln.Addr(), *window, *retain, *queue)
+	if logger != nil {
+		logger.Info("serving", "addr", ln.Addr().String(), "window", window.String(),
+			"retain", *retain, "queue", *queue, "slos", len(slos))
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -1,0 +1,162 @@
+// Command qoewatch tails a qoeserve alert feed: it polls /alerts and
+// renders the active SLO alerts — severity, series key, burn rates, and
+// the cross-layer attribution naming the responsible layer — reprinting
+// only when the feed changes. The on-call's terminal view of the
+// continuous QoE monitor.
+//
+// Usage:
+//
+//	qoewatch                               # follow 127.0.0.1:8711, poll 2s
+//	qoewatch -addr http://host:9000 -once  # one snapshot, then exit
+//	qoewatch -state page                   # pages only
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/qoemon"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "qoewatch: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// alertsBody mirrors the /alerts response shape.
+type alertsBody struct {
+	WindowNS time.Duration   `json:"window_ns"`
+	Alerts   []qoemon.Status `json:"alerts"`
+}
+
+// run is the testable entry point. Closing stop (when non-nil) ends a
+// follow loop exactly like SIGINT.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("qoewatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8711", "qoeserve base URL")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval in follow mode")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	state := fs.String("state", "", "only alerts at this state (warn|page)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive, got %v", *interval)
+	}
+	target := strings.TrimSuffix(*addr, "/") + "/alerts"
+	if *state != "" {
+		target += "?state=" + url.QueryEscape(*state)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	last := ""
+	poll := func() error {
+		body, err := fetchAlerts(client, target)
+		if err != nil {
+			return err
+		}
+		rendered := render(body)
+		if rendered != last {
+			fmt.Fprint(stdout, rendered)
+			last = rendered
+		}
+		return nil
+	}
+
+	if err := poll(); err != nil {
+		return err
+	}
+	if *once {
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := poll(); err != nil {
+				// A collector restart mid-tail is routine; report and keep
+				// polling rather than dying on the on-call.
+				fmt.Fprintf(stderr, "qoewatch: %v\n", err)
+			}
+		case <-sig:
+			return nil
+		case <-stop:
+			return nil
+		}
+	}
+}
+
+func fetchAlerts(client *http.Client, target string) (alertsBody, error) {
+	var body alertsBody
+	resp, err := client.Get(target)
+	if err != nil {
+		return body, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return body, fmt.Errorf("GET %s: HTTP %d: %s", target, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	return body, err
+}
+
+// render formats one alerts snapshot. Pages sort before warns, then by
+// series key, so the most urgent line is always on top.
+func render(body alertsBody) string {
+	var b strings.Builder
+	if len(body.Alerts) == 0 {
+		b.WriteString("no active alerts\n")
+		return b.String()
+	}
+	alerts := make([]qoemon.Status, len(body.Alerts))
+	copy(alerts, body.Alerts)
+	sort.SliceStable(alerts, func(i, j int) bool { return alerts[i].State > alerts[j].State })
+	fmt.Fprintf(&b, "== %d active alert(s) ==\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Fprintf(&b, "%-4s %s cell=%s workload=%s", a.State, a.SLO, a.Key.Cell, a.Key.Workload)
+		if a.Key.Cohort != "" {
+			fmt.Fprintf(&b, " cohort=%s", a.Key.Cohort)
+		}
+		fmt.Fprintf(&b, " since=%s", a.Since)
+		for _, burn := range a.Burns {
+			if burn.Firing {
+				fmt.Fprintf(&b, " burn=%.1fx/%s", burn.Short, burn.Pair.Short)
+				break
+			}
+		}
+		if a.Baseline.Regressed {
+			fmt.Fprintf(&b, " baseline=%.4g>%.4g", a.Baseline.Current, a.Baseline.Limit)
+		}
+		if at := a.Attribution; at != nil {
+			fmt.Fprintf(&b, " top=%s (app %.0f%%, radio %.0f%%, transport %.0f%%, server %.0f%%)",
+				at.Top, at.App*100, at.Radio*100, at.Transport*100, at.Server*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

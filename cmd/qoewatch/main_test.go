@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/qoemon"
+	"repro/internal/qoestore"
+)
+
+// syncBuffer lets the test read the watcher's output while the follow
+// goroutine is still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// newAlertingServer builds a store + monitor stack with one paging series
+// (cellA all bad in window 0) behind an httptest server — the same mux
+// shape qoeserve assembles.
+func newAlertingServer(t *testing.T) (*httptest.Server, *qoestore.Store) {
+	t.Helper()
+	s, err := qoestore.Open(t.TempDir(), qoestore.Config{Window: time.Minute, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []qoestore.Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, qoestore.Event{
+			Source: "t", Seq: uint64(i + 1), At: time.Duration(i+1) * time.Second,
+			Cell: "cellA", Workload: "youtube", Cohort: "lossy",
+			Metric: "rebuffer_ratio", Value: 0.5,
+		})
+		evs = append(evs, qoestore.Event{
+			Source: "t", Seq: uint64(i + 100), At: time.Duration(i+1) * time.Second,
+			Cell: "cellA", Workload: "youtube", Cohort: "lossy",
+			Metric: "attrib_radio_share", Value: 0.9,
+		})
+		evs = append(evs, qoestore.Event{
+			Source: "t", Seq: uint64(i + 200), At: time.Duration(i+1) * time.Second,
+			Cell: "cellA", Workload: "youtube", Cohort: "lossy",
+			Metric: "attrib_app_share", Value: 0.1,
+		})
+	}
+	if _, err := s.Ingest(evs); err != nil {
+		t.Fatal(err)
+	}
+	slo, err := qoemon.ParseSLO("rebuff: rebuffer_ratio p95 < 0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo.Pairs = []qoemon.BurnPair{{Short: time.Minute, Long: time.Minute, Rate: 14.4, Sev: qoemon.SevPage}}
+	m, err := qoemon.New(s, qoemon.Config{SLOs: []qoemon.SLO{slo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := qoestore.NewServer(s, qoestore.ServerConfig{})
+	mux := http.NewServeMux()
+	mux.Handle("/", api.Handler())
+	m.Mount(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts, s
+}
+
+// TestOnceRendersAlerts: the one-shot mode prints the page alert with its
+// series key, burn rate, and radio attribution.
+func TestOnceRendersAlerts(t *testing.T) {
+	ts, _ := newAlertingServer(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-once"}, &out, &errb, nil); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"1 active alert(s)", "page", "rebuff", "cell=cellA", "cohort=lossy", "top=radio", "radio 90%"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestOnceNoAlerts: a filter that matches nothing renders the quiet state.
+func TestOnceNoAlerts(t *testing.T) {
+	ts, _ := newAlertingServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-once", "-state", "warn"}, &out, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no active alerts") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// TestFollowTailsChanges: in follow mode the watcher prints the initial
+// snapshot, stays quiet while nothing changes, and prints again when new
+// events change the feed.
+func TestFollowTailsChanges(t *testing.T) {
+	ts, s := newAlertingServer(t)
+	var out syncBuffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", ts.URL, "-interval", "20ms"}, &out, &out, stop)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "top=radio") {
+		if time.Now().After(deadline) {
+			t.Fatalf("initial snapshot never rendered: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	first := out.String()
+
+	// New bad windows shift the alert's burn readings → the feed changes
+	// and the tail prints a fresh snapshot.
+	var evs []qoestore.Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, qoestore.Event{
+			Source: "t2", Seq: uint64(i + 1), At: 3*time.Minute + time.Duration(i+1)*time.Second,
+			Cell: "cellB", Workload: "youtube", Metric: "rebuffer_ratio", Value: 0.5,
+		})
+	}
+	if _, err := s.Ingest(evs); err != nil {
+		t.Fatal(err)
+	}
+	for !strings.Contains(out.String(), "cell=cellB") {
+		if time.Now().After(deadline) {
+			t.Fatalf("tail never picked up the new alert:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), first) {
+		t.Fatal("tail overwrote instead of appending")
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-interval", "-1s", "-once"}, &out, &out, nil); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	if err := run([]string{"extra"}, &out, &out, nil); err == nil {
+		t.Fatal("positional args accepted")
+	}
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-once"}, &out, &out, nil); err == nil {
+		t.Fatal("unreachable collector reported success")
+	}
+}

@@ -1,0 +1,200 @@
+package analyzer
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// Attribution is the paper's diagnosis turned into a monitoring primitive:
+// one QoE incident's user-perceived latency split across the four layers a
+// remediation controller could act on. The components always sum to Total.
+//
+//   - App: device-side time (parsing, rendering, app logic) — the
+//     §7.2 device share of the device/network split.
+//   - Radio: RLC transmission and first-hop OTA waits from the Fig. 9
+//     breakdown, plus loss-induced stall time when the trace shows
+//     link-layer drops (fault:drop, rlc:retx) inside the window.
+//   - Transport: TCP retransmission/RTO stall time not explained by
+//     radio-layer loss evidence, plus carrier-qdisc drops.
+//   - Server: the remainder — core network and server processing.
+type Attribution struct {
+	Action string        `json:"action"`
+	At     time.Duration `json:"at_ns"` // incident end, virtual time
+	Total  time.Duration `json:"total_ns"`
+
+	App       time.Duration `json:"app_ns"`
+	Radio     time.Duration `json:"radio_ns"`
+	Transport time.Duration `json:"transport_ns"`
+	Server    time.Duration `json:"server_ns"`
+}
+
+// Share returns the named layer's fraction of the total (0 when the
+// incident had no measured latency).
+func (a Attribution) Share(layer string) float64 {
+	if a.Total <= 0 {
+		return 0
+	}
+	var d time.Duration
+	switch layer {
+	case "app":
+		d = a.App
+	case "radio":
+		d = a.Radio
+	case "transport":
+		d = a.Transport
+	case "server":
+		d = a.Server
+	}
+	return float64(d) / float64(a.Total)
+}
+
+// Top names the layer with the largest share, breaking ties in the fixed
+// order radio > transport > server > app (the actionable-first order: a
+// tie should page the team that can actually change something).
+func (a Attribution) Top() string {
+	top, best := "app", a.App
+	for _, c := range []struct {
+		name string
+		d    time.Duration
+	}{{"server", a.Server}, {"transport", a.Transport}, {"radio", a.Radio}} {
+		if c.d >= best {
+			top, best = c.name, c.d
+		}
+	}
+	return top
+}
+
+// lossEvidence counts loss-related trace instants inside [from, to]:
+// radio-layer drops (fault chain, RLC retransmissions) versus
+// transport-layer ones (TCP retx/RTO, carrier qdisc drops).
+type lossEvidence struct {
+	radioDrops int // fault:drop instants + rlc:retx
+	tcpRetx    int // tcp:retx + tcp:rto
+	qdiscDrops int // qdisc:drop (carrier throttle)
+}
+
+func (c *CrossLayer) lossEvidenceIn(from, to simtime.Time) lossEvidence {
+	var ev lossEvidence
+	f, t := time.Duration(from), time.Duration(to)
+	for i := range c.Session.Trace {
+		e := &c.Session.Trace[i]
+		if e.Kind != obs.KindInstant || e.Start < f || e.Start > t {
+			continue
+		}
+		switch e.Name {
+		case "fault:drop", "rlc:retx":
+			ev.radioDrops++
+		case "tcp:retx", "tcp:rto":
+			ev.tcpRetx++
+		case "qdisc:drop":
+			ev.qdiscDrops++
+		}
+	}
+	return ev
+}
+
+// Attribute diagnoses one calibrated QoE incident. The split starts from
+// the §7.2 device/network decomposition; the network share is then divided
+// by the Fig. 9 breakdown (RLC + OTA + IP-to-RLC → radio) and the
+// remainder ("other": retransmission stalls, core network, server think
+// time) is allocated using cross-layer loss evidence: stall time
+// proportional to observed retransmission events goes to the layer whose
+// drops caused them — radio when link-layer drops are present in the
+// window, transport otherwise — and what is left is server/core time.
+func (c *CrossLayer) Attribute(l Latency) Attribution {
+	w := WindowOf(l.Entry)
+	a := Attribution{
+		Action: l.Entry.Action,
+		At:     time.Duration(w.To),
+		Total:  l.Calibrated,
+	}
+	if a.Total <= 0 {
+		return a
+	}
+	split := c.SplitDeviceNetwork(l)
+	a.App = split.Device
+	network := split.Network
+	if network <= 0 {
+		// No delivered traffic in the window. Normally that is the
+		// Finding-1 signature (network off the critical path, all device
+		// time) — but when the window holds retransmission evidence the
+		// user was waiting on a stream the network had killed, and calling
+		// that wait "app time" would misdirect the on-call. Reassign it to
+		// the layer the drop evidence names: link-layer drops → radio,
+		// carrier-qdisc drops or bare TCP retx → transport.
+		ev := c.lossEvidenceIn(w.From, w.To)
+		if ev.tcpRetx > 0 && a.App > 0 {
+			wait := a.App
+			a.App = 0
+			if total := ev.radioDrops + ev.qdiscDrops; total > 0 {
+				a.Radio = time.Duration(float64(wait) * float64(ev.radioDrops) / float64(total))
+				a.Transport = wait - a.Radio
+			} else {
+				a.Transport = wait
+			}
+		}
+		return a
+	}
+
+	bd := c.BreakdownWindow(w.From, w.To)
+	radio := bd.IPToRLC + bd.RLCTransmission + bd.FirstHopOTA
+	if radio > network {
+		radio = network
+	}
+	other := network - radio
+
+	// Split "other" between loss-induced stall and server/core time. Each
+	// TCP retransmission event stands for roughly one RTT of stall; cap at
+	// the available budget.
+	ev := c.lossEvidenceIn(w.From, w.To)
+	var stall time.Duration
+	if ev.tcpRetx > 0 && other > 0 {
+		rtt := c.Session.Profile.OTARTT
+		if split.Flow != nil {
+			if m := split.Flow.MeanRTT(); m > 0 {
+				rtt = m
+			}
+		}
+		stall = time.Duration(ev.tcpRetx) * rtt
+		if stall > other {
+			stall = other
+		}
+		// Allocate the stall across radio and transport in proportion to
+		// the drop evidence below and above the IP layer. No drop evidence
+		// at all (retransmissions from reordering, say) reads as transport.
+		if total := ev.radioDrops + ev.qdiscDrops; total > 0 {
+			radioPart := time.Duration(float64(stall) * float64(ev.radioDrops) / float64(total))
+			radio += radioPart
+			a.Transport += stall - radioPart
+		} else {
+			a.Transport += stall
+		}
+	}
+	a.Radio = radio
+	a.Server = network - radio - a.Transport
+	if a.Server < 0 {
+		a.Server = 0
+	}
+	// Rounding slack lands on the server bucket so components sum exactly.
+	if diff := a.Total - a.App - a.Radio - a.Transport - a.Server; diff > 0 {
+		a.Server += diff
+	}
+	return a
+}
+
+// Attributions diagnoses every observed incident in the session's behavior
+// log, in log order — the deterministic feed EmitReport streams into the
+// store as attrib_* share events.
+func (c *CrossLayer) Attributions() []Attribution {
+	app := AnalyzeApp(c.Session.Behavior)
+	out := make([]Attribution, 0, len(app.Latencies))
+	for _, l := range app.Latencies {
+		if !l.Entry.Observed {
+			continue
+		}
+		out = append(out, c.Attribute(l))
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package analyzer_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core/analyzer"
+	"repro/internal/radio"
+)
+
+func TestAttributionShareAndTop(t *testing.T) {
+	a := analyzer.Attribution{
+		Total: 10 * time.Second,
+		App:   time.Second, Radio: 4 * time.Second,
+		Transport: 2 * time.Second, Server: 3 * time.Second,
+	}
+	for layer, want := range map[string]float64{
+		"app": 0.1, "radio": 0.4, "transport": 0.2, "server": 0.3, "bogus": 0,
+	} {
+		if got := a.Share(layer); got != want {
+			t.Errorf("Share(%s) = %v, want %v", layer, got, want)
+		}
+	}
+	if got := a.Top(); got != "radio" {
+		t.Errorf("Top() = %q, want radio", got)
+	}
+	if got := (analyzer.Attribution{}).Share("radio"); got != 0 {
+		t.Errorf("zero-total Share = %v, want 0", got)
+	}
+	// Ties break toward the actionable layer: radio > transport > server > app.
+	tie := analyzer.Attribution{Total: 4, App: 1, Radio: 1, Transport: 1, Server: 1}
+	if got := tie.Top(); got != "radio" {
+		t.Errorf("four-way tie Top() = %q, want radio", got)
+	}
+	tie.Radio = 0
+	if got := tie.Top(); got != "transport" {
+		t.Errorf("three-way tie Top() = %q, want transport", got)
+	}
+}
+
+// TestAttributionsSumAndDeterminism: on a real browsing session every
+// incident's layer components sum exactly to its total, and the feed is a
+// pure function of the session (identical across analyzer re-runs).
+func TestAttributionsSumAndDeterminism(t *testing.T) {
+	s := browseSession(7, radio.ProfileLTE(), 3, true)
+	atts := analyzer.NewCrossLayer(s).Attributions()
+	if len(atts) == 0 {
+		t.Fatal("browsing session produced no attributions")
+	}
+	for _, a := range atts {
+		if sum := a.App + a.Radio + a.Transport + a.Server; sum != a.Total {
+			t.Errorf("%s@%v: components sum to %v, total %v", a.Action, a.At, sum, a.Total)
+		}
+		if a.App < 0 || a.Radio < 0 || a.Transport < 0 || a.Server < 0 {
+			t.Errorf("%s@%v: negative component: %+v", a.Action, a.At, a)
+		}
+	}
+	if atts2 := analyzer.NewCrossLayer(s).Attributions(); !reflect.DeepEqual(atts, atts2) {
+		t.Error("Attributions differ across analyzer re-runs on the same session")
+	}
+}

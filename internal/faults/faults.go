@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -38,6 +39,16 @@ type Stage interface {
 type Chain struct {
 	stages []Stage
 	next   netsim.Qdisc
+
+	// tr/drops are the optional observability hooks (SetObs): every
+	// stage-level drop emits a radio-layer trace instant and bumps the
+	// counter. The fault chain models link-layer impairment, so its drops
+	// are radio-loss ground truth — the analyzer's attribution pass counts
+	// them inside QoE windows to pin loss-induced stalls on the radio layer
+	// instead of guessing "transport" from TCP retransmissions alone.
+	tr    *obs.Trace
+	drops *obs.Counter
+	label string
 }
 
 // NewChain builds a chain over the given stages with a pass-through
@@ -60,12 +71,28 @@ func (c *Chain) Enqueue(wireLen int, deliver func(), drop func()) {
 	c.apply(0, wireLen, deliver, drop)
 }
 
+// SetObs attaches drop instrumentation: a radio-layer "fault:drop" trace
+// instant per dropped packet (under the current correlation scope, so
+// drops land inside the user action that suffered them) plus a
+// fault_<label>_drops counter. Nil sinks detach for free.
+func (c *Chain) SetObs(tr *obs.Trace, reg *obs.Registry, label string) {
+	c.tr = tr
+	c.label = label
+	c.drops = reg.Counter("fault_" + label + "_drops")
+}
+
 func (c *Chain) apply(i, wireLen int, deliver, drop func()) {
 	if i >= len(c.stages) {
 		c.next.Enqueue(wireLen, deliver, drop)
 		return
 	}
 	c.stages[i].Apply(wireLen, func() { c.apply(i+1, wireLen, deliver, drop) }, func() {
+		c.drops.Inc()
+		if c.tr != nil {
+			c.tr.Instant(obs.LayerRadio, "fault:drop", c.tr.Scope(),
+				obs.Attr{Key: "chain", Val: c.label},
+				obs.Attr{Key: "len", Val: fmt.Sprintf("%d", wireLen)})
+		}
 		if drop != nil {
 			drop()
 		}

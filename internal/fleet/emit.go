@@ -52,7 +52,21 @@ func EmitReport(em *qoestore.Emitter, f *Fleet, r *Report) int {
 				emit(ev.End, cohort, metric, (ev.End - ev.Start).Seconds())
 			}
 		}
+		// A hand-built report can cover fewer UEs than the fleet (or none);
+		// span events above don't need report rows, summaries do.
+		if i >= len(r.UEs) {
+			continue
+		}
 		ur := r.UEs[i]
+		// Per-incident layer attribution: four share events per observed
+		// action, timestamped at the incident's end. The monitor joins these
+		// with QoE windows so every alert names the responsible layer.
+		for _, at := range ur.Attributions {
+			emit(at.At, cohort, "attrib_app_share", at.Share("app"))
+			emit(at.At, cohort, "attrib_radio_share", at.Share("radio"))
+			emit(at.At, cohort, "attrib_transport_share", at.Share("transport"))
+			emit(at.At, cohort, "attrib_server_share", at.Share("server"))
+		}
 		emit(r.Horizon, cohort, "mean_latency_s", ur.MeanLatency.Seconds())
 		emit(r.Horizon, cohort, "rebuffer_ratio", ur.RebufferRatio)
 		emit(r.Horizon, cohort, "rrc_energy_j", ur.EnergyJ)

@@ -69,4 +69,140 @@ func TestEmitReportIntoStore(t *testing.T) {
 	if edge.Count != 1 {
 		t.Fatalf("cohort=edge energy count = %d, want 1", edge.Count)
 	}
+
+	// Attribution events: four share events per observed incident, cohort
+	// tags intact, shares normalized to [0,1].
+	var attribTotal uint64
+	for _, metric := range []string{"attrib_app_share", "attrib_radio_share", "attrib_transport_share", "attrib_server_share"} {
+		res, err := s.Run(qoestore.Query{Metric: metric})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count == 0 {
+			t.Fatalf("no %s events emitted", metric)
+		}
+		attribTotal += res.Count
+		eres, err := s.Run(qoestore.Query{Metric: metric, Cohort: "edge"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eres.Count == 0 || eres.Count >= res.Count {
+			t.Fatalf("%s cohort=edge count = %d of %d, want a proper subset", metric, eres.Count, res.Count)
+		}
+	}
+	observed := 0
+	for _, u := range report.UEs {
+		observed += len(u.Attributions)
+		for _, a := range u.Attributions {
+			sum := a.App + a.Radio + a.Transport + a.Server
+			if sum != a.Total {
+				t.Fatalf("attribution components %v do not sum to total %v", sum, a.Total)
+			}
+		}
+	}
+	if observed == 0 || attribTotal != uint64(4*observed) {
+		t.Fatalf("attrib events = %d, want 4 per incident × %d incidents", attribTotal, observed)
+	}
+}
+
+// TestEmitReportWithoutTrace: an untraced fleet still emits the per-UE
+// summary and attribution events — only the span-level stream needs traces.
+func TestEmitReportWithoutTrace(t *testing.T) {
+	scen := fleet.Scenario{
+		Seed:     3,
+		UEs:      fleet.UniformUEs(1),
+		Workload: fleet.BrowseWorkload{Pages: 1, ThinkTime: 5 * time.Second},
+	}
+	f, err := fleet.Build(scen, fleet.WithHorizon(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Drive()
+	f.K.RunUntil(60 * time.Second)
+	f.CloseObs()
+	report := f.Report()
+
+	s, err := qoestore.Open(t.TempDir(), qoestore.Config{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	em, err := qoestore.NewEmitter(s, qoestore.EmitterConfig{Source: "untraced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fleet.EmitReport(em, f, report)
+	em.Close()
+	if st := em.Stats(); st.Delivered != uint64(n) || n == 0 {
+		t.Fatalf("emitted %d, stats %+v", n, st)
+	}
+	if res, err := s.Run(qoestore.Query{Metric: "pageload_s"}); err != nil || res.Count != 0 {
+		t.Fatalf("untraced fleet produced span events: %v res=%+v", err, res)
+	}
+	if res, err := s.Run(qoestore.Query{Metric: "mean_latency_s"}); err != nil || res.Count != 1 {
+		t.Fatalf("summary events missing without trace: %v res=%+v", err, res)
+	}
+}
+
+// TestEmitReportZeroUEReport: a report covering no UEs (hand-built) emits
+// nothing for the summary stream and must not panic on index mismatch.
+func TestEmitReportZeroUEReport(t *testing.T) {
+	scen := fleet.Scenario{Seed: 1, UEs: fleet.UniformUEs(1)}
+	f, err := fleet.Build(scen, fleet.WithHorizon(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.K.RunUntil(time.Second)
+	s, err := qoestore.Open(t.TempDir(), qoestore.Config{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	em, err := qoestore.NewEmitter(s, qoestore.EmitterConfig{Source: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer em.Close()
+	if n := fleet.EmitReport(em, f, &fleet.Report{Workload: "none"}); n != 0 {
+		t.Fatalf("zero-UE report emitted %d events, want 0", n)
+	}
+}
+
+// TestEmitReportClosedEmitter: emitting into a closed emitter is safe; the
+// events are handed over but the emitter's accounting shows zero delivered.
+func TestEmitReportClosedEmitter(t *testing.T) {
+	scen := fleet.Scenario{
+		Seed:     5,
+		UEs:      fleet.UniformUEs(1),
+		Workload: fleet.BrowseWorkload{Pages: 1, ThinkTime: 5 * time.Second},
+	}
+	f, err := fleet.Build(scen, fleet.WithHorizon(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Drive()
+	f.K.RunUntil(60 * time.Second)
+	f.CloseObs()
+	report := f.Report()
+
+	s, err := qoestore.Open(t.TempDir(), qoestore.Config{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	em, err := qoestore.NewEmitter(s, qoestore.EmitterConfig{Source: "closed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Close()
+	n := fleet.EmitReport(em, f, report)
+	if n == 0 {
+		t.Fatal("EmitReport handed no events")
+	}
+	if st := em.Stats(); st.Delivered != 0 || st.Enqueued != 0 {
+		t.Fatalf("closed emitter accepted events: %+v", st)
+	}
+	if res, err := s.Run(qoestore.Query{Metric: "mean_latency_s"}); err != nil || res.Count != 0 {
+		t.Fatalf("closed emitter delivered events: %v res=%+v", err, res)
+	}
 }

@@ -37,6 +37,11 @@ type UEReport struct {
 	// signal under contention.
 	RRCTransitions int
 	Warnings       int
+
+	// Attributions carries the per-incident layer diagnosis (app/radio/
+	// transport/server split of each observed action's latency), in
+	// behavior-log order. EmitReport streams these as attrib_* share events.
+	Attributions []analyzer.Attribution
 }
 
 // Aggregate is one fleet-level KPI distribution over UEs.
@@ -63,6 +68,7 @@ type Report struct {
 // ueReport condenses one UE's logs and analysis into its report row.
 func ueReport(ue *UE, cl *analyzer.CrossLayer, end simtime.Time) UEReport {
 	r := UEReport{Index: ue.Index, Name: ue.Name, Warnings: len(cl.Warnings)}
+	r.Attributions = cl.Attributions()
 
 	app := analyzer.AnalyzeApp(ue.Log)
 	var latSum, loadSum time.Duration

@@ -168,6 +168,15 @@ func buildUE(k *simtime.Kernel, cell *radio.Cell, prof *radio.Profile, coreDelay
 		}
 		net.SetObs(ue.Trace, ue.Metrics)
 		net.Bearer.SetTrace(ue.Trace)
+		// Fault-chain drops become radio-layer trace instants: the analyzer's
+		// attribution pass needs link-layer loss ground truth inside QoE
+		// windows to pin loss stalls on the radio layer.
+		if ue.FaultUL != nil {
+			ue.FaultUL.SetObs(ue.Trace, ue.Metrics, "ul")
+		}
+		if ue.FaultDL != nil {
+			ue.FaultDL.SetObs(ue.Trace, ue.Metrics, "dl")
+		}
 		ue.RadioMon = radio.AttachTrace(net.Bearer, ue.Trace, ue.Metrics)
 		ue.Facebook.SetObs(ue.Trace, ue.Metrics)
 		ue.YouTube.SetObs(ue.Trace, ue.Metrics)

@@ -1,0 +1,321 @@
+// Package promcheck is a strict parser for the Prometheus text exposition
+// format (version 0.0.4), used by tests to validate that /metricz output
+// actually parses under the grammar rather than merely looking plausible.
+// It checks line syntax (comments, samples, label sets, values), metric
+// name and label grammar, # TYPE declarations, and the structural
+// invariants of exposed histograms (cumulative buckets, trailing +Inf).
+package promcheck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one declared metric family.
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | histogram | summary | untyped
+	Samples []Sample
+}
+
+// Parse reads a complete exposition and returns the families in
+// declaration order, or an error naming the first offending line.
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var fams []Family
+	byName := map[string]int{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: bare comment %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := byName[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				byName[name] = len(fams)
+				fams = append(fams, Family{Name: name, Type: typ})
+			case "HELP":
+				if len(fields) < 3 {
+					return nil, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+				}
+			default:
+				// Free-form comment: legal, ignored.
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyOf(byName, fams, s.Name)
+		if fam < 0 {
+			return nil, fmt.Errorf("line %d: sample %q precedes its # TYPE declaration", lineNo, s.Name)
+		}
+		fams[fam].Samples = append(fams[fam].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if err := checkFamily(f); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its family index, stripping the
+// histogram/summary suffixes.
+func familyOf(byName map[string]int, fams []Family, name string) int {
+	if i, ok := byName[name]; ok {
+		return i
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if i, ok := byName[base]; ok && (fams[i].Type == "histogram" || fams[i].Type == "summary") {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 && brace < strings.IndexByte(rest+" ", ' ') {
+		nameEnd = brace
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		nameEnd = sp
+	}
+	s.Name = rest[:nameEnd]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q needs `value [timestamp]` after the name", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` into dst.
+func parseLabels(body string, dst map[string]string) error {
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", body)
+		}
+		key := body[:eq]
+		if !validLabelName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		body = body[eq+1:]
+		if !strings.HasPrefix(body, `"`) {
+			return fmt.Errorf("label %q value is not quoted", key)
+		}
+		val, rest, err := unquoteLabel(body)
+		if err != nil {
+			return err
+		}
+		if _, dup := dst[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		dst[key] = val
+		body = strings.TrimPrefix(rest, ",")
+	}
+	return nil
+}
+
+// unquoteLabel consumes a quoted label value honoring \" \\ \n escapes.
+func unquoteLabel(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value in %q", s)
+}
+
+// parseValue accepts Go float syntax plus Prometheus's +Inf/-Inf/NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFamily enforces per-type structure: counters must not be negative,
+// histograms must expose cumulative buckets ending in +Inf with matching
+// _count.
+func checkFamily(f Family) error {
+	switch f.Type {
+	case "counter":
+		for _, s := range f.Samples {
+			if s.Value < 0 {
+				return fmt.Errorf("counter %s has negative value %v", s.Name, s.Value)
+			}
+		}
+	case "histogram":
+		var buckets []Sample
+		var count *Sample
+		for i := range f.Samples {
+			s := f.Samples[i]
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"):
+				buckets = append(buckets, s)
+			case strings.HasSuffix(s.Name, "_count"):
+				count = &f.Samples[i]
+			}
+		}
+		if len(buckets) == 0 {
+			return fmt.Errorf("histogram %s exposes no _bucket series", f.Name)
+		}
+		prev := math.Inf(-1)
+		var prevCount float64
+		for _, b := range buckets {
+			leRaw, ok := b.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s bucket lacks an le label", f.Name)
+			}
+			le, err := parseValue(leRaw)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, leRaw)
+			}
+			if le <= prev {
+				return fmt.Errorf("histogram %s buckets not in ascending le order", f.Name)
+			}
+			if b.Value < prevCount {
+				return fmt.Errorf("histogram %s buckets not cumulative at le=%q", f.Name, leRaw)
+			}
+			prev, prevCount = le, b.Value
+		}
+		last := buckets[len(buckets)-1]
+		if !math.IsInf(prev, 1) {
+			return fmt.Errorf("histogram %s lacks the +Inf bucket", f.Name)
+		}
+		if count != nil && count.Value != last.Value {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", f.Name, last.Value, count.Value)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE comment per family, counters suffixed
+// _total, histograms expanded into cumulative _bucket{le="..."} series plus
+// _sum and _count, and a final +Inf bucket. Metric names are sanitized to
+// the [a-zA-Z_:][a-zA-Z0-9_:]* grammar. Output order follows the snapshot's
+// stable name order, so identical registry state renders byte-identically —
+// the same determinism contract as WriteNDJSON.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, e := range s.Entries {
+		name := PromName(e.Name)
+		switch e.Kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				name += "_total"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, promFloat(e.Value)); err != nil {
+				return err
+			}
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			for _, b := range e.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b.LE), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				name, e.Count, name, promFloat(e.Value), name, e.Count); err != nil {
+				return err
+			}
+		default: // gauge
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(e.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PromName sanitizes an internal metric name to the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid rune becomes an underscore and a
+// leading digit gets one prepended.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, with infinities spelled +Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/obs/promcheck"
+)
+
+// TestHistogramQuantileAgainstExactSamples is the satellite property test:
+// for random sample sets, the bucket-interpolated quantile must land within
+// one bucket width of the exact order-statistic quantile.
+func TestHistogramQuantileAgainstExactSamples(t *testing.T) {
+	bounds := []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%200) + 1
+		h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+		samples := make([]float64, count)
+		for i := range samples {
+			samples[i] = math.Exp(rng.Float64()*6.5) - 0.5 // ~0.5 .. ~660
+			h.Observe(samples[i])
+		}
+		sort.Float64s(samples)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			got := h.Quantile(q)
+			rank := int(math.Ceil(q*float64(count))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			exact := samples[rank]
+			// The histogram cannot resolve beyond its bucket: got must fall
+			// inside (or at the edge of) the bucket containing the exact value.
+			lo, hi := bucketOf(bounds, exact)
+			if exact > bounds[len(bounds)-1] {
+				// Overflow: the histogram answers the last bound.
+				if got != bounds[len(bounds)-1] {
+					t.Logf("q=%v overflow: got %v, want last bound %v", q, got, bounds[len(bounds)-1])
+					return false
+				}
+				continue
+			}
+			if got < lo-1e-9 || got > hi+1e-9 {
+				t.Logf("q=%v: interpolated %v outside exact value %v's bucket [%v,%v] (n=%d)", q, got, exact, lo, hi, count)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bucketOf returns the [lo, hi] bounds of the bucket holding v.
+func bucketOf(bounds []float64, v float64) (lo, hi float64) {
+	lo = 0
+	for _, b := range bounds {
+		if v <= b {
+			return lo, b
+		}
+		lo = b
+	}
+	return lo, math.Inf(1)
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile != 0")
+	}
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 10, 100)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(5)
+	q := h.Quantile(0.5)
+	if q <= 1 || q > 10 {
+		t.Fatalf("single observation at 5: q50 = %v, want within (1,10]", q)
+	}
+	// Every observation above the last bound: quantile saturates at it.
+	h2 := r.Histogram("over", 1, 2)
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want last bound 2", got)
+	}
+	// Clamping out-of-range q.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("q outside [0,1] not clamped")
+	}
+}
+
+// TestWritePrometheusParses validates the exposition against the strict
+// test-side grammar parser, covering all three kinds plus name sanitizing.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_acked").Add(42)
+	r.Counter("already_total").Inc()
+	r.Gauge("queue_fill").Set(0.75)
+	r.GaugeFunc("kernel-events.live", func() float64 { return 17 }) // needs sanitizing
+	r.CounterFunc("retx", func() uint64 { return 9 })
+	h := r.Histogram("latency_ms", 1, 5, 25)
+	for _, v := range []float64{0.5, 3, 4, 30} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promcheck.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	byName := map[string]promcheck.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f, ok := byName["events_acked_total"]; !ok || f.Type != "counter" || f.Samples[0].Value != 42 {
+		t.Fatalf("events_acked_total family wrong: %+v", byName)
+	}
+	if _, ok := byName["already_total_total"]; ok {
+		t.Fatal("_total suffix was doubled")
+	}
+	if f, ok := byName["already_total"]; !ok || f.Type != "counter" {
+		t.Fatal("counter already ending in _total renamed")
+	}
+	if f, ok := byName["kernel_events_live"]; !ok || f.Samples[0].Value != 17 {
+		t.Fatalf("sanitized gauge missing: %s", buf.String())
+	}
+	hist, ok := byName["latency_ms"]
+	if !ok || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing:\n%s", buf.String())
+	}
+	// 3 finite buckets + +Inf + _sum + _count.
+	if len(hist.Samples) != 6 {
+		t.Fatalf("histogram has %d samples, want 6: %+v", len(hist.Samples), hist.Samples)
+	}
+
+	// Determinism: a second snapshot of identical state renders identically.
+	var buf2 bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("WritePrometheus is not byte-deterministic")
+	}
+}
+
+func TestPromNameGrammar(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":        "ok_name",
+		"with-dash.dots": "with_dash_dots",
+		"9leading":       "_9leading",
+		"":               "_",
+		"colons:fine":    "colons:fine",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromcheckRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"no_value_here\n",
+		"# TYPE x bogus\nx 1\n",
+		"# TYPE h histogram\nh_bucket{le=\"5\"} 3\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 3\n", // le order
+		"# TYPE m counter\nm -4\n",
+		"undeclared_sample 3\n",
+	}
+	for _, in := range bad {
+		if _, err := promcheck.Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("promcheck accepted invalid exposition:\n%s", in)
+		}
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(nil) // nil-safe
+	s := r.Snapshot()
+	for _, name := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_pause_total_seconds", "go_gc_cycles", "go_heap_objects"} {
+		e, ok := s.Get(name)
+		if !ok {
+			t.Fatalf("runtime metric %s missing", name)
+		}
+		if name == "go_goroutines" && e.Value < 1 {
+			t.Fatalf("goroutines = %v, want >= 1", e.Value)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := promcheck.Parse(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("runtime metrics exposition invalid: %v", err)
+	}
+}

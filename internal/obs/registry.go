@@ -98,6 +98,46 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile returns the value at rank q in [0,1], linearly interpolated
+// within the bucket where the cumulative count crosses q*n. Observations in
+// the overflow bucket (above the last bound) answer the last bound — the
+// histogram cannot see past it. The first bucket interpolates from zero,
+// matching Prometheus's histogram_quantile convention, so Quantile is the
+// shared quantile primitive for burn-rate math and /statz summaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var cum uint64
+	for i, c := range h.counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	// Rank lands in the overflow bucket: everything we know is that the
+	// value exceeds the last bound.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // CumulativeBuckets returns (bound, cumulative count) pairs in bound order.
 func (h *Histogram) CumulativeBuckets() []Bucket {
 	if h == nil {

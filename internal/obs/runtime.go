@@ -1,0 +1,37 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics wires the Go runtime's health signals into r as
+// lazily-evaluated gauges: goroutine count, heap occupancy, cumulative GC
+// pause time and cycle count. They are sampled only at Snapshot time
+// (ReadMemStats stops the world briefly, so this belongs on a scrape path,
+// never a simulation hot path) and exist for the service processes —
+// qoeserve's /metricz and the optional -debug-addr listener — not for the
+// deterministic simulation, whose registries must stay wall-clock-free.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc("go_heap_objects", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapObjects)
+	})
+	r.GaugeFunc("go_gc_pause_total_seconds", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("go_gc_cycles", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+}

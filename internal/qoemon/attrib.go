@@ -1,0 +1,132 @@
+package qoemon
+
+import "sort"
+
+// layerMetrics are the attribution share streams fleet.EmitReport produces:
+// four events per QoE incident, each carrying one layer's share of the
+// incident's latency.
+var layerMetrics = [4]struct{ layer, metric string }{
+	{"app", "attrib_app_share"},
+	{"radio", "attrib_radio_share"},
+	{"transport", "attrib_transport_share"},
+	{"server", "attrib_server_share"},
+}
+
+// Breakdown is the cross-layer diagnosis attached to an alert: the mean
+// share of incident latency each layer owned across the retained history
+// of the alert's (cell, workload, cohort) series.
+type Breakdown struct {
+	App       float64 `json:"app"`
+	Radio     float64 `json:"radio"`
+	Transport float64 `json:"transport"`
+	Server    float64 `json:"server"`
+	// Incidents counts the attributed QoE incidents behind the means.
+	Incidents uint64 `json:"incidents"`
+	// Top names the dominant layer (ties break radio > transport > server
+	// > app — actionable-first, matching analyzer.Attribution.Top).
+	Top string `json:"top"`
+}
+
+func (b *Breakdown) share(layer string) *float64 {
+	switch layer {
+	case "app":
+		return &b.App
+	case "radio":
+		return &b.Radio
+	case "transport":
+		return &b.Transport
+	default:
+		return &b.Server
+	}
+}
+
+func (b *Breakdown) resolveTop() {
+	top, best := "app", b.App
+	for _, c := range []struct {
+		name  string
+		share float64
+	}{{"server", b.Server}, {"transport", b.Transport}, {"radio", b.Radio}} {
+		if c.share >= best {
+			top, best = c.name, c.share
+		}
+	}
+	b.Top = top
+}
+
+// cwc is the attribution join key: a series identity minus the metric.
+type cwc struct{ cell, workload, cohort string }
+
+// attribIndex aggregates the four attribution streams into one Breakdown
+// per (cell, workload, cohort). Deterministic: built from SeriesCounts
+// (sorted, stable) with no map-order dependence in the output values.
+func (m *Monitor) attribIndex() map[cwc]*Breakdown {
+	idx := make(map[cwc]*Breakdown)
+	type acc struct{ sum, count float64 }
+	sums := make(map[cwc]map[string]acc)
+	for _, lm := range layerMetrics {
+		for _, ser := range m.store.SeriesCounts(lm.metric, 1) {
+			k := cwc{ser.Key.Cell, ser.Key.Workload, ser.Key.Cohort}
+			if sums[k] == nil {
+				sums[k] = make(map[string]acc)
+			}
+			a := sums[k][lm.layer]
+			for _, w := range ser.Windows {
+				a.sum += w.Sum
+				a.count += float64(w.Count)
+			}
+			sums[k][lm.layer] = a
+		}
+	}
+	for k, layers := range sums {
+		bd := &Breakdown{}
+		for _, lm := range layerMetrics {
+			a := layers[lm.layer]
+			if a.count > 0 {
+				*bd.share(lm.layer) = a.sum / a.count
+				if uint64(a.count) > bd.Incidents {
+					bd.Incidents = uint64(a.count)
+				}
+			}
+		}
+		bd.resolveTop()
+		idx[k] = bd
+	}
+	return idx
+}
+
+// AttribEntry is one row of the /attrib feed.
+type AttribEntry struct {
+	Cell      string    `json:"cell"`
+	Workload  string    `json:"workload"`
+	Cohort    string    `json:"cohort,omitempty"`
+	Breakdown Breakdown `json:"breakdown"`
+}
+
+// AttribSummary returns the per-series layer breakdowns, sorted by
+// (cell, workload, cohort) — the /attrib endpoint body.
+func (m *Monitor) AttribSummary() []AttribEntry {
+	idx := m.attribIndex()
+	keys := make([]cwc, 0, len(idx))
+	for k := range idx {
+		keys = append(keys, k)
+	}
+	sortCWC(keys)
+	out := make([]AttribEntry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, AttribEntry{Cell: k.cell, Workload: k.workload, Cohort: k.cohort, Breakdown: *idx[k]})
+	}
+	return out
+}
+
+func sortCWC(keys []cwc) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.cell != b.cell {
+			return a.cell < b.cell
+		}
+		if a.workload != b.workload {
+			return a.workload < b.workload
+		}
+		return a.cohort < b.cohort
+	})
+}

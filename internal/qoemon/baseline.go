@@ -1,0 +1,64 @@
+package qoemon
+
+import "sort"
+
+// BaselineStatus reports the regression check for one series at its latest
+// window: the current window mean against the median of the historical
+// window means, with a MAD (median absolute deviation) band. Median/MAD is
+// the robust pair — one past outage in the history shifts a mean-and-stddev
+// baseline, but barely moves the median.
+type BaselineStatus struct {
+	Current   float64 `json:"current"`   // latest window mean
+	Median    float64 `json:"median"`    // median of historical window means
+	MAD       float64 `json:"mad"`       // median absolute deviation
+	Limit     float64 `json:"limit"`     // regression threshold: median + K·MAD
+	History   int     `json:"history"`   // historical windows considered
+	Regressed bool    `json:"regressed"` // current above the limit
+}
+
+func median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// baseline evaluates the regression check: history is the ordered list of
+// prior window means, current the latest window's mean. k scales the MAD
+// band; minHist gates the check until enough history exists (a two-window
+// history proves nothing). When MAD is zero (a perfectly flat history) any
+// increase beyond the median itself regresses only if it exceeds the
+// median by the relative floor — a flat-zero history plus any nonzero
+// current is the canonical new-regression shape and must fire.
+func baseline(history []float64, current float64, k float64, minHist int) BaselineStatus {
+	st := BaselineStatus{Current: current, History: len(history)}
+	if len(history) < minHist {
+		return st
+	}
+	st.Median = median(history)
+	devs := make([]float64, len(history))
+	for i, x := range history {
+		d := x - st.Median
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = d
+	}
+	st.MAD = median(devs)
+	band := k * st.MAD
+	if band == 0 {
+		// Flat history: allow 20% headroom over the median (or any increase
+		// at all over an all-zero history).
+		band = 0.2 * st.Median
+	}
+	st.Limit = st.Median + band
+	st.Regressed = current > st.Limit
+	return st
+}

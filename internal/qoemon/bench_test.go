@@ -1,0 +1,207 @@
+package qoemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qoestore"
+)
+
+// seedSeries ingests `keys` distinct series (unique cells) with `windows`
+// aggregation windows each, directly via Store.Ingest — one event per
+// (series, window) keeps the fixture cheap at 10k keys.
+func seedSeries(tb testing.TB, s *qoestore.Store, keys, windows int) {
+	tb.Helper()
+	const batch = 4096
+	evs := make([]qoestore.Event, 0, batch)
+	seq := uint64(0)
+	flush := func() {
+		if len(evs) == 0 {
+			return
+		}
+		if _, err := s.Ingest(evs); err != nil {
+			tb.Fatal(err)
+		}
+		evs = evs[:0]
+	}
+	for k := 0; k < keys; k++ {
+		for w := 0; w < windows; w++ {
+			seq++
+			evs = append(evs, qoestore.Event{
+				Source: "bench", Seq: seq,
+				At:       time.Duration(w)*time.Minute + time.Second,
+				Cell:     fmt.Sprintf("cell-%05d", k),
+				Workload: "youtube", Metric: "rebuffer_ratio",
+				// Alternate good/bad series so the state machine does real work.
+				Value: float64(k%2) * 0.5,
+			})
+			if len(evs) == batch {
+				flush()
+			}
+		}
+	}
+	flush()
+}
+
+func benchMonitor(tb testing.TB, s *qoestore.Store) *Monitor {
+	tb.Helper()
+	m, err := New(s, Config{SLOs: []SLO{testSLO(fastPairs())}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkEvaluate10kSeries: one full deterministic evaluation pass over
+// 10k SLO series keys with 8 retained windows each.
+func BenchmarkEvaluate10kSeries(b *testing.B) {
+	s := openBenchStore(b)
+	defer s.Close()
+	seedSeries(b, s, 10_000, 8)
+	m := benchMonitor(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := m.Evaluate()
+		if len(ev.Statuses) != 10_000 {
+			b.Fatalf("evaluated %d series, want 10000", len(ev.Statuses))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(10_000*float64(b.N)/b.Elapsed().Seconds(), "series/s")
+}
+
+// BenchmarkPrometheusEncode: the /metricz?format=prometheus encode cost for
+// a registry shaped like a live qoeserve (counters, gauges, histograms).
+func BenchmarkPrometheusEncode(b *testing.B) {
+	reg := benchRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Snapshot().WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func openBenchStore(tb testing.TB) *qoestore.Store {
+	tb.Helper()
+	s, err := qoestore.Open(tb.TempDir(), qoestore.Config{Window: time.Minute, NoSync: true, Retain: 16})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// benchRegistry builds a registry of ~300 instruments — the shape of a
+// collector serving a mid-size fleet.
+func benchRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	for i := 0; i < 100; i++ {
+		reg.Counter(fmt.Sprintf("bench_counter_%03d", i)).Add(i * 7)
+		reg.Gauge(fmt.Sprintf("bench_gauge_%03d", i)).Set(float64(i) * 1.5)
+		h := reg.Histogram(fmt.Sprintf("bench_hist_%03d", i), 0.01, 0.1, 1, 10)
+		for j := 0; j < 16; j++ {
+			h.Observe(float64(j) * 0.9)
+		}
+	}
+	return reg
+}
+
+// TestWriteBenchPR7JSON measures the monitoring hot paths — a full SLO
+// evaluation over 10k series keys and the Prometheus text encode of a
+// ~300-instrument registry — and writes the record to the file named by
+// BENCH_PR7_JSON (skipped when unset; `make bench-qoemon` sets it). It
+// fails if evaluation cannot sustain 100k series/s or one Prometheus
+// encode exceeds 10ms: the monitor shares a process with ingest, so a
+// slow evaluation pass would stall the collector it watches.
+func TestWriteBenchPR7JSON(t *testing.T) {
+	out := os.Getenv("BENCH_PR7_JSON")
+	if out == "" {
+		t.Skip("BENCH_PR7_JSON not set")
+	}
+
+	const keys, windows = 10_000, 8
+	s := openBenchStore(t)
+	defer s.Close()
+	seedSeries(t, s, keys, windows)
+	m := benchMonitor(t, s)
+
+	// Best-of-3 full passes discards warm-up noise.
+	var evalBest time.Duration
+	var statuses int
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		ev := m.Evaluate()
+		el := time.Since(start)
+		statuses = len(ev.Statuses)
+		if round == 0 || el < evalBest {
+			evalBest = el
+		}
+	}
+	if statuses != keys {
+		t.Fatalf("evaluated %d series, want %d", statuses, keys)
+	}
+	seriesPerS := float64(keys) / evalBest.Seconds()
+
+	reg := benchRegistry()
+	var encBest time.Duration
+	var encBytes int
+	for round := 0; round < 5; round++ {
+		var n countWriter
+		start := time.Now()
+		if err := reg.Snapshot().WritePrometheus(&n); err != nil {
+			t.Fatal(err)
+		}
+		el := time.Since(start)
+		encBytes = n.n
+		if round == 0 || el < encBest {
+			encBest = el
+		}
+	}
+
+	doc := struct {
+		Workload    string  `json:"workload"`
+		SeriesKeys  int     `json:"series_keys"`
+		Windows     int     `json:"windows_per_series"`
+		EvalMs      float64 `json:"eval_ms"`
+		SeriesPerS  float64 `json:"series_per_sec"`
+		PromEncUs   float64 `json:"prometheus_encode_us"`
+		PromEncByte int     `json:"prometheus_encode_bytes"`
+	}{
+		Workload:   fmt.Sprintf("%d series x %d windows full SLO evaluation; Prometheus encode of a %d-instrument registry", keys, windows, 300),
+		SeriesKeys: keys, Windows: windows,
+		EvalMs:      float64(evalBest.Microseconds()) / 1e3,
+		SeriesPerS:  seriesPerS,
+		PromEncUs:   float64(encBest.Nanoseconds()) / 1e3,
+		PromEncByte: encBytes,
+	}
+
+	if seriesPerS < 100_000 {
+		t.Errorf("evaluation = %.0f series/s, floor is 100k", seriesPerS)
+	}
+	if encBest > 10*time.Millisecond {
+		t.Errorf("prometheus encode = %v, budget is 10ms", encBest)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: eval %.1fms (%.0f series/s), prometheus encode %.0fus / %d bytes",
+		out, doc.EvalMs, seriesPerS, doc.PromEncUs, encBytes)
+}
+
+type countWriter struct{ n int }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,165 @@
+package qoemon_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/apps/youtube"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/qoemon"
+	"repro/internal/qoestore"
+)
+
+// lossyScenario is the acceptance scenario: one clean UE and one UE behind
+// a Gilbert–Elliott burst-loss channel, both streaming video in the same
+// cell. The lossy UE's cohort separates its series so the clean cohort
+// proves the negative (no alert without the fault).
+func lossyScenario() fleet.Scenario {
+	ge := faults.GEForMeanLoss(0.12, 8)
+	ues := fleet.UniformUEs(2)
+	ues[1].Cohort = "lossy"
+	ues[1].Faults = &faults.Plan{GE: &ge}
+	// A stalled stream is abandoned after 20s so the watch completes and
+	// its (terrible) rebuffer ratio reaches the report — matching a real
+	// user giving up on a dead video.
+	for i := range ues {
+		ues[i].YouTube = youtube.Config{StallTimeout: 20 * time.Second}
+	}
+	return fleet.Scenario{
+		Seed:     42,
+		UEs:      ues,
+		Workload: fleet.YouTubeWorkload{Videos: 2},
+	}
+}
+
+// runPipeline executes the scenario, streams the report into a fresh store
+// at dir, and returns the store (caller closes).
+func runPipeline(t *testing.T, dir string) *qoestore.Store {
+	t.Helper()
+	f, err := fleet.Build(lossyScenario(), fleet.WithHorizon(150*time.Second), fleet.WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Drive()
+	f.K.RunUntil(300 * time.Second)
+	f.CloseObs()
+	report := f.Report()
+
+	s, err := qoestore.Open(dir, qoestore.Config{Window: 30 * time.Second, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := qoestore.NewEmitter(s, qoestore.EmitterConfig{Source: "fleet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := fleet.EmitReport(em, f, report); n == 0 {
+		t.Fatal("fleet emitted no events")
+	}
+	em.Close()
+	return s
+}
+
+func monitorFor(t *testing.T, s *qoestore.Store) *qoemon.Monitor {
+	t.Helper()
+	slo, err := qoemon.ParseSLO("rebuffer_ratio p95 < 0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := qoemon.New(s, qoemon.Config{SLOs: []qoemon.SLO{slo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGELossFiresRebufferAlertWithRadioAttribution is the acceptance
+// criterion end to end: the burst-loss cohort's rebuffer_ratio SLO fires,
+// the alert carries a cross-layer breakdown, and that breakdown names the
+// radio layer — the fault chain models link-layer loss, and its drop
+// instants inside the QoE windows are what pin the stalls on radio rather
+// than transport.
+func TestGELossFiresRebufferAlertWithRadioAttribution(t *testing.T) {
+	s := runPipeline(t, t.TempDir())
+	defer s.Close()
+	ev := monitorFor(t, s).Evaluate()
+
+	var lossy, clean *qoemon.Status
+	for i := range ev.Statuses {
+		st := &ev.Statuses[i]
+		if st.Key.Cohort == "lossy" {
+			lossy = st
+		} else {
+			clean = st
+		}
+	}
+	if lossy == nil {
+		t.Fatalf("no lossy-cohort series evaluated: %+v", ev.Statuses)
+	}
+	if lossy.State != qoemon.SevPage {
+		t.Fatalf("lossy cohort state = %v, want page; status %+v", lossy.State, lossy)
+	}
+	if clean != nil && clean.State != qoemon.SevOK {
+		t.Fatalf("clean cohort state = %v, want ok; status %+v", clean.State, clean)
+	}
+	if lossy.Attribution == nil {
+		t.Fatal("page alert carries no attribution")
+	}
+	if lossy.Attribution.Top != "radio" {
+		t.Fatalf("attribution names %q, want radio: %+v", lossy.Attribution.Top, lossy.Attribution)
+	}
+	if lossy.Attribution.Incidents == 0 {
+		t.Fatalf("attribution built from no incidents: %+v", lossy.Attribution)
+	}
+}
+
+// TestPipelineDeterministicAcrossRerunsAndRestart: the /alerts and /attrib
+// bodies must be byte-identical for (a) two independent simulations of the
+// same seed into two fresh stores and (b) the same store after a close and
+// WAL-replay reopen.
+func TestPipelineDeterministicAcrossRerunsAndRestart(t *testing.T) {
+	read := func(s *qoestore.Store) (string, string) {
+		mux := http.NewServeMux()
+		monitorFor(t, s).Mount(mux)
+		get := func(path string) string {
+			rr := httptest.NewRecorder()
+			mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+			if rr.Code != 200 {
+				t.Fatalf("%s = %d", path, rr.Code)
+			}
+			return rr.Body.String()
+		}
+		return get("/alerts"), get("/attrib")
+	}
+
+	dirA := t.TempDir()
+	sA := runPipeline(t, dirA)
+	alertsA, attribA := read(sA)
+
+	sB := runPipeline(t, t.TempDir())
+	defer sB.Close()
+	alertsB, attribB := read(sB)
+	if alertsA != alertsB {
+		t.Fatalf("/alerts differs between identical reruns:\nA: %s\nB: %s", alertsA, alertsB)
+	}
+	if attribA != attribB {
+		t.Fatalf("/attrib differs between identical reruns:\nA: %s\nB: %s", attribA, attribB)
+	}
+
+	sA.Close()
+	sA2, err := qoestore.Open(dirA, qoestore.Config{Window: 30 * time.Second, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sA2.Close()
+	alertsR, attribR := read(sA2)
+	if alertsA != alertsR {
+		t.Fatalf("/alerts differs after restart + WAL replay:\nbefore: %s\nafter:  %s", alertsA, alertsR)
+	}
+	if attribA != attribR {
+		t.Fatalf("/attrib differs after restart + WAL replay:\nbefore: %s\nafter:  %s", attribA, attribR)
+	}
+}

@@ -1,0 +1,265 @@
+package qoemon
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"time"
+
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/qoestore"
+)
+
+// Config tunes the monitor.
+type Config struct {
+	// SLOs are the objectives to evaluate; at least one is required.
+	SLOs []SLO
+	// ClearAfter is the hysteresis: how many consecutive windows must
+	// evaluate below the current state before the alert steps down
+	// (default 2). Step-up is always immediate — paging late is worse than
+	// paging twice.
+	ClearAfter int
+	// BaselineK scales the MAD band of the regression check (default 5).
+	BaselineK float64
+	// BaselineMinHistory gates the regression check until this many prior
+	// windows exist (default 6).
+	BaselineMinHistory int
+	// Metrics receives evaluation counters and active-alert gauges.
+	Metrics *obs.Registry
+	// Log receives one structured record per evaluation; nil disables.
+	Log *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 2
+	}
+	if c.BaselineK <= 0 {
+		c.BaselineK = 5
+	}
+	if c.BaselineMinHistory <= 0 {
+		c.BaselineMinHistory = 6
+	}
+	return c
+}
+
+// Monitor evaluates a set of SLOs against a store. It holds no evaluation
+// state: every Evaluate is a pure fold over the store's retained windows,
+// which is what makes alerting deterministic — the alert history is
+// recomputed from the same windows every time, so a restart (WAL replay)
+// or a rerun of the same simulation answers byte-identically.
+type Monitor struct {
+	store *qoestore.Store
+	cfg   Config
+
+	// Atomic because Evaluate runs concurrently under the HTTP handlers;
+	// exposed through the registry as lazy funcs.
+	cEvals atomic.Uint64
+	gPage  atomic.Int64
+	gWarn  atomic.Int64
+}
+
+// New validates the SLO set and builds a monitor over store.
+func New(store *qoestore.Store, cfg Config) (*Monitor, error) {
+	if store == nil {
+		return nil, fmt.Errorf("qoemon: nil store")
+	}
+	if len(cfg.SLOs) == 0 {
+		return nil, fmt.Errorf("qoemon: no SLOs configured")
+	}
+	seen := map[string]bool{}
+	for _, s := range cfg.SLOs {
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("qoemon: duplicate SLO name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	m := &Monitor{store: store, cfg: cfg.withDefaults()}
+	if reg := cfg.Metrics; reg != nil {
+		reg.CounterFunc("qoemon_evaluations", m.cEvals.Load)
+		reg.GaugeFunc("qoemon_active_page", func() float64 { return float64(m.gPage.Load()) })
+		reg.GaugeFunc("qoemon_active_warn", func() float64 { return float64(m.gWarn.Load()) })
+	}
+	return m, nil
+}
+
+// SLOs returns the configured objectives (for /slo and qoewatch).
+func (m *Monitor) SLOs() []SLO { return m.cfg.SLOs }
+
+// BurnStatus is one burn pair's reading at a series' latest window.
+type BurnStatus struct {
+	Pair   BurnPair `json:"pair"`
+	Short  float64  `json:"short_burn"`
+	Long   float64  `json:"long_burn"`
+	Firing bool     `json:"firing"`
+}
+
+// Transition is one alert state change, stamped in window index and
+// virtual time.
+type Transition struct {
+	Index int64         `json:"window"`
+	At    time.Duration `json:"at_ns"`
+	From  Severity      `json:"from"`
+	To    Severity      `json:"to"`
+}
+
+// Status is one (SLO, series) evaluation: the current alert state, when it
+// was entered, the latest burn readings, the baseline check, the full
+// transition history, and — for active alerts — the cross-layer
+// attribution naming the responsible layer.
+type Status struct {
+	SLO string       `json:"slo"`
+	Key qoestore.Key `json:"key"`
+
+	State      Severity      `json:"state"`
+	SinceIndex int64         `json:"since_window"`
+	Since      time.Duration `json:"since_ns"`
+
+	LatestIndex int64         `json:"latest_window"`
+	Latest      time.Duration `json:"latest_ns"`
+
+	Burns       []BurnStatus   `json:"burns"`
+	Baseline    BaselineStatus `json:"baseline"`
+	Transitions []Transition   `json:"transitions,omitempty"`
+	Attribution *Breakdown     `json:"attribution,omitempty"`
+}
+
+// Evaluation is one full monitor pass: every (SLO, series) status plus the
+// active-alert subset. Field order and slice order are deterministic.
+type Evaluation struct {
+	Window   time.Duration `json:"window_ns"`
+	Statuses []Status      `json:"slos"`
+	Alerts   []Status      `json:"alerts"`
+}
+
+// Evaluate runs every SLO against the store's current windows.
+func (m *Monitor) Evaluate() Evaluation {
+	win := m.store.WindowDur()
+	ev := Evaluation{Window: win, Statuses: []Status{}, Alerts: []Status{}}
+	attribs := m.attribIndex()
+	for _, slo := range m.cfg.SLOs {
+		for _, ser := range m.store.SeriesCounts(slo.Metric, slo.Threshold) {
+			st := m.evalSeries(slo, ser, win)
+			if st.State > SevOK {
+				st.Attribution = attribs[cwc{ser.Key.Cell, ser.Key.Workload, ser.Key.Cohort}]
+				ev.Alerts = append(ev.Alerts, st)
+			}
+			ev.Statuses = append(ev.Statuses, st)
+		}
+	}
+	m.cEvals.Add(1)
+	pages, warns := 0, 0
+	for _, a := range ev.Alerts {
+		if a.State == SevPage {
+			pages++
+		} else {
+			warns++
+		}
+	}
+	m.gPage.Store(int64(pages))
+	m.gWarn.Store(int64(warns))
+	if m.cfg.Log != nil {
+		m.cfg.Log.Info("evaluate", "slos", len(m.cfg.SLOs),
+			"series", len(ev.Statuses), "alerts", len(ev.Alerts),
+			"page", pages, "warn", warns)
+	}
+	return ev
+}
+
+// winCount converts a burn window duration to a span of store windows.
+func winCount(d, win time.Duration) int64 {
+	n := int64((d + win - 1) / win)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// evalSeries folds the alert state machine over one series' windows.
+// Burn rates use prefix sums over the (possibly sparse) retained windows;
+// a gap with no observations simply contributes nothing to either side of
+// the ratio.
+func (m *Monitor) evalSeries(slo SLO, ser qoestore.Series, win time.Duration) Status {
+	ws := ser.Windows
+	n := len(ws)
+	st := Status{SLO: slo.Name, Key: ser.Key}
+	if n == 0 {
+		return st
+	}
+	cumC := make([]float64, n+1)
+	cumB := make([]float64, n+1)
+	for i, w := range ws {
+		cumC[i+1] = cumC[i] + float64(w.Count)
+		cumB[i+1] = cumB[i] + w.Bad
+	}
+	budget := slo.Budget()
+	// burnOver: error-budget burn over the span windows ending at position
+	// p — bad fraction divided by budget.
+	burnOver := func(p int, span int64) float64 {
+		lo := ws[p].Index - span // include windows with Index > lo
+		first := sort.Search(p+1, func(i int) bool { return ws[i].Index > lo })
+		c := cumC[p+1] - cumC[first]
+		if c == 0 {
+			return 0
+		}
+		return (cumB[p+1] - cumB[first]) / c / budget
+	}
+
+	pairs := slo.pairs()
+	state, calm := SevOK, 0
+	sinceIdx := ws[0].Index
+	means := make([]float64, 0, n)
+	for p := 0; p < n; p++ {
+		target := SevOK
+		last := p == n-1
+		for _, pair := range pairs {
+			sb := burnOver(p, winCount(pair.Short, win))
+			lb := burnOver(p, winCount(pair.Long, win))
+			firing := sb >= pair.Rate && lb >= pair.Rate
+			if firing && pair.Sev > target {
+				target = pair.Sev
+			}
+			if last {
+				st.Burns = append(st.Burns, BurnStatus{Pair: pair, Short: sb, Long: lb, Firing: firing})
+			}
+		}
+		mean := ws[p].Sum / float64(ws[p].Count)
+		base := baseline(means, mean, m.cfg.BaselineK, m.cfg.BaselineMinHistory)
+		means = append(means, mean)
+		if base.Regressed && target < SevWarn {
+			target = SevWarn
+		}
+		if last {
+			st.Baseline = base
+		}
+
+		switch {
+		case target > state:
+			// Step up immediately.
+			st.Transitions = append(st.Transitions, Transition{
+				Index: ws[p].Index, At: time.Duration(ws[p].Index) * win, From: state, To: target})
+			state, sinceIdx, calm = target, ws[p].Index, 0
+		case target < state:
+			// Step down only after ClearAfter consecutive calmer windows.
+			calm++
+			if calm >= m.cfg.ClearAfter {
+				st.Transitions = append(st.Transitions, Transition{
+					Index: ws[p].Index, At: time.Duration(ws[p].Index) * win, From: state, To: target})
+				state, sinceIdx, calm = target, ws[p].Index, 0
+			}
+		default:
+			calm = 0
+		}
+	}
+	st.State = state
+	st.SinceIndex = sinceIdx
+	st.Since = time.Duration(sinceIdx) * win
+	st.LatestIndex = ws[n-1].Index
+	st.Latest = time.Duration(ws[n-1].Index) * win
+	return st
+}

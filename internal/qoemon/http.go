@@ -1,0 +1,51 @@
+package qoemon
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Mount registers the monitoring endpoints on mux:
+//
+//	GET /slo     → {"window_ns":..., "slos":[Status...]}        every series
+//	GET /alerts  → {"window_ns":..., "alerts":[Status...]}      active only
+//	GET /attrib  → [AttribEntry...]                             layer shares
+//
+// Every response is recomputed from the store on each request (the monitor
+// is stateless), so the bodies are byte-identical for identical store
+// contents — the property qoewatch and the determinism tests rely on.
+func (m *Monitor) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		ev := m.Evaluate()
+		writeJSON(w, map[string]any{
+			"window_ns": ev.Window,
+			"slos":      ev.Statuses,
+		})
+	})
+	mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, r *http.Request) {
+		ev := m.Evaluate()
+		alerts := ev.Alerts
+		if state := r.URL.Query().Get("state"); state != "" {
+			filtered := make([]Status, 0, len(alerts))
+			for _, a := range alerts {
+				if a.State.String() == state {
+					filtered = append(filtered, a)
+				}
+			}
+			alerts = filtered
+		}
+		writeJSON(w, map[string]any{
+			"window_ns": ev.Window,
+			"alerts":    alerts,
+		})
+	})
+	mux.HandleFunc("GET /attrib", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, m.AttribSummary())
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -186,9 +188,27 @@ func (e *Emitter) flusher() {
 // payload, a closed store); the emitter drops such batches immediately.
 var ErrPermanent = errors.New("qoestore: permanent ingest error")
 
+// BackpressureError is a backpressure rejection carrying the server's
+// Retry-After hint. It unwraps to ErrBackpressure, so errors.Is checks keep
+// working; the emitter additionally extracts RetryAfter as the floor for
+// its next backoff delay — the server knows its queue depth, the emitter
+// does not.
+type BackpressureError struct {
+	RetryAfter time.Duration
+}
+
+func (b *BackpressureError) Error() string {
+	return fmt.Sprintf("%v (server asks retry after %v)", ErrBackpressure, b.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrBackpressure) true.
+func (b *BackpressureError) Unwrap() error { return ErrBackpressure }
+
 // push delivers one batch, retrying with capped exponential backoff plus
 // jitter until it lands or MaxRetries is exhausted (then the batch is
-// dropped with accounting — at-least-once, not at-all-costs).
+// dropped with accounting — at-least-once, not at-all-costs). A server
+// Retry-After hint floors the computed delay: backing off faster than the
+// collector asked for only re-earns the same 429.
 func (e *Emitter) push(batch []Event) {
 	for attempt := 0; ; attempt++ {
 		rec, err := e.dst.Ingest(batch)
@@ -202,7 +222,12 @@ func (e *Emitter) push(batch []Event) {
 			return
 		}
 		e.stat.retries.Add(1)
-		e.cfg.Sleep(e.backoff(attempt))
+		delay := e.backoff(attempt)
+		var bp *BackpressureError
+		if errors.As(err, &bp) && bp.RetryAfter > delay {
+			delay = bp.RetryAfter
+		}
+		e.cfg.Sleep(delay)
 	}
 }
 
@@ -284,7 +309,15 @@ func (h *HTTPIngestor) Ingest(events []Event) (IngestReceipt, error) {
 		err = json.NewDecoder(resp.Body).Decode(&rec)
 		return rec, err
 	case resp.StatusCode == http.StatusTooManyRequests:
-		return rec, fmt.Errorf("%w (server 429)", ErrBackpressure)
+		// Honor the server's Retry-After: it scales the hint with its queue
+		// depth, and the emitter uses it as the backoff floor.
+		var after time.Duration
+		if raw := resp.Header.Get("Retry-After"); raw != "" {
+			if secs, err := strconv.Atoi(strings.TrimSpace(raw)); err == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		return rec, &BackpressureError{RetryAfter: after}
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 {

@@ -54,11 +54,13 @@ func binOf(v float64) int {
 	return i
 }
 
+// binEdge returns the lower edge of fine-grid bin i.
+func binEdge(i int) float64 { return histMin * math.Pow(10, histDecades*float64(i)/FineBins) }
+
 // binMid returns the geometric midpoint of fine-grid bins [lo, hi] — the
 // representative value reported for quantiles landing in that range.
 func binMid(lo, hi int) float64 {
-	edge := func(i int) float64 { return histMin * math.Pow(10, histDecades*float64(i)/FineBins) }
-	return math.Sqrt(edge(lo) * edge(hi+1))
+	return math.Sqrt(binEdge(lo) * binEdge(hi+1))
 }
 
 // observe records one value (weight w, for replaying merged bins).
@@ -138,4 +140,37 @@ func (h *hist) mean() float64 {
 		return 0
 	}
 	return h.sum / float64(h.n)
+}
+
+// fracAbove returns the fraction of observations strictly above v,
+// log-interpolated within the bin containing v and clamped by the observed
+// min/max so degenerate histograms (all samples equal, or v outside the
+// observed range) answer exactly. This is the burn-rate primitive: an SLO's
+// bad fraction is fracAbove(threshold).
+func (h *hist) fracAbove(v float64) float64 {
+	if h.n == 0 || v >= h.max {
+		return 0
+	}
+	if v < h.min {
+		return 1
+	}
+	cb := binOf(v) / h.fold
+	var above uint64
+	for i := cb + 1; i < len(h.counts); i++ {
+		above += h.counts[i]
+	}
+	// Split the containing bin at v's log-scale position across its span.
+	lo, hi := binEdge(cb*h.fold), binEdge((cb+1)*h.fold)
+	frac := 1.0
+	if hi > lo && v > lo {
+		p := math.Log(v/lo) / math.Log(hi/lo)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		frac = 1 - p
+	}
+	return (float64(above) + frac*float64(h.counts[cb])) / float64(h.n)
 }

@@ -1,0 +1,247 @@
+package qoestore
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/promcheck"
+)
+
+func openSeriesStore(t *testing.T, window time.Duration) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Config{Window: window, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestSeriesCounts checks the windowed per-key scan the burn-rate engine
+// folds over: keys sorted, windows ascending, bad counts exact when values
+// fall in clearly separated bins.
+func TestSeriesCounts(t *testing.T) {
+	s := openSeriesStore(t, time.Minute)
+	var evs []Event
+	seq := uint64(0)
+	add := func(at time.Duration, cell string, v float64) {
+		seq++
+		evs = append(evs, Event{Source: "t", Seq: seq, At: at, Cell: cell, Workload: "yt", Metric: "rebuffer_ratio", Value: v})
+	}
+	// cellA: window 0 all good (0.001), window 1 all bad (0.5).
+	add(10*time.Second, "cellA", 0.001)
+	add(20*time.Second, "cellA", 0.001)
+	add(70*time.Second, "cellA", 0.5)
+	add(80*time.Second, "cellA", 0.5)
+	add(85*time.Second, "cellA", 0.5)
+	// cellB: one good event in window 0.
+	add(30*time.Second, "cellB", 0.002)
+	// Unrelated metric must not appear.
+	evs = append(evs, Event{Source: "t", Seq: 1000, At: time.Second, Cell: "cellA", Metric: "pageload_s", Value: 9})
+	if _, err := s.Ingest(evs); err != nil {
+		t.Fatal(err)
+	}
+
+	series := s.SeriesCounts("rebuffer_ratio", 0.02)
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2: %+v", len(series), series)
+	}
+	if series[0].Key.Cell != "cellA" || series[1].Key.Cell != "cellB" {
+		t.Fatalf("series not sorted by key: %+v", series)
+	}
+	a := series[0]
+	if len(a.Windows) != 2 || a.Windows[0].Index != 0 || a.Windows[1].Index != 1 {
+		t.Fatalf("cellA windows = %+v", a.Windows)
+	}
+	if a.Windows[0].Count != 2 || a.Windows[0].Bad != 0 {
+		t.Fatalf("cellA window 0 = %+v, want 2 good", a.Windows[0])
+	}
+	if a.Windows[1].Count != 3 || a.Windows[1].Bad != 3 {
+		t.Fatalf("cellA window 1 = %+v, want 3 bad", a.Windows[1])
+	}
+	if got := a.Windows[1].Sum; math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("cellA window 1 sum = %v, want 1.5", got)
+	}
+
+	// Determinism: the scan answers identically on repeat.
+	if !reflect.DeepEqual(series, s.SeriesCounts("rebuffer_ratio", 0.02)) {
+		t.Fatal("SeriesCounts not deterministic")
+	}
+
+	if got := s.Metrics(); !reflect.DeepEqual(got, []string{"pageload_s", "rebuffer_ratio"}) {
+		t.Fatalf("Metrics() = %v", got)
+	}
+}
+
+func TestFracAbove(t *testing.T) {
+	h := newHist(1)
+	for i := 0; i < 10; i++ {
+		h.observe(0.001, 1)
+	}
+	if got := h.fracAbove(0.02); got != 0 {
+		t.Fatalf("all below threshold: fracAbove = %v, want 0", got)
+	}
+	if got := h.fracAbove(0.0001); got != 1 {
+		t.Fatalf("all above threshold: fracAbove = %v, want 1", got)
+	}
+	// Exactly at the common value: nothing is strictly above.
+	if got := h.fracAbove(0.001); got != 0 {
+		t.Fatalf("threshold at max: fracAbove = %v, want 0", got)
+	}
+	h2 := newHist(1)
+	h2.observe(0.001, 5)
+	h2.observe(10, 5)
+	if got := h2.fracAbove(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("half above: fracAbove = %v, want 0.5", got)
+	}
+	// Empty histogram.
+	if got := newHist(1).fracAbove(1); got != 0 {
+		t.Fatalf("empty fracAbove = %v", got)
+	}
+	// Coarse histograms answer too (wider error bars, same contract).
+	hc := newHist(CoarseFold)
+	hc.observe(0.001, 4)
+	hc.observe(10, 4)
+	if got := hc.fracAbove(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("coarse half above: fracAbove = %v, want 0.5", got)
+	}
+}
+
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	cases := []struct {
+		fill float64
+		want int
+	}{{0, 1}, {0.2, 1}, {0.5, 3}, {1, 5}, {2, 5}, {-1, 1}}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.fill); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.fill, got, c.want)
+		}
+	}
+}
+
+// TestMetricsPrometheusEndpoint validates /metricz?format=prometheus under
+// the text-format grammar (acceptance criterion) and rejects bad formats.
+func TestMetricsPrometheusEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	s, err := Open(dir, Config{NoSync: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Ingest([]Event{{Source: "t", Seq: 1, Metric: "pageload_s", Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	reg.Histogram("req_ms", 1, 10, 100).Observe(4)
+	srv := NewServer(s, ServerConfig{Metrics: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metricz?format=prometheus", nil))
+	if rr.Code != 200 {
+		t.Fatalf("prometheus metricz = %d: %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	fams, err := promcheck.Parse(bytes.NewReader(rr.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, rr.Body.String())
+	}
+	found := map[string]bool{}
+	for _, f := range fams {
+		found[f.Name] = true
+	}
+	for _, want := range []string{"qoestore_events_acked_total", "req_ms"} {
+		if !found[want] {
+			t.Fatalf("family %s missing from exposition:\n%s", want, rr.Body.String())
+		}
+	}
+
+	// Unknown format is a 400, default stays NDJSON.
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metricz?format=xml", nil))
+	if rr.Code != 400 {
+		t.Fatalf("bad format = %d, want 400", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metricz", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Header().Get("Content-Type"), "ndjson") {
+		t.Fatalf("default metricz = %d %q", rr.Code, rr.Header().Get("Content-Type"))
+	}
+}
+
+// fakeBackpressure returns BackpressureError with a hint for the first N
+// calls, then succeeds.
+type fakeBackpressure struct {
+	fails int
+	hint  time.Duration
+	calls int
+}
+
+func (f *fakeBackpressure) Ingest(events []Event) (IngestReceipt, error) {
+	f.calls++
+	if f.calls <= f.fails {
+		return IngestReceipt{}, &BackpressureError{RetryAfter: f.hint}
+	}
+	return IngestReceipt{Accepted: len(events)}, nil
+}
+
+// TestEmitterHonorsRetryAfter: the server hint must floor the backoff delay
+// (the emitter's own first-attempt backoff is far below 3s).
+func TestEmitterHonorsRetryAfter(t *testing.T) {
+	dst := &fakeBackpressure{fails: 2, hint: 3 * time.Second}
+	var slept []time.Duration
+	em, err := NewEmitter(dst, EmitterConfig{
+		Source: "t",
+		Sleep:  func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Emit(Event{Metric: "m", Value: 1})
+	em.Close()
+	if st := em.Stats(); st.Delivered != 1 {
+		t.Fatalf("stats = %+v, want 1 delivered", st)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, d := range slept {
+		if d < 3*time.Second {
+			t.Fatalf("sleep %d = %v, below the 3s Retry-After floor", i, d)
+		}
+	}
+}
+
+// TestHTTPIngestorParsesRetryAfter drives the real header path end to end:
+// a 429 with Retry-After 4 must surface as a BackpressureError carrying 4s
+// and still satisfy errors.Is(err, ErrBackpressure).
+func TestHTTPIngestorParsesRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "4")
+		http.Error(w, "full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	ing := &HTTPIngestor{BaseURL: ts.URL}
+	_, err := ing.Ingest([]Event{{Source: "t", Seq: 1, Metric: "m", Value: 1}})
+	var bp *BackpressureError
+	if !errors.As(err, &bp) {
+		t.Fatalf("err = %v, want BackpressureError", err)
+	}
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("err = %v does not unwrap to ErrBackpressure", err)
+	}
+	if bp.RetryAfter != 4*time.Second {
+		t.Fatalf("RetryAfter = %v, want 4s", bp.RetryAfter)
+	}
+}

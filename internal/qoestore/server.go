@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -23,6 +24,9 @@ type ServerConfig struct {
 	// Metrics receives the server's shed/timeout counters and is served
 	// at /metricz (falls back to the store's registry view when nil).
 	Metrics *obs.Registry
+	// Log receives one structured record per ingest and query request
+	// (source, seq span, cell, status); nil disables request logging.
+	Log *slog.Logger
 }
 
 // Server is the HTTP/JSON API over a Store:
@@ -94,18 +98,43 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rec, err := s.store.Ingest(body.Events)
+	status := http.StatusOK
 	switch {
 	case errors.Is(err, ErrBackpressure):
 		s.cRetryAfter.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, err)
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.store.QueueFill())))
+		writeErr(w, status, err)
 	case errors.Is(err, ErrClosed):
-		writeErr(w, http.StatusServiceUnavailable, err)
+		status = http.StatusServiceUnavailable
+		writeErr(w, status, err)
 	case err != nil:
-		writeErr(w, http.StatusBadRequest, err)
+		status = http.StatusBadRequest
+		writeErr(w, status, err)
 	default:
-		writeJSON(w, http.StatusOK, rec)
+		writeJSON(w, status, rec)
 	}
+	if s.cfg.Log != nil {
+		first, last := body.Events[0], body.Events[len(body.Events)-1]
+		s.cfg.Log.Info("ingest",
+			"source", first.Source, "first_seq", first.Seq, "last_seq", last.Seq,
+			"cell", first.Cell, "events", len(body.Events), "status", status,
+			"accepted", rec.Accepted, "dups", rec.Dups, "shed", rec.Shed)
+	}
+}
+
+// retryAfterSeconds scales the 429 Retry-After hint with queue depth: a
+// barely-full queue asks for 1s, a saturated one for up to 5s, so a fleet
+// of emitters spreads its retries instead of hammering a drowning store in
+// lockstep. Emitters honor the hint as their backoff floor.
+func retryAfterSeconds(fill float64) int {
+	if fill < 0 {
+		fill = 0
+	}
+	if fill > 1 {
+		fill = 1
+	}
+	return 1 + int(fill*4)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -144,6 +173,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, o.res)
+		if s.cfg.Log != nil {
+			s.cfg.Log.Info("query", "metric", q.Metric, "cell", q.Cell,
+				"workload", q.Workload, "count", o.res.Count, "status", http.StatusOK)
+		}
 	case <-time.After(s.cfg.QueryTimeout):
 		s.cTimeout.Add(1)
 		writeErr(w, http.StatusGatewayTimeout, errors.New("query timed out"))
@@ -190,8 +223,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, errors.New("no metrics registry attached"))
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	_ = m.Snapshot().WriteNDJSON(w)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = m.Snapshot().WriteNDJSON(w)
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.Snapshot().WritePrometheus(w)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (ndjson | prometheus)", format))
+	}
 }
 
 // closedNow reports the intake state for readiness.

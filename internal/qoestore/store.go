@@ -502,6 +502,97 @@ func (s *Store) Run(q Query) (QueryResult, error) {
 	return res, nil
 }
 
+// WinAgg is one retained window's aggregate for one series key: the
+// observation count, exact sum, and the (interpolated) count of
+// observations above the threshold passed to SeriesCounts.
+type WinAgg struct {
+	Index    int64   `json:"index"` // window index: virtual time / WindowDur
+	Count    uint64  `json:"count"`
+	Sum      float64 `json:"sum"`
+	Bad      float64 `json:"bad"`
+	Degraded bool    `json:"degraded,omitempty"`
+}
+
+// Series is one key's ordered window history.
+type Series struct {
+	Key     Key
+	Windows []WinAgg // ascending by Index
+}
+
+// SeriesCounts returns, for every retained series key carrying metric, the
+// per-window observation counts with the fraction above threshold already
+// resolved into a bad count — the windowed input the qoemon burn-rate
+// engine folds over. Output is deterministic: keys sort by
+// (cell, workload, cohort) and windows ascend by index, so two stores with
+// identical contents (a rerun, or a WAL replay after restart) answer
+// byte-identically.
+func (s *Store) SeriesCounts(metric string, threshold float64) []Series {
+	s.mu.Lock()
+	byKey := make(map[Key]*Series)
+	for _, idx := range s.winOrder {
+		for k, h := range s.windows[idx].hists {
+			if k.Metric != metric || h.n == 0 {
+				continue
+			}
+			ser := byKey[k]
+			if ser == nil {
+				ser = &Series{Key: k}
+				byKey[k] = ser
+			}
+			ser.Windows = append(ser.Windows, WinAgg{
+				Index: idx, Count: h.n, Sum: h.sum,
+				Bad:      h.fracAbove(threshold) * float64(h.n),
+				Degraded: h.fold > 1,
+			})
+		}
+	}
+	s.mu.Unlock()
+
+	out := make([]Series, 0, len(byKey))
+	for _, ser := range byKey {
+		out = append(out, *ser)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Cell != b.Cell {
+			return a.Cell < b.Cell
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.Cohort < b.Cohort
+	})
+	return out
+}
+
+// Metrics returns the distinct metric names present in retained windows,
+// sorted — the discovery call behind wildcard SLOs and /attrib.
+func (s *Store) Metrics() []string {
+	s.mu.Lock()
+	seen := make(map[string]bool)
+	for _, w := range s.windows {
+		for k := range w.hists {
+			seen[k.Metric] = true
+		}
+	}
+	s.mu.Unlock()
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WindowDur is the store's configured aggregation window width.
+func (s *Store) WindowDur() time.Duration { return s.cfg.Window }
+
+// QueueFill is the instantaneous ingest queue occupancy in [0,1]; the HTTP
+// layer scales its Retry-After hint with it.
+func (s *Store) QueueFill() float64 {
+	return float64(len(s.reqs)) / float64(cap(s.reqs))
+}
+
 // Degraded reports whether the store is currently shedding load.
 func (s *Store) Degraded() bool {
 	s.mu.Lock()
