@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify cover chaos bench bench-analyzer bench-compare bench-fleet bench-qoestore bench-qoemon bench-all analyzer-golden sweep sweep-golden
+.PHONY: build test test-short verify cover chaos bench bench-analyzer bench-compare bench-fleet bench-fleet-compare bench-qoestore bench-qoemon bench-all analyzer-golden sweep sweep-golden
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,15 @@ verify: build
 	$(GO) test -race ./...
 	$(MAKE) cover
 	$(MAKE) chaos
+	$(MAKE) sharded-golden
+
+# The sharded fleet's determinism contract, pinned at both extremes of
+# runtime parallelism: the multi-cell mobility golden must render
+# byte-identically at GOMAXPROCS=1 and GOMAXPROCS=4 (the test also sweeps
+# shard worker counts internally).
+sharded-golden:
+	GOMAXPROCS=1 $(GO) test -run TestShardedFleetGolden -count=1 ./internal/fleet/
+	GOMAXPROCS=4 $(GO) test -run TestShardedFleetGolden -count=1 ./internal/fleet/
 
 # Coverage floor for the monitoring-critical packages: the SLO engine and
 # the durable store must each keep >= 80% statement coverage — an alert
@@ -73,8 +82,18 @@ bench-compare:
 # PR 5 fleet scaling record: ns/op and allocs/op per simulated UE at
 # N=1/8/64 on a shared cell. Writes BENCH_PR5.json and fails if the per-UE
 # cost at N=64 exceeds 2x the N=1 per-UE cost.
+# PR 8 sharded record: the 16-cell, 1024-UE fleet, serial and parallel shard
+# workers. Writes BENCH_PR8.json; fails if sharded per-UE-virtual-second
+# cost exceeds 2x the single-UE baseline, or (on >= 4 cores) if parallel
+# workers deliver < 2x speedup over workers=1.
 bench-fleet:
 	BENCH_PR5_JSON=$(CURDIR)/BENCH_PR5.json $(GO) test -run TestWriteBenchPR5JSON -v ./internal/fleet/
+	BENCH_PR8_JSON=$(CURDIR)/BENCH_PR8.json $(GO) test -run TestWriteBenchPR8JSON -v -timeout 40m ./internal/fleet/
+
+# Compare a fresh sharded measurement against the checked-in BENCH_PR8.json
+# baseline; fails on >20% per-UE-virtual-second regression.
+bench-fleet-compare:
+	BENCH_PR8_BASELINE=$(CURDIR)/BENCH_PR8.json $(GO) test -run TestBenchComparePR8 -v -timeout 20m ./internal/fleet/
 
 # PR 6 resilience record for the durable QoE store: sustained ingest
 # throughput with and without fsync, and query latency under hot concurrent

@@ -10,6 +10,8 @@
 //	qoefleet -ues 8 -gains 0.5:1.5        # linear link-quality spread
 //	qoefleet -ues 4 -trace fleet.json     # per-UE Chrome trace processes
 //	qoefleet -ues 8 -emit http://127.0.0.1:8711   # stream QoE into qoeserve
+//	qoefleet -ues 64 -cells 4             # sharded multi-cell grid, parallel kernels
+//	qoefleet -ues 64 -cells 4 -mobility 20  # UEs drive at 20 m/s, handovers emerge
 package main
 
 import (
@@ -84,6 +86,10 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	horizon := fs.Duration("horizon", 10*time.Minute, "virtual-time run length")
 	gains := fs.String("gains", "", "linear link-quality spread lo:hi across UEs (default: all 1)")
+	cells := fs.Int("cells", 1, "number of cells (grid topology; >1 shards the run, one kernel per cell)")
+	mobility := fs.Float64("mobility", 0, "UE speed in m/s across the topology (0 = static; requires -cells > 1)")
+	x2 := fs.Duration("x2", 0, "inter-cell X2 latency: handover forwarding delay and shard lookahead window (0 = 10ms)")
+	workers := fs.Int("workers", 0, "shard worker goroutines (0 = GOMAXPROCS; results identical at any count)")
 	engine := fs.String("analyzer", "parallel", "analyzer engine: parallel | serial")
 	traceOut := fs.String("trace", "", "write a merged Chrome trace (one process per UE) to this file")
 	emit := fs.String("emit", "", "stream QoE events to a qoeserve URL (e.g. http://127.0.0.1:8711)")
@@ -141,20 +147,40 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		opts = append(opts, fleet.WithTrace())
 	}
 
+	if *cells < 1 {
+		return fmt.Errorf("-cells must be at least 1, got %d", *cells)
+	}
+	if *mobility < 0 {
+		return fmt.Errorf("-mobility must not be negative, got %v", *mobility)
+	}
+	if *mobility > 0 && *cells < 2 {
+		return fmt.Errorf("-mobility needs a multi-cell topology (-cells > 1)")
+	}
+	if *x2 < 0 {
+		return fmt.Errorf("-x2 must not be negative, got %v", *x2)
+	}
+
 	scen := fleet.Scenario{
 		Seed:     *seed,
 		Cell:     fleet.CellSpec{Profile: prof, Policy: pol},
 		UEs:      specs,
 		Workload: wl,
 	}
+	if *cells > 1 {
+		scen.Topology = &fleet.TopologySpec{Cells: *cells, X2Latency: *x2}
+		opts = append(opts, fleet.WithWorkers(*workers))
+	}
+	if *mobility > 0 {
+		scen.Mobility = &fleet.MobilitySpec{SpeedMps: *mobility}
+	}
 	f, err := fleet.Build(scen, opts...)
 	if err != nil {
 		return err
 	}
-	logger.Info("fleet built", "ues", *ues, "policy", *policy, "workload", *workload,
+	logger.Info("fleet built", "ues", *ues, "cells", *cells, "policy", *policy, "workload", *workload,
 		"network", *network, "seed", *seed, "horizon", horizon.String())
 	f.Drive()
-	f.K.RunUntil(*horizon)
+	f.RunTo(*horizon)
 	f.CloseObs()
 	report := f.Report()
 	logger.Info("run complete", "ues", len(report.UEs), "virtual_time", horizon.String())

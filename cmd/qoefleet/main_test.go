@@ -37,6 +37,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"bad gains", []string{"-gains", "fast"}, "bad -gains"},
 		{"negative gains", []string{"-gains", "-1:2"}, "bad -gains"},
 		{"bad engine", []string{"-analyzer", "quantum"}, "unknown analyzer engine"},
+		{"zero cells", []string{"-cells", "0"}, "-cells must be at least 1"},
+		{"negative mobility", []string{"-mobility", "-3"}, "-mobility must not be negative"},
+		{"mobility without cells", []string{"-mobility", "10"}, "-mobility needs a multi-cell topology"},
+		{"negative x2", []string{"-cells", "2", "-x2", "-1ms"}, "-x2 must not be negative"},
 	}
 	for _, c := range cases {
 		_, err := runErr(t, c.args...)
@@ -136,6 +140,30 @@ func TestRunStructuredLogs(t *testing.T) {
 		if !msgs[want] {
 			t.Fatalf("no %q log record; got %v", want, msgs)
 		}
+	}
+}
+
+// TestRunMultiCellMobility: the sharded path through the CLI — a multi-cell
+// mobile fleet renders the per-cell report columns and is byte-identical
+// across worker counts.
+func TestRunMultiCellMobility(t *testing.T) {
+	args := func(workers string) []string {
+		return []string{"-ues", "6", "-cells", "4", "-mobility", "20", "-policy", "pf",
+			"-horizon", "90s", "-seed", "3", "-workers", workers}
+	}
+	serial, err := runErr(t, args("1")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(serial, "across 4 cells") || !strings.Contains(serial, "Cell") {
+		t.Fatalf("multi-cell report columns missing:\n%s", serial)
+	}
+	parallel, err := runErr(t, args("4")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel != serial {
+		t.Fatalf("-workers changed the report:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", serial, parallel)
 	}
 }
 

@@ -95,6 +95,33 @@ func (c *CrossLayer) lossEvidenceIn(from, to simtime.Time) lossEvidence {
 	return ev
 }
 
+// handoverStallIn sums the portion of connected-mode handover interruption
+// windows (radio-layer "rrc:handover" spans, emitted by the mobility
+// roamer) overlapping [from, to]. During those spans the data plane is
+// frozen by the RRC procedure, so any user wait they cover is radio time by
+// definition.
+func (c *CrossLayer) handoverStallIn(from, to simtime.Time) time.Duration {
+	f, t := time.Duration(from), time.Duration(to)
+	var total time.Duration
+	for i := range c.Session.Trace {
+		e := &c.Session.Trace[i]
+		if e.Kind != obs.KindSpan || e.Layer != obs.LayerRadio || e.Name != "rrc:handover" {
+			continue
+		}
+		s, end := e.Start, e.End
+		if s < f {
+			s = f
+		}
+		if end > t {
+			end = t
+		}
+		if end > s {
+			total += end - s
+		}
+	}
+	return total
+}
+
 // Attribute diagnoses one calibrated QoE incident. The split starts from
 // the §7.2 device/network decomposition; the network share is then divided
 // by the Fig. 9 breakdown (RLC + OTA + IP-to-RLC → radio) and the
@@ -124,13 +151,23 @@ func (c *CrossLayer) Attribute(l Latency) Attribution {
 		// that wait "app time" would misdirect the on-call. Reassign it to
 		// the layer the drop evidence names: link-layer drops → radio,
 		// carrier-qdisc drops or bare TCP retx → transport.
+		if ho := c.handoverStallIn(w.From, w.To); ho > 0 && a.App > 0 {
+			// The user was waiting out a handover interruption, not app
+			// logic: that slice of the wait is radio time.
+			if ho > a.App {
+				ho = a.App
+			}
+			a.App -= ho
+			a.Radio += ho
+		}
 		ev := c.lossEvidenceIn(w.From, w.To)
 		if ev.tcpRetx > 0 && a.App > 0 {
 			wait := a.App
 			a.App = 0
 			if total := ev.radioDrops + ev.qdiscDrops; total > 0 {
-				a.Radio = time.Duration(float64(wait) * float64(ev.radioDrops) / float64(total))
-				a.Transport = wait - a.Radio
+				radioPart := time.Duration(float64(wait) * float64(ev.radioDrops) / float64(total))
+				a.Radio += radioPart
+				a.Transport = wait - radioPart
 			} else {
 				a.Transport = wait
 			}
@@ -144,6 +181,17 @@ func (c *CrossLayer) Attribute(l Latency) Attribution {
 		radio = network
 	}
 	other := network - radio
+
+	// Handover interruptions inside the window are radio time by definition
+	// — the RRC procedure froze the data plane — capped at the part of the
+	// network share not already explained by the Fig. 9 breakdown.
+	if ho := c.handoverStallIn(w.From, w.To); ho > 0 && other > 0 {
+		if ho > other {
+			ho = other
+		}
+		radio += ho
+		other -= ho
+	}
 
 	// Split "other" between loss-induced stall and server/core time. Each
 	// TCP retransmission event stands for roughly one RTT of stall; cap at

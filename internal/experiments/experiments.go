@@ -109,6 +109,8 @@ func Registry() []Experiment {
 			"Graceful degradation under loss, jitter, and bearer outages", RunImpairmentSweep},
 		{"fleet", "Per-UE QoE vs cell population (fleet contention)",
 			"Cross-UE contention on a shared cell", RunFleetContention},
+		{"handover", "QoE under a handover storm (multi-cell mobility)",
+			"Handover interruption cost across a sharded multi-cell fleet", RunHandoverStorm},
 	}
 }
 

@@ -12,8 +12,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
@@ -22,15 +23,17 @@ var appSpanMetrics = map[string]string{
 // EmitReport streams a finished fleet run into a qoestore emitter: one event
 // per app-layer span on each UE's trace (when WithTrace was on), plus
 // end-of-run summary events per UE from the report (rebuffer ratio, RRC
-// energy and transitions, mean latency). Events carry the cell's scheduler
-// policy as the cell key, the workload name, and each UE's cohort; event
-// time is virtual time, so a re-run emits identical events. Returns the
-// number of events handed to the emitter (the emitter's own accounting says
-// how many survived its bounded queue).
+// energy and transitions, mean latency). Events are keyed by the UE's real
+// serving cell at the event's virtual time ("cell0", "cell1", ...), so
+// qoestore/qoemon series and SLO alerts segment by cell — a handover storm
+// on one cell alerts on that cell, not on a fleet-wide constant. Events
+// also carry the workload name and each UE's cohort; event time is virtual
+// time, so a re-run emits identical events. Returns the number of events
+// handed to the emitter (the emitter's own accounting says how many
+// survived its bounded queue).
 func EmitReport(em *qoestore.Emitter, f *Fleet, r *Report) int {
-	cell := f.Cell.Policy().String()
 	n := 0
-	emit := func(at time.Duration, cohort, metric string, value float64) {
+	emit := func(at time.Duration, cell, cohort, metric string, value float64) {
 		em.Emit(qoestore.Event{
 			At: at, Cell: cell, Workload: r.Workload, Cohort: cohort,
 			Metric: metric, Value: value,
@@ -49,7 +52,7 @@ func EmitReport(em *qoestore.Emitter, f *Fleet, r *Report) int {
 				if !ok {
 					continue
 				}
-				emit(ev.End, cohort, metric, (ev.End - ev.Start).Seconds())
+				emit(ev.End, cellLabel(ue, ev.End), cohort, metric, (ev.End - ev.Start).Seconds())
 			}
 		}
 		// A hand-built report can cover fewer UEs than the fleet (or none);
@@ -62,15 +65,23 @@ func EmitReport(em *qoestore.Emitter, f *Fleet, r *Report) int {
 		// action, timestamped at the incident's end. The monitor joins these
 		// with QoE windows so every alert names the responsible layer.
 		for _, at := range ur.Attributions {
-			emit(at.At, cohort, "attrib_app_share", at.Share("app"))
-			emit(at.At, cohort, "attrib_radio_share", at.Share("radio"))
-			emit(at.At, cohort, "attrib_transport_share", at.Share("transport"))
-			emit(at.At, cohort, "attrib_server_share", at.Share("server"))
+			cell := cellLabel(ue, at.At)
+			emit(at.At, cell, cohort, "attrib_app_share", at.Share("app"))
+			emit(at.At, cell, cohort, "attrib_radio_share", at.Share("radio"))
+			emit(at.At, cell, cohort, "attrib_transport_share", at.Share("transport"))
+			emit(at.At, cell, cohort, "attrib_server_share", at.Share("server"))
 		}
-		emit(r.Horizon, cohort, "mean_latency_s", ur.MeanLatency.Seconds())
-		emit(r.Horizon, cohort, "rebuffer_ratio", ur.RebufferRatio)
-		emit(r.Horizon, cohort, "rrc_energy_j", ur.EnergyJ)
-		emit(r.Horizon, cohort, "rrc_transitions", float64(ur.RRCTransitions))
+		endCell := cellLabel(ue, r.Horizon)
+		emit(r.Horizon, endCell, cohort, "mean_latency_s", ur.MeanLatency.Seconds())
+		emit(r.Horizon, endCell, cohort, "rebuffer_ratio", ur.RebufferRatio)
+		emit(r.Horizon, endCell, cohort, "rrc_energy_j", ur.EnergyJ)
+		emit(r.Horizon, endCell, cohort, "rrc_transitions", float64(ur.RRCTransitions))
 	}
 	return n
+}
+
+// cellLabel is the qoestore cell key for a UE at virtual time t: its real
+// serving cell, tracked through handovers.
+func cellLabel(ue *UE, t time.Duration) string {
+	return fmt.Sprintf("cell%d", ue.ServingCellAt(t))
 }

@@ -17,6 +17,13 @@ type UEReport struct {
 	Index int
 	Name  string
 
+	// Cell is the serving cell at the end of the run; Handovers and
+	// Reselections count serving-cell changes (all zero outside multi-cell
+	// scenarios).
+	Cell         int
+	Handovers    int
+	Reselections int
+
 	// Actions and Observed count the behavior-log measurements (rebuffer
 	// cycles excluded from Actions — they are app-triggered sub-events).
 	Actions  int
@@ -57,6 +64,8 @@ type Report struct {
 	Seed     int64
 	Policy   radio.SchedPolicy
 	Workload string
+	// Cells is the number of cells simulated (1 = legacy single cell).
+	Cells int
 	// Horizon is the virtual time the simulation had reached when the
 	// report was taken (the last processed event's time).
 	Horizon time.Duration
@@ -69,6 +78,11 @@ type Report struct {
 func ueReport(ue *UE, cl *analyzer.CrossLayer, end simtime.Time) UEReport {
 	r := UEReport{Index: ue.Index, Name: ue.Name, Warnings: len(cl.Warnings)}
 	r.Attributions = cl.Attributions()
+	r.Cell = ue.ServingCellAt(end)
+	if ue.Roamer != nil {
+		r.Handovers = ue.Roamer.Handovers()
+		r.Reselections = ue.Roamer.Reselections()
+	}
 
 	app := analyzer.AnalyzeApp(ue.Log)
 	var latSum, loadSum time.Duration
@@ -144,6 +158,9 @@ func (r *Report) aggregate() {
 	over("rebuffer_ratio", func(u UEReport) float64 { return u.RebufferRatio })
 	over("rrc_energy_j", func(u UEReport) float64 { return u.EnergyJ })
 	over("rrc_transitions", func(u UEReport) float64 { return float64(u.RRCTransitions) })
+	if r.Cells > 1 {
+		over("handovers", func(u UEReport) float64 { return float64(u.Handovers + u.Reselections) })
+	}
 }
 
 // Value returns a named aggregate's percentile column ("mean" | "p50" |
@@ -168,21 +185,37 @@ func (r *Report) Value(name, col string) (v float64, ok bool) {
 	return 0, false
 }
 
-// Render formats the full fleet report deterministically.
+// Render formats the full fleet report deterministically. Single-cell
+// reports keep the legacy layout byte-for-byte; multi-cell reports add the
+// cell count to the header and per-UE serving-cell/handover columns.
 func (r *Report) Render() string {
+	multi := r.Cells > 1
 	var b strings.Builder
-	fmt.Fprintf(&b, "== Fleet: %d UE(s), %s scheduler, workload %s, seed %d, horizon %s ==\n",
-		len(r.UEs), r.Policy, r.Workload, r.Seed, r.Horizon)
+	if multi {
+		fmt.Fprintf(&b, "== Fleet: %d UE(s) across %d cells, %s scheduler, workload %s, seed %d, horizon %s ==\n",
+			len(r.UEs), r.Cells, r.Policy, r.Workload, r.Seed, r.Horizon)
+	} else {
+		fmt.Fprintf(&b, "== Fleet: %d UE(s), %s scheduler, workload %s, seed %d, horizon %s ==\n",
+			len(r.UEs), r.Policy, r.Workload, r.Seed, r.Horizon)
+	}
 
-	tbl := &metrics.Table{Headers: []string{
-		"UE", "Actions", "Observed", "Mean latency", "Pageload", "Rebuf ratio", "Rebufs", "RRC trans", "Energy",
-	}}
+	headers := []string{"UE"}
+	if multi {
+		headers = append(headers, "Cell", "HO")
+	}
+	headers = append(headers, "Actions", "Observed", "Mean latency", "Pageload", "Rebuf ratio", "Rebufs", "RRC trans", "Energy")
+	tbl := &metrics.Table{Headers: headers}
 	for _, u := range r.UEs {
-		tbl.AddRow(u.Name,
+		row := []string{u.Name}
+		if multi {
+			row = append(row, fmt.Sprintf("cell%d", u.Cell), fmt.Sprintf("%d", u.Handovers+u.Reselections))
+		}
+		row = append(row,
 			fmt.Sprintf("%d", u.Actions), fmt.Sprintf("%d", u.Observed),
 			fmt.Sprintf("%.3fs", u.MeanLatency.Seconds()), fmt.Sprintf("%.3fs", u.PageLoad.Seconds()),
 			fmt.Sprintf("%.4f", u.RebufferRatio), fmt.Sprintf("%d", u.Rebuffers),
 			fmt.Sprintf("%d", u.RRCTransitions), fmt.Sprintf("%.1fJ", u.EnergyJ))
+		tbl.AddRow(row...)
 	}
 	b.WriteString(tbl.String())
 

@@ -9,19 +9,29 @@ import (
 	"repro/internal/simtime"
 )
 
-// Fleet is an assembled multi-UE lab: one kernel, one shared cell, N UEs.
-// Build it from a Scenario, Drive the workload (or drive the UEs yourself),
-// run the kernel, then Report.
+// Fleet is an assembled multi-UE lab. In the legacy single-cell mode one
+// kernel and one shared cell host every UE (K and Cell are set, Shards is
+// nil). With a multi-cell Topology the fleet is sharded — one kernel per
+// cell, advanced in lockstep epochs (Shards is set, K and Cell are nil).
+// Build it from a Scenario, Drive the workload (or drive the UEs
+// yourself), RunTo the horizon, then Report.
 type Fleet struct {
 	K    *simtime.Kernel
 	Cell *radio.Cell
 	UEs  []*UE
+	// Shards and Topo are set for multi-cell scenarios: one shard per
+	// topology cell, synchronized at X2Latency lookahead barriers.
+	Shards []*Shard
+	Topo   *radio.Topology
 	// Profiler is the kernel-wide wall-clock profiler (nil unless
-	// WithProfiler).
+	// WithProfiler; sharded runs profile shard 0's kernel).
 	Profiler *obs.Profiler
 
 	scen Scenario
 	opts options
+	// airUL/airDL[c][s] is the barrier scratch for cell c's airtime on
+	// shard s over the last epoch.
+	airUL, airDL [][]simtime.Time
 }
 
 // Build assembles a fleet without running it. UEs are constructed in spec
@@ -32,6 +42,9 @@ func Build(scen Scenario, opts ...Option) (*Fleet, error) {
 		return nil, err
 	}
 	o := resolveOptions(opts)
+	if scen.sharded() {
+		return buildSharded(scen, o)
+	}
 	prof := scen.Cell.Profile
 	if prof == nil {
 		prof = radio.ProfileLTE()
@@ -74,8 +87,33 @@ func (f *Fleet) Drive() {
 			continue
 		}
 		u := ue
-		f.K.At(simtime.Time(spec.StartAt), func() { f.scen.Workload.Start(u) })
+		ue.K.At(simtime.Time(spec.StartAt), func() { f.scen.Workload.Start(u) })
 	}
+}
+
+// RunTo advances the simulation to the horizon: directly on the single
+// kernel, or in parallel lockstep epochs (window = X2 latency) across the
+// shards. Sharded results are byte-identical at any worker count.
+func (f *Fleet) RunTo(horizon time.Duration) {
+	if len(f.Shards) == 0 {
+		f.K.RunUntil(horizon)
+		return
+	}
+	kernels := make([]*simtime.Kernel, len(f.Shards))
+	for i, sh := range f.Shards {
+		kernels[i] = sh.K
+	}
+	ls := simtime.NewLockstep(kernels, f.opts.workers)
+	defer ls.Close()
+	ls.Run(horizon, f.Topo.X2Latency, f.exchange)
+}
+
+// now returns the current virtual time across either mode.
+func (f *Fleet) now() simtime.Time {
+	if f.K != nil {
+		return f.K.Now()
+	}
+	return f.Shards[0].K.Now()
 }
 
 // CloseObs finalizes every UE's open observability state. Idempotent.
@@ -94,7 +132,7 @@ func Run(scen Scenario, opts ...Option) (*Report, error) {
 		return nil, err
 	}
 	f.Drive()
-	f.K.RunUntil(time.Duration(f.opts.horizon))
+	f.RunTo(f.opts.horizon)
 	f.CloseObs()
 	return f.Report(), nil
 }
@@ -107,17 +145,19 @@ func (f *Fleet) Report() *Report {
 	for i, ue := range f.UEs {
 		pending[i] = ue.AnalyzeAsync(ue.Log)
 	}
+	now := f.now()
 	r := &Report{
 		Seed:     f.scen.Seed,
-		Policy:   f.Cell.Policy(),
-		Horizon:  f.K.Now(),
+		Policy:   f.scen.Cell.Policy,
+		Cells:    f.scen.cellCount(),
+		Horizon:  now,
 		Workload: "(caller-driven)",
 	}
 	if f.scen.Workload != nil {
 		r.Workload = f.scen.Workload.Name()
 	}
 	for i, ue := range f.UEs {
-		r.UEs = append(r.UEs, ueReport(ue, pending[i].Wait(), f.K.Now()))
+		r.UEs = append(r.UEs, ueReport(ue, pending[i].Wait(), now))
 	}
 	r.aggregate()
 	return r

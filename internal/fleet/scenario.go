@@ -65,18 +65,65 @@ type UESpec struct {
 	DisablePcap bool
 }
 
-// Scenario is a complete, declarative description of a fleet run: one cell,
-// N UEs, and the workload that drives them. It replaces the organically
-// grown flat option set (faults, throttle, obs toggles scattered across
-// fields and methods) with one composable value that both testbed.New and
-// fleet.Run consume.
+// TopologySpec describes a multi-cell layout. Nil (the default) keeps the
+// legacy single shared cell on one kernel; Cells > 1 shards the simulation
+// one kernel per cell, advanced in parallel under conservative-lookahead
+// synchronization with the X2 latency as the safe window.
+type TopologySpec struct {
+	// Cells is the number of base-station sites (grid layout). UE i homes
+	// on cell i mod Cells.
+	Cells int
+	// SpacingM is the inter-site distance in meters (0 = 500m).
+	SpacingM float64
+	// X2Latency is the inter-cell coordination latency — the handover
+	// data-forwarding delay and the sharded run's lookahead window
+	// (0 = 10ms).
+	X2Latency time.Duration
+	// PathLossExp overrides the path-loss exponent (0 = 2.6).
+	PathLossExp float64
+}
+
+// MobilitySpec enables per-UE mobility across a multi-cell topology:
+// deterministic random-waypoint movement, signal-strength measurement
+// reports, A3-style connected-mode handover, and idle-mode reselection.
+type MobilitySpec struct {
+	// SpeedMps is the UE speed in meters/second (walking ~1.4, driving ~14).
+	SpeedMps float64
+	// Interval is the measurement report period (0 = 200ms).
+	Interval time.Duration
+	// Hysteresis is the neighbor/serving gain ratio arming a handover
+	// (0 = 1.25); TTT is the time-to-trigger it must hold (0 = 480ms).
+	Hysteresis float64
+	TTT        time.Duration
+	// Interruption is the connected-mode handover's control-plane break
+	// (0 = 50ms); the data plane stalls for Interruption + X2 forwarding.
+	Interruption time.Duration
+}
+
+// Scenario is a complete, declarative description of a fleet run: one cell
+// (or a topology of cells), N UEs, and the workload that drives them. It
+// replaces the organically grown flat option set (faults, throttle, obs
+// toggles scattered across fields and methods) with one composable value
+// that both testbed.New and fleet.Run consume.
 type Scenario struct {
 	Seed int64
 	Cell CellSpec
-	UEs  []UESpec
+	// Topology, when non-nil with Cells > 1, replaces the single shared
+	// cell with a grid of cells, one event kernel per cell (sharded run).
+	// Every cell uses the same CellSpec profile and policy.
+	Topology *TopologySpec
+	// Mobility, when non-nil, moves every UE through the topology and
+	// enables handover/reselection. Requires a multi-cell Topology.
+	Mobility *MobilitySpec
+	UEs      []UESpec
 	// Workload drives every UE (staggered by UESpec.StartAt). Nil means the
 	// caller drives the UEs itself (the legacy Bed pattern).
 	Workload Workload
+}
+
+// sharded reports whether this scenario runs one kernel per cell.
+func (s *Scenario) sharded() bool {
+	return s.Topology != nil && s.Topology.Cells > 1
 }
 
 // UniformUEs returns n identical UE specs with gain 1 — the common
@@ -116,7 +163,34 @@ func (s *Scenario) validate() error {
 			return fmt.Errorf("fleet: UE %d has negative start offset %v", i, ue.StartAt)
 		}
 	}
+	if t := s.Topology; t != nil {
+		if t.Cells < 1 {
+			return fmt.Errorf("fleet: topology needs at least 1 cell, got %d", t.Cells)
+		}
+		if t.SpacingM < 0 {
+			return fmt.Errorf("fleet: negative cell spacing %v", t.SpacingM)
+		}
+		if t.X2Latency < 0 {
+			return fmt.Errorf("fleet: negative X2 latency %v", t.X2Latency)
+		}
+	}
+	if m := s.Mobility; m != nil {
+		if !s.sharded() {
+			return fmt.Errorf("fleet: mobility requires a multi-cell topology (got %d cell(s))", s.cellCount())
+		}
+		if m.SpeedMps < 0 {
+			return fmt.Errorf("fleet: negative UE speed %v m/s", m.SpeedMps)
+		}
+	}
 	return nil
+}
+
+// cellCount returns the number of cells the scenario simulates.
+func (s *Scenario) cellCount() int {
+	if s.Topology == nil {
+		return 1
+	}
+	return s.Topology.Cells
 }
 
 // options collects the run-level functional options.
@@ -125,6 +199,7 @@ type options struct {
 	metrics  bool
 	profiler bool
 	horizon  time.Duration
+	workers  int
 	analyzer []analyzer.Option
 }
 
@@ -156,6 +231,14 @@ func WithProfiler() Option { return func(o *options) { o.profiler = true } }
 // WithHorizon bounds the virtual-time length of the run.
 func WithHorizon(d time.Duration) Option {
 	return func(o *options) { o.horizon = d }
+}
+
+// WithWorkers caps the goroutines advancing shards in a sharded run
+// (<= 0 = GOMAXPROCS, 1 = fully serial). Worker count affects wall clock
+// only — results are byte-identical at any setting. No-op for
+// single-kernel runs.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
 }
 
 // WithEngine selects the cross-layer analyzer engine for every per-UE

@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// Shard is one cell's slice of a sharded fleet: its own event kernel
+// hosting the full stacks of every UE homed on the cell, plus a local
+// instance of every topology cell so handovers stay kernel-local (a UE's
+// stack captures its kernel at construction and cannot migrate).
+//
+// Cross-shard contention on the same topology cell is modeled at epoch
+// granularity: at every lookahead barrier the shards exchange per-cell
+// airtime, and each local cell instance gets the capacity fraction its
+// peers left free for the next epoch. Within a shard contention stays
+// PDU-exact; across shards it is staleness-bounded by the lookahead window
+// (the X2 latency — exactly the horizon inside which one cell cannot react
+// to another in a real RAN either).
+type Shard struct {
+	Index int
+	K     *simtime.Kernel
+	// Cells[c] is this shard's local instance of topology cell c.
+	Cells []*radio.Cell
+	UEs   []*UE
+}
+
+// minCellShare floors the epoch capacity share so a briefly overloaded
+// cell slows its bearers instead of freezing them.
+const minCellShare = 1.0 / 8
+
+// shardSeed derives shard s's kernel seed from the scenario seed
+// (splitmix64 finalizer) so shard RNG streams are independent but fully
+// determined by the scenario.
+func shardSeed(seed int64, s int) int64 {
+	z := uint64(seed) + uint64(s+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// uePos derives UE index's deterministic spawn offsets in [0,1)² from the
+// scenario seed, independent of every other randomness stream.
+func uePos(seed int64, index int) (u, v float64) {
+	z := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(index+1)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u = float64(z>>11) / float64(1<<53)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	v = float64(z>>11) / float64(1<<53)
+	return u, v
+}
+
+// buildSharded assembles a multi-cell fleet: one kernel per cell, UE i
+// homed on cell i mod Cells, every shard holding local instances of all
+// cells for kernel-local handover.
+func buildSharded(scen Scenario, o options) (*Fleet, error) {
+	ts := scen.Topology
+	prof := scen.Cell.Profile
+	if prof == nil {
+		prof = radio.ProfileLTE()
+	}
+	coreDelay := scen.Cell.CoreDelay
+	if coreDelay == 0 {
+		coreDelay = defaultCoreDelay(prof.Tech)
+	}
+
+	topo := radio.NewGridTopology(ts.Cells, ts.SpacingM)
+	if ts.X2Latency > 0 {
+		topo.X2Latency = ts.X2Latency
+	}
+	if ts.PathLossExp > 0 {
+		topo.PathLossExp = ts.PathLossExp
+	}
+
+	f := &Fleet{Topo: topo, scen: scen, opts: o}
+	ncells := ts.Cells
+	for s := 0; s < ncells; s++ {
+		sh := &Shard{Index: s, K: simtime.NewKernel(shardSeed(scen.Seed, s))}
+		for c := 0; c < ncells; c++ {
+			sh.Cells = append(sh.Cells, radio.NewCellID(sh.K, scen.Cell.Policy, c))
+		}
+		f.Shards = append(f.Shards, sh)
+	}
+
+	addr := BaseAddr
+	for i, spec := range scen.UEs {
+		s := i % ncells
+		sh := f.Shards[s]
+		home := s
+
+		var mover *radio.Mover
+		deviceGain := spec.Gain
+		if deviceGain <= 0 {
+			deviceGain = 1
+		}
+		buildSpec := spec
+		if scen.Mobility != nil {
+			u, v := uePos(scen.Seed, i)
+			x, y := topo.HomePos(home, u, v)
+			mover = radio.NewMover(scen.Seed, i, topo, scen.Mobility.SpeedMps, x, y)
+			// The bearer's initial gain is the path gain at the spawn point
+			// composed with the spec's device-quality multiplier; the roamer
+			// refreshes it every measurement tick.
+			buildSpec.Gain = topo.Gain(home, x, y) * deviceGain
+		}
+
+		ue := buildUE(sh.K, sh.Cells[home], prof, coreDelay, i, addr, buildSpec, scen.Seed, o, false)
+		ue.Shard = s
+		ue.HomeCell = home
+		if scen.Mobility != nil {
+			m := scen.Mobility
+			ue.Roamer = radio.NewRoamer(ue.Net.Bearer, topo, sh.Cells, mover, home, radio.RoamConfig{
+				Interval:     m.Interval,
+				Hysteresis:   m.Hysteresis,
+				TTT:          m.TTT,
+				Interruption: m.Interruption,
+				DeviceGain:   deviceGain,
+			})
+			ue.Roamer.SetObs(ue.Trace, ue.Metrics)
+			ue.Roamer.Start()
+		}
+		sh.UEs = append(sh.UEs, ue)
+		f.UEs = append(f.UEs, ue)
+		addr = addr.Next()
+	}
+
+	if o.profiler {
+		// Wall-clock profiling is inherently non-deterministic; attach it to
+		// shard 0's kernel as a representative sample.
+		f.Profiler = obs.NewProfiler()
+		f.Shards[0].K.SetProfiler(f.Profiler)
+		for _, ue := range f.UEs {
+			ue.Profiler = f.Profiler
+		}
+	}
+
+	f.airUL = make([][]simtime.Time, ncells)
+	f.airDL = make([][]simtime.Time, ncells)
+	for c := range f.airUL {
+		f.airUL[c] = make([]simtime.Time, ncells)
+		f.airDL[c] = make([]simtime.Time, ncells)
+	}
+	return f, nil
+}
+
+// exchange is the lockstep barrier: collect every shard's airtime on every
+// topology cell over the finished epoch, then give each shard's local cell
+// instance the capacity fraction its peers left free for the next epoch.
+// It runs serially on the coordinator, iterating shards and cells in index
+// order — the only cross-shard data flow, and fully deterministic.
+func (f *Fleet) exchange(end simtime.Time) {
+	window := f.Topo.X2Latency
+	for c := range f.Topo.Sites {
+		var totUL, totDL simtime.Time
+		for s, sh := range f.Shards {
+			ul, dl := sh.Cells[c].TakeAirtime()
+			f.airUL[c][s], f.airDL[c][s] = ul, dl
+			totUL += ul
+			totDL += dl
+		}
+		for s, sh := range f.Shards {
+			sh.Cells[c].SetShares(
+				capShare(window, totUL-f.airUL[c][s]),
+				capShare(window, totDL-f.airDL[c][s]))
+		}
+	}
+}
+
+// capShare converts the airtime other shards consumed on a cell during one
+// lookahead window into this shard's capacity share for the next epoch.
+func capShare(window time.Duration, others simtime.Time) float64 {
+	if others <= 0 {
+		return 1
+	}
+	share := 1 - float64(others)/float64(window)
+	if share < minCellShare {
+		return minCellShare
+	}
+	return share
+}

@@ -36,6 +36,13 @@ type UE struct {
 	Name  string
 	Addr  netip.Addr
 
+	// Shard and HomeCell locate the UE in a sharded multi-cell fleet (both
+	// zero in the legacy single-cell mode). Roamer, when set, drives the
+	// UE's mobility and handover state machine.
+	Shard    int
+	HomeCell int
+	Roamer   *radio.Roamer
+
 	K        *simtime.Kernel
 	Net      *netsim.Network
 	Servers  *serversim.Cluster
@@ -197,9 +204,22 @@ func (ue *UE) CloseObs() {
 		return
 	}
 	ue.obsClosed = true
+	if ue.Roamer != nil {
+		ue.Roamer.Close(ue.K.Now())
+	}
 	if ue.RadioMon != nil {
 		ue.RadioMon.Close(ue.K.Now())
 	}
+}
+
+// ServingCellAt returns the UE's serving cell ID at virtual time t: the
+// roamer's history for mobile UEs, the home cell otherwise (0 in the
+// legacy single-cell mode).
+func (ue *UE) ServingCellAt(t simtime.Time) int {
+	if ue.Roamer != nil {
+		return ue.Roamer.ServingAt(t)
+	}
+	return ue.HomeCell
 }
 
 // Session packages the UE's collected logs plus a behavior log into the

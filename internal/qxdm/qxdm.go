@@ -44,12 +44,25 @@ type TransitionRecord struct {
 	Promotion bool         `json:"promotion"`
 }
 
+// HandoverRecord is one logged serving-cell change (connected-mode
+// handover or idle-mode reselection).
+type HandoverRecord struct {
+	At          simtime.Time `json:"at"`
+	From        int          `json:"from"`
+	To          int          `json:"to"`
+	Reselection bool         `json:"reselection,omitempty"`
+	// InterruptionNs is the data-plane stall in nanoseconds (0 for
+	// reselections).
+	InterruptionNs int64 `json:"interruption_ns,omitempty"`
+}
+
 // Log is a complete QxDM session log.
 type Log struct {
 	Profile     string             `json:"profile"`
 	Transitions []TransitionRecord `json:"transitions"`
 	PDUs        []PDURecord        `json:"pdus"`
 	Statuses    []StatusRecord     `json:"statuses"`
+	Handovers   []HandoverRecord   `json:"handovers,omitempty"`
 	// Missed counts PDUs the monitor failed to capture, by direction
 	// (ground truth the analyzer does not get to see; exported for tests).
 	Missed [2]int `json:"missed"`
@@ -118,6 +131,19 @@ func (m *Monitor) DataPDU(p *radio.PDU) {
 	m.log.PDUs = append(m.log.PDUs, PDURecord{
 		At: p.SentAt, Dir: p.Dir, Seq: p.Seq, Size: p.Size, Head: p.Head,
 		LI: append([]int(nil), p.LI...), Poll: p.Poll, Retx: p.Retx,
+	})
+}
+
+// Handover implements radio.HandoverMonitor, logging serving-cell changes
+// the way QxDM logs RRC signaling.
+func (m *Monitor) Handover(ev radio.HandoverEvent) {
+	if !m.enabled {
+		return
+	}
+	m.log.Handovers = append(m.log.Handovers, HandoverRecord{
+		At: ev.At, From: ev.From, To: ev.To,
+		Reselection:    ev.Reselection,
+		InterruptionNs: int64(ev.Interruption),
 	})
 }
 

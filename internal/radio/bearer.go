@@ -39,6 +39,12 @@ type Bearer struct {
 	outageUntil simtime.Time
 	outages     int
 
+	// hoFrozen marks the handover interruption window: between BeginHandover
+	// and CompleteHandover the data plane is suspended losslessly — queued
+	// SDUs and un-ACKed PDUs are retained and forwarded to the target cell,
+	// unlike an outage, which loses in-flight data.
+	hoFrozen bool
+
 	// tr, when attached, receives a radio-layer span covering each outage
 	// (from first onset to actual recovery, merging extensions).
 	tr      *obs.Trace
@@ -75,6 +81,51 @@ func (b *Bearer) Cell() *Cell { return b.cell }
 // Gain returns the bearer's link-quality multiplier (1 for standalone
 // bearers).
 func (b *Bearer) Gain() float64 { return b.gain }
+
+// SetGain updates the bearer's link-quality multiplier as the device moves
+// through the cell's coverage. Values <= 0 are clamped to a small positive
+// floor so transmissions always terminate.
+func (b *Bearer) SetGain(g float64) {
+	if g <= 0 {
+		g = 0.01
+	}
+	b.gain = g
+}
+
+// BeginHandover starts a handover: the bearer detaches from its serving
+// cell and the data plane freezes losslessly (queued SDUs and un-ACKed PDUs
+// are retained — the X2 data-forwarding model). RRC state is untouched: an
+// intra-technology handover keeps the connection, unlike an outage.
+func (b *Bearer) BeginHandover() {
+	if b.hoFrozen {
+		return
+	}
+	b.hoFrozen = true
+	if b.cell != nil {
+		b.cell.Detach(b)
+	}
+}
+
+// CompleteHandover attaches the bearer to the target cell with the given
+// link gain and resumes the data plane: forwarded data drains on the target
+// and ARQ re-polls for anything the interruption window lost.
+func (b *Bearer) CompleteHandover(target *Cell, gain float64) {
+	if !b.hoFrozen {
+		panic("radio: CompleteHandover without BeginHandover")
+	}
+	b.hoFrozen = false
+	if target != nil {
+		target.Attach(b, gain)
+	} else {
+		b.gain = 1
+	}
+	b.ul.resume()
+	b.dl.resume()
+}
+
+// InHandover reports whether the bearer is inside a handover interruption
+// window.
+func (b *Bearer) InHandover() bool { return b.hoFrozen }
 
 // Attach registers a radio-layer monitor (e.g. the QxDM simulator).
 func (b *Bearer) Attach(m Monitor) { b.monitors = append(b.monitors, m) }
@@ -158,5 +209,13 @@ func (b *Bearer) emitPDU(p *PDU) {
 func (b *Bearer) emitStatus(st StatusPDU) {
 	for _, m := range b.monitors {
 		m.StatusPDU(st)
+	}
+}
+
+func (b *Bearer) emitHandover(ev HandoverEvent) {
+	for _, m := range b.monitors {
+		if hm, ok := m.(HandoverMonitor); ok {
+			hm.Handover(ev)
+		}
 	}
 }

@@ -62,16 +62,34 @@ type Cell struct {
 	k      *simtime.Kernel
 	policy SchedPolicy
 	ul, dl cellChannel
+	id     int
 	n      int
+	// attachSeq numbers attachments monotonically so proportional-fair
+	// tie-breaks stay unique and deterministic across detach/re-attach
+	// churn (n alone would recycle indices).
+	attachSeq int
 }
 
 // NewCell creates a cell driven by kernel k.
 func NewCell(k *simtime.Kernel, policy SchedPolicy) *Cell {
-	c := &Cell{k: k, policy: policy}
-	c.ul = cellChannel{cell: c, dir: Uplink}
-	c.dl = cellChannel{cell: c, dir: Downlink}
+	return NewCellID(k, policy, 0)
+}
+
+// NewCellID creates a cell with an explicit topology cell ID, used by
+// multi-cell fleets to label reports and handover events.
+func NewCellID(k *simtime.Kernel, policy SchedPolicy, id int) *Cell {
+	c := &Cell{k: k, policy: policy, id: id}
+	c.ul = cellChannel{cell: c, dir: Uplink, share: 1}
+	c.dl = cellChannel{cell: c, dir: Downlink, share: 1}
+	// Method values allocate; dispatch runs once per served PDU, so cache
+	// the closure for the lifetime of the channel.
+	c.ul.dispatchFn = c.ul.dispatch
+	c.dl.dispatchFn = c.dl.dispatch
 	return c
 }
+
+// ID returns the cell's topology ID (0 for standalone cells).
+func (c *Cell) ID() int { return c.id }
 
 // Policy returns the cell's scheduling policy.
 func (c *Cell) Policy() SchedPolicy { return c.policy }
@@ -94,9 +112,41 @@ func (c *Cell) Attach(b *Bearer, gain float64) {
 	b.gain = gain
 	b.ul.ch = &c.ul
 	b.dl.ch = &c.dl
-	b.ul.cellIdx = c.n
-	b.dl.cellIdx = c.n
+	b.ul.cellIdx = c.attachSeq
+	b.dl.cellIdx = c.attachSeq
+	c.attachSeq++
 	c.n++
+	// A freshly attached bearer starts with no served-rate history on this
+	// cell: a handed-over UE competes like a newcomer.
+	b.ul.ewmaBps, b.ul.ewmaAt = 0, 0
+	b.dl.ewmaBps, b.dl.ewmaAt = 0, 0
+}
+
+// Detach removes a bearer from this cell's schedulers — the handover
+// primitive. Any PDU already on the air completes its occupancy of this
+// cell's channel (the entity remembers which channel it was granted), but
+// the entity leaves the wait rings immediately and receives no further
+// grants. The bearer can then be attached to another cell.
+func (c *Cell) Detach(b *Bearer) {
+	if b.cell != c {
+		panic("radio: bearer not attached to this cell")
+	}
+	c.ul.remove(b.ul)
+	c.dl.remove(b.dl)
+	// An entity waiting in the ring (no PDU on the air) is parked here; one
+	// mid-transmission parks itself when the occupancy completes. Without
+	// this, kick() after re-attach sees sending=true and the entity never
+	// transmits again.
+	if b.ul.onAir == nil {
+		b.ul.sending = false
+	}
+	if b.dl.onAir == nil {
+		b.dl.sending = false
+	}
+	b.ul.ch = nil
+	b.dl.ch = nil
+	b.cell = nil
+	c.n--
 }
 
 // cellChannel is one direction's shared air interface: a busy flag covering
@@ -107,6 +157,51 @@ type cellChannel struct {
 	dir  Direction
 	busy bool
 	ring []*entity
+	// share scales every bearer's effective rate on this channel; sharded
+	// fleets set it at epoch barriers to model airtime consumed by the same
+	// topology cell's bearers living on other shards. 1 = full capacity.
+	share float64
+	// airtime accumulates PDU air occupancy since the last TakeAirtime, the
+	// load figure exchanged across shards at each lookahead barrier.
+	airtime simtime.Time
+	// dispatchFn is the cached dispatch closure (method values allocate).
+	dispatchFn func()
+}
+
+// remove drops an entity from the wait ring, preserving order.
+func (ch *cellChannel) remove(e *entity) {
+	if !e.inRing {
+		return
+	}
+	e.inRing = false
+	for i, x := range ch.ring {
+		if x == e {
+			ch.ring = append(ch.ring[:i], ch.ring[i+1:]...)
+			return
+		}
+	}
+}
+
+// TakeAirtime returns the per-direction air occupancy accumulated since the
+// previous call and resets the accumulators.
+func (c *Cell) TakeAirtime() (ul, dl simtime.Time) {
+	ul, dl = c.ul.airtime, c.dl.airtime
+	c.ul.airtime, c.dl.airtime = 0, 0
+	return ul, dl
+}
+
+// SetShares sets the per-direction capacity fraction available to this
+// cell instance for the next lookahead epoch. Values are clamped to (0, 1].
+func (c *Cell) SetShares(ul, dl float64) {
+	c.ul.share = clampShare(ul)
+	c.dl.share = clampShare(dl)
+}
+
+func clampShare(s float64) float64 {
+	if s > 1 || s <= 0 {
+		return 1
+	}
+	return s
 }
 
 // activate adds an entity to the wait ring (if absent) and starts the
@@ -150,7 +245,7 @@ func (ch *cellChannel) served(e *entity, p *PDU, more bool) {
 		ch.enqueue(e)
 	}
 	if len(ch.ring) > 0 {
-		ch.cell.k.After(0, ch.dispatch)
+		ch.cell.k.After(0, ch.dispatchFn)
 	}
 }
 

@@ -1,0 +1,266 @@
+package radio
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// HandoverEvent records one serving-cell change, emitted to radio monitors
+// (the QxDM simulator logs them alongside RRC transitions, per §5 of the
+// paper's handover analysis).
+type HandoverEvent struct {
+	At       simtime.Time
+	From, To int // topology cell IDs
+	// Reselection marks an idle-mode cell reselection: the UE re-camps with
+	// no data-plane interruption. False means a connected-mode handover.
+	Reselection bool
+	// Interruption is the data-plane stall the handover imposed (detach →
+	// target attach, including X2 forwarding). Zero for reselections.
+	Interruption time.Duration
+}
+
+// HandoverMonitor is implemented by radio monitors that also want
+// handover/reselection events (optional extension of Monitor).
+type HandoverMonitor interface {
+	Handover(HandoverEvent)
+}
+
+// RoamConfig tunes the Roamer's measurement and handover state machine.
+// Zero values select the defaults noted on each field.
+type RoamConfig struct {
+	Interval time.Duration // measurement report period (default 200ms)
+	// Hysteresis is the neighbor/serving gain ratio that arms a handover
+	// (A3-style event; default 1.25 ≈ 1dB margin under exponent 2.6).
+	Hysteresis float64
+	TTT        time.Duration // time-to-trigger the margin must hold (default 480ms)
+	// Interruption is the control-plane break on a connected-mode handover;
+	// Forwarding is the X2 data-forwarding delay added to it. The data
+	// plane stalls for their sum (defaults 50ms and the topology's
+	// X2Latency).
+	Interruption time.Duration
+	Forwarding   time.Duration
+	// ReselectHysteresis is the gain ratio for idle-mode reselection
+	// (default 1.1 — idle UEs re-camp eagerly, it costs nothing).
+	ReselectHysteresis float64
+	// DeviceGain is the UE's static link-quality multiplier composed with
+	// the position-dependent path gain (default 1).
+	DeviceGain float64
+}
+
+func (c *RoamConfig) defaults(t *Topology) {
+	if c.Interval <= 0 {
+		c.Interval = 200 * time.Millisecond
+	}
+	if c.Hysteresis <= 1 {
+		c.Hysteresis = 1.25
+	}
+	if c.TTT < 0 {
+		c.TTT = 0
+	} else if c.TTT == 0 {
+		c.TTT = 480 * time.Millisecond
+	}
+	if c.Interruption <= 0 {
+		c.Interruption = 50 * time.Millisecond
+	}
+	if c.Forwarding <= 0 {
+		c.Forwarding = t.X2Latency
+	}
+	if c.ReselectHysteresis <= 1 {
+		c.ReselectHysteresis = 1.1
+	}
+	if c.DeviceGain <= 0 {
+		c.DeviceGain = 1
+	}
+}
+
+// CellChange is one entry of a Roamer's serving-cell history.
+type CellChange struct {
+	At   simtime.Time
+	Cell int
+}
+
+// Roamer drives one UE's mobility through a multi-cell topology: it ticks
+// a measurement timer, updates the bearer's gain from the serving cell's
+// path loss, and runs the handover state machine — A3-style measurement
+// events with hysteresis and time-to-trigger in connected mode, instant
+// reselection in idle. Handovers detach/attach between this kernel's local
+// cell instances, so a Roamer never crosses shard boundaries.
+type Roamer struct {
+	b     *Bearer
+	topo  *Topology
+	cells []*Cell // local instance of every topology cell, indexed by site ID
+	mover *Mover
+	cfg   RoamConfig
+
+	serving   int
+	candidate int // armed A3 candidate, -1 when none
+	candSince simtime.Time
+	inHO      bool
+
+	handovers    int
+	reselections int
+	history      []CellChange
+
+	tr       *obs.Trace
+	hoSpan   obs.Span
+	hoCtr    *obs.Counter
+	reselCtr *obs.Counter
+
+	stop func()
+}
+
+// NewRoamer wires a roamer for bearer b, already attached to
+// cells[serving]. cells holds this kernel's local instance of every
+// topology site, indexed by site ID.
+func NewRoamer(b *Bearer, topo *Topology, cells []*Cell, mover *Mover, serving int, cfg RoamConfig) *Roamer {
+	if b.Cell() != cells[serving] {
+		panic("radio: roamer bearer not attached to the serving cell")
+	}
+	cfg.defaults(topo)
+	return &Roamer{
+		b: b, topo: topo, cells: cells, mover: mover, cfg: cfg,
+		serving:   serving,
+		candidate: -1,
+		history:   []CellChange{{At: 0, Cell: serving}},
+	}
+}
+
+// SetObs attaches the trace bus and metrics registry (either may be nil).
+func (r *Roamer) SetObs(tr *obs.Trace, reg *obs.Registry) {
+	r.tr = tr
+	r.hoCtr = reg.Counter("handovers")
+	r.reselCtr = reg.Counter("reselections")
+}
+
+// Start begins the measurement ticker.
+func (r *Roamer) Start() {
+	if r.stop != nil {
+		return
+	}
+	r.stop = r.b.Kernel().Ticker(r.cfg.Interval, r.tick)
+}
+
+// Serving returns the current serving cell ID.
+func (r *Roamer) Serving() int { return r.serving }
+
+// Handovers returns the number of connected-mode handovers completed.
+func (r *Roamer) Handovers() int { return r.handovers }
+
+// Reselections returns the number of idle-mode reselections.
+func (r *Roamer) Reselections() int { return r.reselections }
+
+// History returns the serving-cell timeline (first entry at time 0).
+func (r *Roamer) History() []CellChange { return r.history }
+
+// ServingAt returns the serving cell at virtual time t.
+func (r *Roamer) ServingAt(t simtime.Time) int {
+	cell := r.history[0].Cell
+	for _, c := range r.history {
+		if c.At > t {
+			break
+		}
+		cell = c.Cell
+	}
+	return cell
+}
+
+// Close stops the ticker and ends any open handover span (call at the end
+// of the run, before exporting traces).
+func (r *Roamer) Close(at simtime.Time) {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+	if r.inHO {
+		r.hoSpan.EndAt(time.Duration(at))
+		r.hoSpan = obs.Span{}
+	}
+}
+
+// tick is one measurement report: refresh the serving gain from the current
+// position, then evaluate reselection (idle) or the A3 handover rule
+// (connected).
+func (r *Roamer) tick() {
+	if r.inHO {
+		return
+	}
+	now := r.b.Kernel().Now()
+	x, y := r.mover.PosAt(now)
+	gServ := r.topo.Gain(r.serving, x, y)
+	r.b.SetGain(gServ * r.cfg.DeviceGain)
+
+	best, gBest := r.topo.Strongest(x, y)
+	if best == r.serving {
+		r.candidate = -1
+		return
+	}
+	if r.b.RRC().State() == r.b.Profile().Base {
+		// Idle: re-camp on the strongest cell past a small margin, no
+		// data-plane interruption.
+		if gBest >= gServ*r.cfg.ReselectHysteresis {
+			r.reselect(now, best, gBest)
+		}
+		r.candidate = -1
+		return
+	}
+	if gBest < gServ*r.cfg.Hysteresis {
+		r.candidate = -1
+		return
+	}
+	if r.candidate != best {
+		r.candidate = best
+		r.candSince = now
+	}
+	if now-r.candSince >= simtime.Time(r.cfg.TTT) {
+		r.startHandover(best)
+	}
+}
+
+func (r *Roamer) reselect(now simtime.Time, to int, gain float64) {
+	from := r.serving
+	r.b.BeginHandover()
+	r.b.CompleteHandover(r.cells[to], gain*r.cfg.DeviceGain)
+	r.serving = to
+	r.reselections++
+	r.history = append(r.history, CellChange{At: now, Cell: to})
+	r.reselCtr.Inc()
+	if r.tr != nil {
+		r.tr.Instant(obs.LayerRadio, "rrc:reselect", r.tr.Scope(),
+			obs.Attr{Key: "from", Val: strconv.Itoa(from)},
+			obs.Attr{Key: "to", Val: strconv.Itoa(to)})
+	}
+	r.b.emitHandover(HandoverEvent{At: now, From: from, To: to, Reselection: true})
+}
+
+func (r *Roamer) startHandover(to int) {
+	r.inHO = true
+	r.candidate = -1
+	if r.tr != nil {
+		r.hoSpan = r.tr.Start(obs.LayerRadio, "rrc:handover", r.tr.Scope(),
+			obs.Attr{Key: "from", Val: strconv.Itoa(r.serving)},
+			obs.Attr{Key: "to", Val: strconv.Itoa(to)})
+	}
+	r.b.BeginHandover()
+	stall := r.cfg.Interruption + r.cfg.Forwarding
+	r.b.Kernel().After(stall, func() { r.completeHandover(to, stall) })
+}
+
+func (r *Roamer) completeHandover(to int, stall time.Duration) {
+	now := r.b.Kernel().Now()
+	x, y := r.mover.PosAt(now)
+	from := r.serving
+	r.b.CompleteHandover(r.cells[to], r.topo.Gain(to, x, y)*r.cfg.DeviceGain)
+	r.serving = to
+	r.handovers++
+	r.history = append(r.history, CellChange{At: now, Cell: to})
+	r.hoCtr.Inc()
+	if r.tr != nil {
+		r.hoSpan.End()
+		r.hoSpan = obs.Span{}
+	}
+	r.b.emitHandover(HandoverEvent{At: now, From: from, To: to, Interruption: stall})
+	r.inHO = false
+}

@@ -1,0 +1,88 @@
+package radio
+
+import (
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// Mover is a deterministic random-waypoint mobility model: the UE walks at
+// constant speed toward a waypoint drawn uniformly from the topology
+// bounds, dwells briefly, and picks the next. The trajectory is a pure
+// function of (seed, index) — no shared RNG — so positions are identical
+// regardless of which shard or worker evaluates them. PosAt must be called
+// with non-decreasing times (it advances internal segment state lazily).
+type Mover struct {
+	state uint64
+
+	x, y   float64      // position at t0
+	t0     simtime.Time // segment start
+	tx, ty float64      // current waypoint
+	speed  float64      // m/s
+	w, h   float64      // roaming bounds
+	pause  simtime.Time // dwell at each waypoint
+}
+
+// NewMover builds the trajectory for UE index under the given seed,
+// starting at (x, y). speed <= 0 yields a static mover that always reports
+// the start position.
+func NewMover(seed int64, index int, t *Topology, speedMps, x, y float64) *Mover {
+	m := &Mover{
+		state: moverSeed(seed, index),
+		x:     x, y: y,
+		speed: speedMps,
+		pause: simtime.Time(2 * 1e9), // 2s dwell at each waypoint
+	}
+	m.w, m.h = t.Bounds()
+	m.tx = m.next() * m.w
+	m.ty = m.next() * m.h
+	return m
+}
+
+// moverSeed derives an independent per-UE generator state via splitmix64.
+func moverSeed(seed int64, index int) uint64 {
+	z := uint64(seed) ^ (uint64(index+1) * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return z
+}
+
+// next returns the next uniform draw in [0, 1) (xorshift64*).
+func (m *Mover) next() float64 {
+	m.state ^= m.state >> 12
+	m.state ^= m.state << 25
+	m.state ^= m.state >> 27
+	return float64(m.state*0x2545f4914f6cdd1d>>11) / float64(1<<53)
+}
+
+// PosAt returns the position at virtual time t (non-decreasing calls).
+func (m *Mover) PosAt(t simtime.Time) (x, y float64) {
+	if m.speed <= 0 {
+		return m.x, m.y
+	}
+	for {
+		dx, dy := m.tx-m.x, m.ty-m.y
+		dist := math.Hypot(dx, dy)
+		if dist == 0 {
+			m.tx = m.next() * m.w
+			m.ty = m.next() * m.h
+			continue
+		}
+		arrive := m.t0 + simtime.Time(dist/m.speed*1e9)
+		if t < arrive {
+			frac := float64(t-m.t0) / float64(arrive-m.t0)
+			return m.x + dx*frac, m.y + dy*frac
+		}
+		// Waypoint reached: dwell, then head for the next one.
+		m.x, m.y, m.t0 = m.tx, m.ty, arrive+m.pause
+		if t < m.t0 {
+			return m.x, m.y
+		}
+		m.tx = m.next() * m.w
+		m.ty = m.next() * m.h
+	}
+}

@@ -96,6 +96,18 @@ type entity struct {
 	ch      *cellChannel
 	cellIdx int
 	inRing  bool
+	// txCh is the channel the PDU currently on the air was granted by. It
+	// can outlive ch: a handover may detach the bearer mid-flight, and the
+	// occupancy must complete (and release) the old cell's channel.
+	txCh *cellChannel
+	// onAir is the PDU currently transmitting (at most one per entity), and
+	// the cached completion/loop closures below keep the per-PDU hot path
+	// allocation-free (method values and fresh closures both allocate).
+	onAir     *PDU
+	pduSentFn func()
+	txNextFn  func()
+	startFn   func()
+	statusFn  func()
 	// ewmaBps and ewmaAt are the proportional-fair scheduler's served-rate
 	// average (lazily decayed at ewmaAt).
 	ewmaBps float64
@@ -140,6 +152,14 @@ func newEntity(b *Bearer, dir Direction) *entity {
 	// RLC spec. Small enough to stall on persistent feedback loss, large
 	// enough not to throttle bulk transfers.
 	e.maxWindow = 2048
+	e.pduSentFn = func() {
+		p := e.onAir
+		e.onAir = nil
+		e.pduSent(p)
+	}
+	e.txNextFn = e.txNext
+	e.startFn = e.start
+	e.statusFn = e.statusArrived
 	return e
 }
 
@@ -173,6 +193,9 @@ func (e *entity) kick() {
 	if e.b.InOutage() {
 		return // resume() re-kicks when the bearer comes back
 	}
+	if e.b.hoFrozen {
+		return // CompleteHandover re-kicks on the target cell
+	}
 	if !e.hasWork() {
 		return
 	}
@@ -182,13 +205,19 @@ func (e *entity) kick() {
 	if ready < now {
 		ready = now
 	}
-	e.b.k.At(ready, e.start)
+	e.b.k.At(ready, e.startFn)
 }
 
 // start begins transmission once the RRC promotion delay has elapsed: on a
 // shared cell the entity joins the channel's wait ring and transmits when
 // scheduled; standalone it self-paces exactly as before.
 func (e *entity) start() {
+	if e.b.hoFrozen {
+		// A promotion completed inside the handover interruption window;
+		// CompleteHandover re-kicks on the target cell.
+		e.sending = false
+		return
+	}
 	if e.ch != nil {
 		e.ch.activate(e)
 		return
@@ -268,9 +297,10 @@ func (e *entity) resume() {
 // txNext transmits one PDU (new or retransmission) and schedules the next.
 // It is the standalone (no-cell) pacing loop.
 func (e *entity) txNext() {
-	if e.b.InOutage() {
-		// Bearer went down between scheduling and transmission; park the
-		// sender — resume() restarts it at outage end.
+	if e.b.InOutage() || e.b.hoFrozen {
+		// Bearer went down (or froze for a handover) between scheduling and
+		// transmission; park the sender — resume()/CompleteHandover restarts
+		// it.
 		e.sending = false
 		return
 	}
@@ -287,7 +317,7 @@ func (e *entity) txNext() {
 // a parked entity (outage, drained queue) returns false so the dispatcher
 // can move on to the next bearer.
 func (e *entity) startTx() bool {
-	if e.b.InOutage() {
+	if e.b.InOutage() || e.b.hoFrozen {
 		e.sending = false
 		return false
 	}
@@ -320,8 +350,15 @@ func (e *entity) nextPDU() *PDU {
 func (e *entity) transmit(p *PDU) {
 	// Refresh the RRC inactivity timer; bandwidth may have changed state.
 	e.b.rrc.OnActivity()
+	bw := e.bandwidth() * e.b.gain
+	if e.ch != nil && e.ch.share != 1 {
+		// Capacity fraction left by the same topology cell's bearers on
+		// other shards (multiplying by the default share of 1 would be a
+		// float no-op, but skipping it keeps intent obvious).
+		bw *= e.ch.share
+	}
 	txTime := e.b.prof.PDUHeaderTime +
-		simtime.Time(float64(p.Size)*8/(e.bandwidth()*e.b.gain)*float64(simtime.Time(1e9)))
+		simtime.Time(float64(p.Size)*8/bw*float64(simtime.Time(1e9)))
 
 	e.sincePoll++
 	lastOfBurst := len(e.retx) == 0 && e.segOff >= e.queuedOff
@@ -330,7 +367,12 @@ func (e *entity) transmit(p *PDU) {
 		e.sincePoll = 0
 	}
 
-	e.b.k.After(txTime, func() { e.pduSent(p) })
+	if e.ch != nil {
+		e.ch.airtime += txTime
+		e.txCh = e.ch
+	}
+	e.onAir = p
+	e.b.k.After(txTime, e.pduSentFn)
 }
 
 // pduSent finishes one PDU's transmission: records it, applies loss, updates
@@ -359,6 +401,13 @@ func (e *entity) pduSent(p *PDU) {
 		e.schedStatus()
 	}
 
+	// The channel that granted this PDU: normally e.ch, but a handover may
+	// have detached the bearer mid-flight, in which case the occupancy must
+	// complete on the old cell's channel with no further grant.
+	ch := e.txCh
+	e.txCh = nil
+	detached := ch != nil && ch != e.ch
+
 	// Window check: stall if too many unacked PDUs.
 	if len(e.inFlight) >= e.maxWindow {
 		e.stalled = true
@@ -366,21 +415,27 @@ func (e *entity) pduSent(p *PDU) {
 		if !e.statusDue {
 			e.schedStatus() // make sure feedback is coming
 		}
-		if e.ch != nil {
-			e.ch.served(e, p, false)
+		if ch != nil {
+			ch.served(e, p, false)
 		}
 		return
 	}
-	if e.ch != nil {
-		more := e.hasWork()
+	if ch != nil {
+		more := !detached && e.hasWork()
 		if !more {
 			e.sending = false
 		}
-		e.ch.served(e, p, more)
+		ch.served(e, p, more)
+		return
+	}
+	if e.b.hoFrozen {
+		// Standalone bearer frozen for a handover: park; CompleteHandover
+		// re-kicks.
+		e.sending = false
 		return
 	}
 	if e.hasWork() {
-		k.After(0, e.txNext)
+		k.After(0, e.txNextFn)
 	} else {
 		e.sending = false
 	}
@@ -401,7 +456,7 @@ func (e *entity) schedStatus() {
 	if rtt < time.Millisecond {
 		rtt = time.Millisecond
 	}
-	k.After(rtt, e.statusArrived)
+	k.After(rtt, e.statusFn)
 }
 
 // statusArrived processes ARQ feedback at the sender.
@@ -410,6 +465,11 @@ func (e *entity) statusArrived() {
 	if e.b.InOutage() {
 		// The STATUS PDU was lost in the outage; resume() re-polls once the
 		// bearer is back.
+		return
+	}
+	if e.b.hoFrozen {
+		// STATUS arrived during the handover interruption window and is
+		// lost with it; CompleteHandover re-polls via resume().
 		return
 	}
 	st := StatusPDU{At: e.b.k.Now(), Dir: e.dir, AckSeq: e.nextSeq}

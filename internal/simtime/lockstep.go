@@ -1,0 +1,132 @@
+package simtime
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Lockstep advances a set of independent kernels in parallel under
+// conservative-lookahead synchronization: virtual time is cut into epochs
+// of fixed width (the minimum latency of any cross-kernel interaction, so
+// nothing that happens inside an epoch on one kernel can affect another
+// kernel within the same epoch), every kernel runs its epoch to completion,
+// and a serial barrier callback exchanges cross-kernel state between
+// epochs.
+//
+// Determinism: each kernel is single-threaded and owns its RNG, epochs are
+// barrier-aligned, and the barrier runs serially on the coordinating
+// goroutine — so which worker executes which kernel, and how many workers
+// exist, changes wall-clock interleaving only. A Lockstep run is
+// byte-identical at any worker count and GOMAXPROCS.
+type Lockstep struct {
+	kernels []*Kernel
+	workers int
+
+	work chan lockstepJob
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type lockstepJob struct {
+	k     *Kernel
+	until Time
+}
+
+// NewLockstep builds a coordinator over the kernels. workers <= 0 selects
+// min(len(kernels), GOMAXPROCS); workers == 1 runs fully serial on the
+// calling goroutine (no goroutines spawned, handy under the race detector
+// and for bisecting).
+func NewLockstep(kernels []*Kernel, workers int) *Lockstep {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(kernels) {
+		workers = len(kernels)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Lockstep{kernels: kernels, workers: workers}
+}
+
+// Workers returns the effective worker count.
+func (l *Lockstep) Workers() int { return l.workers }
+
+// Run advances every kernel to exactly `until` in lockstep epochs of the
+// given window, invoking barrier (may be nil) after each epoch with the
+// epoch's end time. The final barrier (at `until`) also fires. window must
+// be positive; it is the safe lookahead — the minimum virtual-time latency
+// of any cross-kernel influence.
+func (l *Lockstep) Run(until, window Time, barrier func(end Time)) {
+	if window <= 0 {
+		panic(fmt.Sprintf("simtime: lockstep window must be positive, got %v", window))
+	}
+	if len(l.kernels) == 0 {
+		return
+	}
+	start := l.kernels[0].Now()
+	for _, k := range l.kernels[1:] {
+		if k.Now() != start {
+			panic("simtime: lockstep kernels out of sync")
+		}
+	}
+	if l.workers > 1 && l.work == nil {
+		l.start()
+	}
+	for t := start; t < until; {
+		t += window
+		if t > until {
+			t = until
+		}
+		l.epoch(t)
+		if barrier != nil {
+			barrier(t)
+		}
+	}
+}
+
+// Close tears down the worker pool (idempotent; Run can be called again —
+// workers are respawned on demand).
+func (l *Lockstep) Close() {
+	if l.work != nil {
+		close(l.work)
+		l.wg.Wait()
+		l.work, l.done = nil, nil
+	}
+}
+
+func (l *Lockstep) start() {
+	l.work = make(chan lockstepJob)
+	l.done = make(chan struct{}, len(l.kernels))
+	for i := 0; i < l.workers; i++ {
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			for j := range l.work {
+				j.k.RunUntil(j.until)
+				l.done <- struct{}{}
+			}
+		}()
+	}
+}
+
+// epoch runs every kernel to exactly `end`. The done-channel receives give
+// the coordinator a happens-before edge from each kernel's execution, so
+// the barrier (and the next epoch's dispatch) reads consistent state.
+func (l *Lockstep) epoch(end Time) {
+	if l.workers <= 1 {
+		for _, k := range l.kernels {
+			k.RunUntil(end)
+		}
+		return
+	}
+	go func() {
+		for _, k := range l.kernels {
+			l.work <- lockstepJob{k: k, until: end}
+		}
+	}()
+	for range l.kernels {
+		<-l.done
+	}
+}

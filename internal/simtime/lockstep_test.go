@@ -1,0 +1,110 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+// lockstepRun builds n kernels, each self-scheduling a recurring event that
+// mixes its RNG into a running digest, and advances them with the given
+// worker count. Returns the per-kernel digests and final times.
+func lockstepRun(n, workers int, until, window Time) ([]uint64, []Time, int) {
+	kernels := make([]*Kernel, n)
+	digests := make([]uint64, n)
+	for i := range kernels {
+		k := NewKernel(int64(100 + i))
+		kernels[i] = k
+		i := i
+		// Periods differ per kernel so epochs cut each stream differently.
+		period := Time(time.Millisecond) * Time(i+1)
+		var tick func()
+		tick = func() {
+			digests[i] = digests[i]*6364136223846793005 + uint64(k.Rand().Intn(1<<30)) + uint64(k.Now())
+			k.After(time.Duration(period), tick)
+		}
+		k.After(time.Duration(period), tick)
+	}
+	ls := NewLockstep(kernels, workers)
+	defer ls.Close()
+	barriers := 0
+	ls.Run(until, window, func(end Time) { barriers++ })
+
+	times := make([]Time, n)
+	for i, k := range kernels {
+		times[i] = k.Now()
+	}
+	return digests, times, barriers
+}
+
+func TestLockstepDeterministicAcrossWorkerCounts(t *testing.T) {
+	const until, window = Time(200 * time.Millisecond), Time(10 * time.Millisecond)
+	base, times, barriers := lockstepRun(4, 1, until, window)
+	if barriers != 20 {
+		t.Fatalf("barriers = %d, want 20 (200ms / 10ms epochs)", barriers)
+	}
+	for i, at := range times {
+		if at != until {
+			t.Fatalf("kernel %d stopped at %v, want %v", i, at, until)
+		}
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, times, barriers := lockstepRun(4, workers, until, window)
+		if barriers != 20 {
+			t.Fatalf("workers=%d: barriers = %d, want 20", workers, barriers)
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: kernel %d digest %x != serial %x", workers, i, got[i], base[i])
+			}
+			if times[i] != until {
+				t.Fatalf("workers=%d: kernel %d stopped at %v", workers, i, times[i])
+			}
+		}
+	}
+}
+
+func TestLockstepRaggedFinalEpoch(t *testing.T) {
+	// until is not a multiple of window: the last epoch is clamped.
+	_, times, barriers := lockstepRun(3, 2, Time(25*time.Millisecond), Time(10*time.Millisecond))
+	if barriers != 3 {
+		t.Fatalf("barriers = %d, want 3 (10, 20, 25ms)", barriers)
+	}
+	for i, at := range times {
+		if at != Time(25*time.Millisecond) {
+			t.Fatalf("kernel %d stopped at %v", i, at)
+		}
+	}
+}
+
+func TestLockstepReusableAfterClose(t *testing.T) {
+	kernels := []*Kernel{NewKernel(1), NewKernel(2)}
+	ls := NewLockstep(kernels, 2)
+	ls.Run(Time(10*time.Millisecond), Time(5*time.Millisecond), nil)
+	ls.Close()
+	ls.Run(Time(20*time.Millisecond), Time(5*time.Millisecond), nil)
+	ls.Close()
+	for i, k := range kernels {
+		if k.Now() != Time(20*time.Millisecond) {
+			t.Fatalf("kernel %d at %v after reuse", i, k.Now())
+		}
+	}
+}
+
+func TestLockstepPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	ls := NewLockstep([]*Kernel{NewKernel(1)}, 1)
+	mustPanic("zero window", func() { ls.Run(Time(time.Second), 0, nil) })
+
+	a, b := NewKernel(1), NewKernel(2)
+	a.RunUntil(Time(time.Millisecond))
+	mustPanic("out-of-sync kernels", func() {
+		NewLockstep([]*Kernel{a, b}, 1).Run(Time(time.Second), Time(time.Millisecond), nil)
+	})
+}
