@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify cover chaos bench bench-analyzer bench-compare bench-fleet bench-fleet-compare bench-qoestore bench-qoemon bench-all analyzer-golden sweep sweep-golden
+.PHONY: build test test-short verify cover chaos bench bench-analyzer bench-compare bench-fleet bench-fleet-compare bench-remedy bench-remedy-compare bench-qoestore bench-qoemon bench-all analyzer-golden sweep sweep-golden
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ verify: build
 	$(MAKE) cover
 	$(MAKE) chaos
 	$(MAKE) sharded-golden
+	$(MAKE) bench-remedy-compare
 
 # The sharded fleet's determinism contract, pinned at both extremes of
 # runtime parallelism: the multi-cell mobility golden must render
@@ -95,6 +96,19 @@ bench-fleet:
 bench-fleet-compare:
 	BENCH_PR8_BASELINE=$(CURDIR)/BENCH_PR8.json $(GO) test -run TestBenchComparePR8 -v -timeout 20m ./internal/fleet/
 
+# PR 10 remediation control-plane record: observe-mode controller overhead
+# on a 16-UE fleet (the full fold + diagnosis pipeline with actuation off;
+# budget 5%) and the remediated 40kbps-throttled storm at N=256 and N=1024
+# with interventions per wall second. Writes BENCH_PR10.json.
+bench-remedy:
+	BENCH_PR10_JSON=$(CURDIR)/BENCH_PR10.json $(GO) test -run TestWriteBenchPR10JSON -v -timeout 40m ./internal/fleet/
+
+# Compare a fresh N=256 remediated storm against the checked-in
+# BENCH_PR10.json baseline; fails on >20% per-UE-virtual-second regression
+# or any drift in the deterministic intervention count.
+bench-remedy-compare:
+	BENCH_PR10_BASELINE=$(CURDIR)/BENCH_PR10.json $(GO) test -run TestBenchComparePR10 -v -timeout 20m ./internal/fleet/
+
 # PR 6 resilience record for the durable QoE store: sustained ingest
 # throughput with and without fsync, and query latency under hot concurrent
 # ingest. Writes BENCH_PR6.json and fails if NoSync ingest drops under 50k
@@ -110,7 +124,7 @@ bench-qoemon:
 	BENCH_PR7_JSON=$(CURDIR)/BENCH_PR7.json $(GO) test -run TestWriteBenchPR7JSON -v ./internal/qoemon/
 
 # Every per-PR benchmark record in one pass.
-bench-all: bench bench-analyzer bench-fleet bench-qoestore bench-qoemon
+bench-all: bench bench-analyzer bench-fleet bench-remedy bench-qoestore bench-qoemon
 
 # Serial-vs-parallel analyzer equivalence over the whole experiment
 # registry (the default test run covers a fast subset).

@@ -39,7 +39,7 @@ func runExperiment(b *testing.B, id string, metricKeys ...string) {
 	}
 	var last *experiments.Result
 	for i := 0; i < b.N; i++ {
-		last = exp.Run(benchSeed)
+		last = exp.Run(benchSeed, experiments.Params{})
 	}
 	for _, k := range metricKeys {
 		v, ok := last.Values[k]

@@ -9,6 +9,8 @@
 //	qoeexp -all [-seed N]             # run everything in paper order
 //	qoeexp -all -parallel 0           # ... on all cores (0 = GOMAXPROCS)
 //	qoeexp -all -seeds 42..49         # ... across a seed grid
+//	qoeexp -run remedy -ues 12        # scenario knobs override paper defaults
+//	qoeexp -run fleet -config s.json  # ... or load them from JSON ("-" = stdin)
 //
 // Cells of the (experiment × seed) grid are independent — each builds its
 // own simulation kernel — so -parallel changes wall-clock time only; the
@@ -22,8 +24,11 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"time"
 
+	"repro/internal/cliconfig"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
@@ -41,6 +46,9 @@ func newLogger(w io.Writer, level string) (*slog.Logger, error) {
 	}
 	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lvl})), nil
 }
+
+// stdin is the reader behind `-config -`, swappable in tests.
+var stdin io.Reader = os.Stdin
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -60,14 +68,34 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 	}()
 
+	// The config file (if any) loads first and supplies the flag defaults,
+	// so explicitly passed flags override the file.
+	cfg, err := cliconfig.Load(cliconfig.PeekPath(args), stdin)
+	if err != nil {
+		return err
+	}
+	defSeed := cfg.Seed
+	if defSeed == 0 {
+		defSeed = 42
+	}
+
 	fs := flag.NewFlagSet("qoeexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	fs.String("config", "", `JSON scenario config ("-" = stdin); flags override file values`)
 	list := fs.Bool("list", false, "list experiments")
 	runID := fs.String("run", "", "experiment id to run (e.g. fig7, table3, sec7.7)")
 	all := fs.Bool("all", false, "run every experiment")
-	seed := fs.Int64("seed", 42, "simulation seed")
+	seed := fs.Int64("seed", defSeed, "simulation seed")
 	seeds := fs.String("seeds", "", "seed grid, e.g. 42..49 or 1,5,9 (overrides -seed)")
 	parallel := fs.Int("parallel", 1, "worker count for the sweep; 0 = GOMAXPROCS")
+	horizon := fs.Duration("horizon", time.Duration(cfg.Horizon), "override the experiment's virtual-time horizon (0 = paper default)")
+	ues := fs.Int("ues", cfg.UEs, "override the fleet population of multi-UE experiments (0 = paper default)")
+	cells := fs.Int("cells", cfg.Cells, "override the topology size of multi-cell experiments (0 = paper default)")
+	speed := fs.Float64("speed", cfg.MobilityMps, "override the mobility speed (m/s) of handover experiments (0 = paper default)")
+	loss := fs.Float64("loss", cfg.LossRate, "override the injected mean loss rate of impairment experiments (0 = paper sweep)")
+	throttle := fs.Float64("throttle", cfg.ThrottleBps, "override the carrier throttle rate (bit/s) of throttling experiments (0 = paper sweep)")
+	remedyOn := fs.Bool("remedy", cfg.Remedy != nil, "put the remediation controller in the loop for experiments that support it")
+	remedyObserve := fs.Bool("remedy-observe", cfg.Remedy != nil && cfg.Remedy.Observe, "diagnose without actuating (requires -remedy)")
 	logLevel := fs.String("log-level", "off", "structured JSON log level on stderr: debug|info|warn|error|off")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +105,37 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
+	}
+	if *horizon < 0 || *ues < 0 || *cells < 0 || *speed < 0 || *loss < 0 || *throttle < 0 {
+		return fmt.Errorf("scenario overrides must not be negative")
+	}
+	if *loss >= 1 {
+		return fmt.Errorf("-loss is a rate, want < 1, got %v", *loss)
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["remedy-observe"] && *remedyObserve && !*remedyOn {
+		return fmt.Errorf("-remedy-observe requires -remedy")
+	}
+	if *list && (explicit["ues"] || explicit["horizon"] || explicit["cells"] ||
+		explicit["speed"] || explicit["loss"] || explicit["throttle"] || explicit["remedy"]) {
+		return fmt.Errorf("-list takes no scenario overrides")
+	}
+	params := experiments.Params{
+		Horizon:     *horizon,
+		UEs:         *ues,
+		Cells:       *cells,
+		SpeedMps:    *speed,
+		LossRate:    *loss,
+		ThrottleBps: *throttle,
+	}
+	if *remedyOn {
+		spec := cfg.Remedy.Spec()
+		if spec == nil {
+			spec = &fleet.RemedySpec{}
+		}
+		spec.Observe = *remedyObserve
+		params.Remedy = spec
 	}
 	logger, err := newLogger(stderr, *logLevel)
 	if err != nil {
@@ -109,17 +168,25 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 		if len(grid) == 1 && *parallel == 1 {
 			logger.Info("experiment start", "id", e.ID, "seed", grid[0])
-			fmt.Fprint(stdout, e.Run(grid[0]).Render())
+			fmt.Fprint(stdout, e.Run(grid[0], params).Render())
 			logger.Info("experiment done", "id", e.ID, "seed", grid[0])
 			return nil
 		}
-		return runSweep(stdout, logger, sweep.Grid([]experiments.Experiment{e}, grid), *parallel, len(grid) > 1)
+		return runSweep(stdout, logger, withParams(sweep.Grid([]experiments.Experiment{e}, grid), params), *parallel, len(grid) > 1)
 	case *all:
-		return runSweep(stdout, logger, sweep.Grid(experiments.Registry(), grid), *parallel, len(grid) > 1)
+		return runSweep(stdout, logger, withParams(sweep.Grid(experiments.Registry(), grid), params), *parallel, len(grid) > 1)
 	default:
 		fs.Usage()
 		return flag.ErrHelp
 	}
+}
+
+// withParams stamps the scenario knobs onto every grid cell.
+func withParams(cells []sweep.Cell, p experiments.Params) []sweep.Cell {
+	for i := range cells {
+		cells[i].Params = p
+	}
+	return cells
 }
 
 func runSweep(stdout io.Writer, logger *slog.Logger, cells []sweep.Cell, workers int, showSeed bool) error {

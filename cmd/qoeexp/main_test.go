@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -28,6 +30,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"bad seeds", []string{"-all", "-seeds", "abc"}, ""},
 		{"inverted seed range", []string{"-all", "-seeds", "9..1"}, ""},
 		{"negative parallel", []string{"-all", "-parallel", "-2"}, "-parallel must be >= 0"},
+		{"negative override", []string{"-run", "fig7", "-ues", "-1"}, "must not be negative"},
+		{"loss not a rate", []string{"-run", "fig7", "-loss", "1.5"}, "-loss is a rate"},
+		{"remedy-observe without remedy", []string{"-run", "remedy", "-remedy-observe"}, "-remedy-observe requires -remedy"},
+		{"list with overrides", []string{"-list", "-ues", "4"}, "-list takes no scenario overrides"},
+		{"missing config", []string{"-list", "-config", "/no/such/scen.json"}, ""},
 	}
 	for _, c := range cases {
 		_, err := runErr(t, c.args...)
@@ -37,6 +44,34 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		if c.want != "" && !strings.Contains(err.Error(), c.want) {
 			t.Fatalf("%s: error = %q, want %q in it", c.name, err, c.want)
 		}
+	}
+}
+
+// TestRunConfigEquivalentToFlags: running with a -config file is
+// byte-identical to spelling the same scenario as flags, and actually
+// changes the result relative to the paper defaults.
+func TestRunConfigEquivalentToFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scen.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 5, "ues": 3, "horizon": "2m"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromCfg, err := runErr(t, "-run", "fleet", "-config", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFlags, err := runErr(t, "-run", "fleet", "-seed", "5", "-ues", "3", "-horizon", "2m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromCfg != fromFlags {
+		t.Fatalf("config and flags diverged:\n--- config ---\n%s\n--- flags ---\n%s", fromCfg, fromFlags)
+	}
+	defaults, err := runErr(t, "-run", "fleet", "-seed", "5", "-horizon", "2m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaults == fromCfg {
+		t.Fatal("config file had no observable effect on the experiment")
 	}
 }
 

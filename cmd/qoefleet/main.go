@@ -12,6 +12,9 @@
 //	qoefleet -ues 8 -emit http://127.0.0.1:8711   # stream QoE into qoeserve
 //	qoefleet -ues 64 -cells 4             # sharded multi-cell grid, parallel kernels
 //	qoefleet -ues 64 -cells 4 -mobility 20  # UEs drive at 20 m/s, handovers emerge
+//	qoefleet -throttle 280e3 -remedy      # closed-loop remediation under a carrier throttle
+//	qoefleet -config scen.json -ues 32    # scenario from JSON; flags override the file
+//	cat scen.json | qoefleet -config -    # ... or from stdin
 package main
 
 import (
@@ -24,12 +27,16 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliconfig"
 	"repro/internal/core/analyzer"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/qoestore"
 	"repro/internal/radio"
 )
+
+// stdin is the reader behind `-config -`, swappable in tests.
+var stdin io.Reader = os.Stdin
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -77,20 +84,56 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 	}()
 
+	// The config file (if any) loads first and supplies the flag defaults,
+	// so explicitly passed flags override the file — standard flag parsing
+	// implements the precedence.
+	cfg, err := cliconfig.Load(cliconfig.PeekPath(args), stdin)
+	if err != nil {
+		return err
+	}
+	defInt := func(v, d int) int {
+		if v != 0 {
+			return v
+		}
+		return d
+	}
+	defStr := func(v, d string) string {
+		if v != "" {
+			return v
+		}
+		return d
+	}
+	defI64 := func(v, d int64) int64 {
+		if v != 0 {
+			return v
+		}
+		return d
+	}
+	defDur := func(v cliconfig.Duration, d time.Duration) time.Duration {
+		if v != 0 {
+			return time.Duration(v)
+		}
+		return d
+	}
+
 	fs := flag.NewFlagSet("qoefleet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	ues := fs.Int("ues", 8, "number of UEs sharing the cell")
-	policy := fs.String("policy", "rr", "cell scheduler: rr (round-robin) | pf (proportional fair)")
-	workload := fs.String("workload", "browse", "workload: youtube | browse | facebook")
-	network := fs.String("network", "lte", "lte | 3g | 3g-simple | wifi")
-	seed := fs.Int64("seed", 1, "simulation seed")
-	horizon := fs.Duration("horizon", 10*time.Minute, "virtual-time run length")
-	gains := fs.String("gains", "", "linear link-quality spread lo:hi across UEs (default: all 1)")
-	cells := fs.Int("cells", 1, "number of cells (grid topology; >1 shards the run, one kernel per cell)")
-	mobility := fs.Float64("mobility", 0, "UE speed in m/s across the topology (0 = static; requires -cells > 1)")
-	x2 := fs.Duration("x2", 0, "inter-cell X2 latency: handover forwarding delay and shard lookahead window (0 = 10ms)")
-	workers := fs.Int("workers", 0, "shard worker goroutines (0 = GOMAXPROCS; results identical at any count)")
-	engine := fs.String("analyzer", "parallel", "analyzer engine: parallel | serial")
+	fs.String("config", "", `JSON scenario config ("-" = stdin); flags override file values`)
+	ues := fs.Int("ues", defInt(cfg.UEs, 8), "number of UEs sharing the cell")
+	policy := fs.String("policy", defStr(cfg.Policy, "rr"), "cell scheduler: rr (round-robin) | pf (proportional fair)")
+	workload := fs.String("workload", defStr(cfg.Workload, "browse"), "workload: youtube | browse | facebook")
+	network := fs.String("network", defStr(cfg.Network, "lte"), "lte | 3g | 3g-simple | wifi")
+	seed := fs.Int64("seed", defI64(cfg.Seed, 1), "simulation seed")
+	horizon := fs.Duration("horizon", defDur(cfg.Horizon, 10*time.Minute), "virtual-time run length")
+	gains := fs.String("gains", cfg.Gains, "linear link-quality spread lo:hi across UEs (default: all 1)")
+	cells := fs.Int("cells", defInt(cfg.Cells, 1), "number of cells (grid topology; >1 shards the run, one kernel per cell)")
+	mobility := fs.Float64("mobility", cfg.MobilityMps, "UE speed in m/s across the topology (0 = static; requires -cells > 1)")
+	x2 := fs.Duration("x2", time.Duration(cfg.X2Latency), "inter-cell X2 latency: handover forwarding delay and shard lookahead window (0 = 10ms; requires -cells > 1)")
+	workers := fs.Int("workers", cfg.Workers, "shard worker goroutines (0 = GOMAXPROCS; results identical at any count; requires -cells > 1)")
+	throttle := fs.Float64("throttle", cfg.ThrottleBps, "per-UE downlink carrier throttle in bit/s (0 = none)")
+	remedyOn := fs.Bool("remedy", cfg.Remedy != nil, "enable the closed-loop remediation controller")
+	remedyObserve := fs.Bool("remedy-observe", cfg.Remedy != nil && cfg.Remedy.Observe, "diagnose without actuating (requires -remedy)")
+	engine := fs.String("analyzer", defStr(cfg.Analyzer, "parallel"), "analyzer engine: parallel | serial")
 	traceOut := fs.String("trace", "", "write a merged Chrome trace (one process per UE) to this file")
 	emit := fs.String("emit", "", "stream QoE events to a qoeserve URL (e.g. http://127.0.0.1:8711)")
 	emitSource := fs.String("emit-source", "", "source name for emitted events (default fleet-<seed>)")
@@ -101,6 +144,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	logger, err := newLogger(stderr, *logLevel)
 	if err != nil {
 		return err
@@ -159,12 +204,43 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *x2 < 0 {
 		return fmt.Errorf("-x2 must not be negative, got %v", *x2)
 	}
+	// Options that only mean something on a sharded multi-cell run are
+	// rejected, not silently ignored, in single-cell mode.
+	if *cells < 2 && *x2 != 0 {
+		return fmt.Errorf("-x2 needs a multi-cell topology (-cells > 1)")
+	}
+	if *cells < 2 && *workers != 0 {
+		return fmt.Errorf("-workers needs a multi-cell topology (-cells > 1); a single-cell run has one kernel")
+	}
+	if *throttle < 0 {
+		return fmt.Errorf("-throttle must not be negative, got %v", *throttle)
+	}
+	if explicit["remedy-observe"] && *remedyObserve && !*remedyOn {
+		return fmt.Errorf("-remedy-observe requires -remedy")
+	}
+	if *emitSource != "" && *emit == "" {
+		return fmt.Errorf("-emit-source requires -emit")
+	}
+
+	if *throttle > 0 {
+		for i := range specs {
+			specs[i].ThrottleBps = *throttle
+		}
+	}
 
 	scen := fleet.Scenario{
 		Seed:     *seed,
 		Cell:     fleet.CellSpec{Profile: prof, Policy: pol},
 		UEs:      specs,
 		Workload: wl,
+	}
+	if *remedyOn {
+		spec := cfg.Remedy.Spec()
+		if spec == nil {
+			spec = &fleet.RemedySpec{}
+		}
+		spec.Observe = *remedyObserve
+		scen.Remedy = spec
 	}
 	if *cells > 1 {
 		scen.Topology = &fleet.TopologySpec{Cells: *cells, X2Latency: *x2}

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -41,6 +42,12 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"negative mobility", []string{"-mobility", "-3"}, "-mobility must not be negative"},
 		{"mobility without cells", []string{"-mobility", "10"}, "-mobility needs a multi-cell topology"},
 		{"negative x2", []string{"-cells", "2", "-x2", "-1ms"}, "-x2 must not be negative"},
+		{"x2 without cells", []string{"-x2", "5ms"}, "-x2 needs a multi-cell topology"},
+		{"workers without cells", []string{"-workers", "2"}, "-workers needs a multi-cell topology"},
+		{"negative throttle", []string{"-throttle", "-1"}, "-throttle must not be negative"},
+		{"remedy-observe without remedy", []string{"-remedy-observe"}, "-remedy-observe requires -remedy"},
+		{"emit-source without emit", []string{"-emit-source", "x"}, "-emit-source requires -emit"},
+		{"missing config", []string{"-config", "/no/such/scen.json"}, ""},
 	}
 	for _, c := range cases {
 		_, err := runErr(t, c.args...)
@@ -50,6 +57,69 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		if c.want != "" && !strings.Contains(err.Error(), c.want) {
 			t.Fatalf("%s: error = %q, want %q in it", c.name, err, c.want)
 		}
+	}
+}
+
+// TestRunConfigFileProvidesDefaults: a -config file supplies the scenario,
+// explicit flags override individual values, and "-config -" reads the same
+// scenario from stdin.
+func TestRunConfigFileProvidesDefaults(t *testing.T) {
+	cfgJSON := `{"seed": 5, "ues": 2, "horizon": "45s", "workload": "browse"}`
+	path := filepath.Join(t.TempDir(), "scen.json")
+	if err := os.WriteFile(path, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fromFile, err := runErr(t, "-config", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fromFile, "2 UE(s)") || !strings.Contains(fromFile, "seed 5") {
+		t.Fatalf("config values not applied:\n%s", fromFile)
+	}
+
+	over, err := runErr(t, "-config", path, "-ues", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(over, "3 UE(s)") || !strings.Contains(over, "seed 5") {
+		t.Fatalf("-ues did not override the file (or clobbered its seed):\n%s", over)
+	}
+
+	old := stdin
+	stdin = strings.NewReader(cfgJSON)
+	defer func() { stdin = old }()
+	fromStdin, err := runErr(t, "-config", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromStdin != fromFile {
+		t.Fatalf("stdin config diverged from file config:\n--- file ---\n%s\n--- stdin ---\n%s", fromFile, fromStdin)
+	}
+}
+
+// TestRunConfigRemedy: a remedy block in the config turns the controller on
+// (the report grows its Remediation section); -remedy=false on the command
+// line overrides the file and turns it back off.
+func TestRunConfigRemedy(t *testing.T) {
+	cfgJSON := `{"seed": 7, "ues": 3, "horizon": "4m", "workload": "youtube", "throttle_bps": 280000, "remedy": {}}`
+	path := filepath.Join(t.TempDir(), "scen.json")
+	if err := os.WriteFile(path, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	on, err := runErr(t, "-config", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(on, "== Remediation:") {
+		t.Fatalf("config remedy block did not enable the controller:\n%s", on)
+	}
+	off, err := runErr(t, "-config", path, "-remedy=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(off, "== Remediation:") {
+		t.Fatalf("-remedy=false did not override the config file:\n%s", off)
 	}
 }
 

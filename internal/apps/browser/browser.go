@@ -77,8 +77,9 @@ type App struct {
 
 	onLoaded func(url string, at simtime.Time)
 
-	loadWatch simtime.Event // LoadTimeout watchdog for the active load
-	loadTries int
+	loadWatch     simtime.Event // LoadTimeout watchdog for the active load
+	loadTries     int
+	loadStartedAt simtime.Time // when the current LoadPage was issued
 	// LoadFailures counts page loads abandoned after exhausting retries.
 	LoadFailures int
 
@@ -168,7 +169,43 @@ func (a *App) LoadPage(url string) {
 			obs.Attr{Key: "url", Val: url})
 	}
 	a.loadTries = 0
+	a.loadStartedAt = a.k.Now()
 	a.startLoad(url)
+}
+
+// ActiveLoadAge returns how long the current page load has been running, or
+// 0 when no load is active — the stalled-pageload signal runtime
+// controllers poll.
+func (a *App) ActiveLoadAge(now simtime.Time) time.Duration {
+	if a.activeLoad() == nil {
+		return 0
+	}
+	return time.Duration(now - a.loadStartedAt)
+}
+
+// ResetConns aborts the connection pool; the next load dials fresh
+// connections (exported for runtime path actuation).
+func (a *App) ResetConns() { a.resetConns() }
+
+// Repath restarts the active page load on a fresh connection pool with a
+// fresh DNS resolution — after a DNS repoint this lands on the new server.
+// The load span stays open across the restart, so QoE accounting charges
+// the whole wait to the one user action. Returns false when no load is
+// active. The retry budget is reset: the controller's intervention should
+// not burn the user-visible retry attempts.
+func (a *App) Repath() bool {
+	load := a.activeLoad()
+	if load == nil {
+		return false
+	}
+	a.cancelLoadWatch()
+	load.active = false
+	host, _ := splitURL(load.url)
+	delete(a.pending, host)
+	a.resetConns()
+	a.loadTries = 0
+	a.startLoad(load.url)
+	return true
 }
 
 func (a *App) startLoad(url string) {

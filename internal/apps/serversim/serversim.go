@@ -19,6 +19,11 @@ var (
 	FacebookAddr = netip.MustParseAddr("31.13.70.36")
 	YouTubeAddr  = netip.MustParseAddr("74.125.65.91")
 	WebAddr      = netip.MustParseAddr("93.184.216.34")
+
+	// Edge replicas: alternate servers a runtime controller can repoint
+	// traffic to (CDN failover). Installed only by InstallEdge.
+	EdgeYouTubeAddr = netip.MustParseAddr("173.194.55.11")
+	EdgeWebAddr     = netip.MustParseAddr("93.184.216.35")
 )
 
 // Hostnames served by the DNS zone.
@@ -31,9 +36,15 @@ const (
 // Cluster bundles all installed servers.
 type Cluster struct {
 	Facebook *FacebookServer
-	YouTube  *YouTubeServer
 	Web      *WebServer
+	YouTube  *YouTubeServer
 	DNS      *netsim.DNSServer
+
+	// Edge replicas, present only when InstallEdge was called. They serve
+	// the same deterministic catalogs as the primaries, so a mid-stream
+	// server switch is seamless.
+	EdgeYouTube *YouTubeServer
+	EdgeWeb     *WebServer
 }
 
 // Install creates all servers on the network and returns the cluster.
@@ -49,4 +60,14 @@ func Install(n *netsim.Network) *Cluster {
 	c.YouTube = NewYouTubeServer(n.MustAddServer(YouTubeAddr))
 	c.Web = NewWebServer(n.MustAddServer(WebAddr))
 	return c
+}
+
+// InstallEdge adds the edge replica servers to the network. The DNS zone is
+// left pointing at the primaries; a runtime controller repoints individual
+// hostnames (and flushes resolver caches) when it actuates a server switch.
+// Installing the replicas schedules no kernel events, so scenarios with and
+// without edges diverge only when a switch actually happens.
+func InstallEdge(n *netsim.Network, c *Cluster) {
+	c.EdgeYouTube = NewYouTubeServer(n.MustAddServer(EdgeYouTubeAddr))
+	c.EdgeWeb = NewWebServer(n.MustAddServer(EdgeWebAddr))
 }

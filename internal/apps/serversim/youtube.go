@@ -45,6 +45,13 @@ func (v VideoInfo) TotalBytes() int {
 type ytRequest struct {
 	Keyword string `json:"keyword,omitempty"`
 	ID      string `json:"id,omitempty"`
+	// BitrateBps, when > 0, asks for a re-encode at that rate instead of
+	// the catalog's native encoding (the client's ABR ladder request).
+	BitrateBps int `json:"bitrate_bps,omitempty"`
+	// FromS, when > 0, resumes mid-video: only the remainder from that
+	// position is served. Combined with BitrateBps this is the
+	// quality-switch resume path.
+	FromS float64 `json:"from_s,omitempty"`
 }
 
 // YouTubeServer serves a deterministic catalog: ten videos per keyword
@@ -138,9 +145,22 @@ func (srv *YouTubeServer) handle(mc *netsim.MsgConn, kind byte, payload []byte) 
 		if err != nil {
 			return
 		}
+		if req.BitrateBps > 0 {
+			v.BitrateBps = req.BitrateBps
+		}
+		total := v.TotalBytes()
+		if req.BitrateBps > 0 || req.FromS > 0 {
+			// Re-encode / resume: serve only the remaining duration at the
+			// (possibly re-encoded) bitrate. The expression mirrors the
+			// client's remainder arithmetic exactly.
+			remainS := float64(v.DurationS) - req.FromS
+			if remainS < 0 {
+				remainS = 0
+			}
+			total = int(remainS * float64(v.BitrateBps) / 8)
+		}
 		hdr, _ := json.Marshal(v)
 		mc.Send(YTVideoHeader, hdr)
-		total := v.TotalBytes()
 		for off := 0; off < total; off += ytChunkBytes {
 			n := ytChunkBytes
 			if off+n > total {

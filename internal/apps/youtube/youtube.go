@@ -52,6 +52,17 @@ const (
 	connectRetryMax  = 5 // attempts before giving up
 )
 
+// qualityLadder is the ABR ladder as bitrate fractions of the catalog's
+// native encoding: rung 0 is native, each lower rung re-encodes at a
+// fraction (the YouTube QoE evaluation tooling's quality-switch metric
+// counts movements on this ladder). The server serves any requested
+// bitrate, so the ladder is a pure client policy.
+var qualityLadder = []float64{1.0, 0.6, 0.35}
+
+// minLadderBps floors a re-encoded rung so degenerate catalogs stay
+// playable.
+const minLadderBps = 50_000
+
 // Config selects app behaviour.
 type Config struct {
 	// AdsEnabled plays pre-roll ads on videos that carry one.
@@ -83,6 +94,9 @@ type PlaybackStats struct {
 	// Abandoned reports that playback was given up after a stall exceeded
 	// Config.StallTimeout; the stats up to that point are still valid.
 	Abandoned bool
+	// QualitySwitches counts mid-playback ABR ladder movements (both
+	// directions) during this playback.
+	QualitySwitches int
 }
 
 // RebufferRatio is stall/(play+stall) after initial loading (§4.2.2).
@@ -101,8 +115,12 @@ type stream struct {
 	buffered int // bytes received
 	total    int
 	ended    bool
-	onChunk  func()
-	onHeader func()
+	// fixedTotal marks a resumed/re-encoded stream whose total was
+	// computed client-side (credit + remainder); the server header must
+	// not overwrite it with the full-video size.
+	fixedTotal bool
+	onChunk    func()
+	onHeader   func()
 }
 
 // App is the device-side YouTube model.
@@ -149,6 +167,16 @@ type App struct {
 	// until near the end of the pre-roll ad.
 	mainInfo      serversim.VideoInfo
 	mainRequested bool
+
+	// ABR state. rung indexes qualityLadder (sticky across playbacks);
+	// nativeInfo is the catalog entry of the current main video (info on
+	// a.current carries the re-encoded bitrate after a switch); posBaseS
+	// is the playback position consumed by earlier stream segments, so
+	// byte accounting restarts cleanly at each mid-stream resume.
+	rung        int
+	nativeInfo  serversim.VideoInfo
+	posBaseS    float64
+	totalStalls int // cumulative across playbacks, for runtime controllers
 
 	// expectChunksFor names the stream whose chunks are currently arriving
 	// (the server serializes one YTPlay response at a time per connection).
@@ -260,15 +288,46 @@ func (a *App) Search(keyword string) {
 	a.whenConnected(func() { a.conn.Send(serversim.YTSearch, req) })
 }
 
-// play requests a media stream.
-func (a *App) requestStream(id string) *stream {
+// playReq is the YTPlay request body. BitrateBps and FromS are omitted
+// for a plain native-quality request, keeping the wire bytes identical to
+// the pre-ABR protocol.
+type playReq struct {
+	ID         string  `json:"id"`
+	BitrateBps int     `json:"bitrate_bps,omitempty"`
+	FromS      float64 `json:"from_s,omitempty"`
+}
+
+// requestStream requests a media stream; bps > 0 asks the server to
+// re-encode at that bitrate (0 = the catalog's native encoding).
+func (a *App) requestStream(id string, bps int) *stream {
 	st := &stream{}
 	a.streams[id] = st
-	req, _ := json.Marshal(struct {
-		ID string `json:"id"`
-	}{id})
-	a.whenConnected(func() { a.conn.Send(serversim.YTPlay, req) })
+	a.sendPlay(id, bps, 0)
 	return st
+}
+
+func (a *App) sendPlay(id string, bps int, fromS float64) {
+	req, _ := json.Marshal(playReq{ID: id, BitrateBps: bps, FromS: fromS})
+	a.whenConnected(func() { a.conn.Send(serversim.YTPlay, req) })
+}
+
+// rungBps maps a ladder rung onto a concrete bitrate for the video
+// described by v: 0 for the native encoding (so plain requests stay
+// byte-identical), a re-encoded rate rounded down to 1 kbps otherwise —
+// the same rounding the server applies, keeping both sides' remainder
+// arithmetic identical.
+func rungBps(v serversim.VideoInfo, rung int) int {
+	if rung <= 0 {
+		return 0
+	}
+	if rung >= len(qualityLadder) {
+		rung = len(qualityLadder) - 1
+	}
+	bps := int(float64(v.BitrateBps)*qualityLadder[rung]/1000) * 1000
+	if bps < minLadderBps {
+		bps = minLadderBps
+	}
+	return bps
 }
 
 // PlayVideo is the result-item click path: show the player and spinner,
@@ -294,6 +353,7 @@ func (a *App) PlayVideo(v serversim.VideoInfo) {
 	a.progress.SetVisible(true)
 	a.playing, a.stalled = false, false
 	a.playedBytes = 0
+	a.posBaseS = 0
 	a.adStartAt, a.adEndAt = 0, 0
 	a.streams = make(map[string]*stream)
 	a.current = nil
@@ -306,7 +366,7 @@ func (a *App) PlayVideo(v serversim.VideoInfo) {
 		a.stats.AdPlayed = true
 		a.mainInfo = v
 		a.mainRequested = false
-		a.ad = a.requestStream(v.AdID)
+		a.ad = a.requestStream(v.AdID, 0)
 		a.ad.onHeader = func() { a.maybeStartAd() }
 		a.ad.onChunk = func() { a.maybeStartAd() }
 		return
@@ -314,13 +374,16 @@ func (a *App) PlayVideo(v serversim.VideoInfo) {
 	a.startMainRequest(v)
 }
 
-// startMainRequest opens the main video's stream (idempotent).
+// startMainRequest opens the main video's stream (idempotent). A sticky
+// ABR rung below native carries over: the stream starts at the reduced
+// bitrate.
 func (a *App) startMainRequest(v serversim.VideoInfo) {
 	if a.mainRequested && a.current != nil {
 		return
 	}
 	a.mainRequested = true
-	a.current = a.requestStream(v.ID)
+	a.nativeInfo = v
+	a.current = a.requestStream(v.ID, rungBps(v, a.rung))
 	a.current.onHeader = func() { a.maybeStartMain() }
 	a.current.onChunk = func() { a.onMainChunk() }
 }
@@ -493,6 +556,7 @@ func (a *App) onDry() {
 	a.playing = false
 	a.stalled = true
 	a.stats.Stalls++
+	a.totalStalls++
 	a.stallsCtr.Inc()
 	if a.tr != nil {
 		a.rebufSpan = a.tr.Start(obs.LayerApp, "yt:rebuffer", a.obsScope)
@@ -557,6 +621,143 @@ func (a *App) finishPlayback() {
 	}
 }
 
+// --- runtime control (ABR ladder, path switching) ---
+
+// QualityRung returns the current ABR ladder rung (0 = native quality).
+func (a *App) QualityRung() int { return a.rung }
+
+// Active reports whether a playback (ad or main video) is in progress.
+func (a *App) Active() bool { return a.current != nil || a.ad != nil }
+
+// Stalled reports whether the player is currently rebuffering.
+func (a *App) Stalled() bool { return a.stalled }
+
+// TotalStalls returns the cumulative rebuffer count across playbacks —
+// the always-on stall signal runtime controllers poll.
+func (a *App) TotalStalls() int { return a.totalStalls }
+
+// AdPhase reports whether a pre-roll ad is loading or playing. Runtime
+// control keeps its hands off the short, stall-free ad phase.
+func (a *App) AdPhase() bool { return a.ad != nil || a.adStartAt > 0 }
+
+// StepQuality moves the ABR ladder by delta rungs (positive = lower
+// bitrate) and resumes the current stream mid-playback at the new rate:
+// the media connection is torn down (the server has already committed the
+// old-bitrate remainder to it), re-dialed, and the remaining duration
+// re-requested at the new bitrate, with the buffered-ahead media credited
+// at the new rate so playback continues seamlessly. Returns false when no
+// switch happened (no active main video, ad phase, or ladder end).
+func (a *App) StepQuality(delta int) bool {
+	if delta == 0 || a.current == nil || a.AdPhase() {
+		return false
+	}
+	r := a.rung + delta
+	if r < 0 {
+		r = 0
+	}
+	if max := len(qualityLadder) - 1; r > max {
+		r = max
+	}
+	if r == a.rung {
+		return false
+	}
+	a.rung = r
+	a.stats.QualitySwitches++
+	a.reconnectAndResume()
+	return true
+}
+
+// Repath tears down the media connection and re-dials — after a DNS
+// repoint this lands on the new server — resuming any in-flight stream at
+// the current rung from where its buffer ends. Returns false when the app
+// has no connection to move or is inside an ad phase.
+func (a *App) Repath() bool {
+	if a.conn == nil || a.AdPhase() {
+		return false
+	}
+	a.reconnectAndResume()
+	return true
+}
+
+// reconnectAndResume aborts the media connection, re-resolves and
+// re-dials, and re-requests the current stream's remainder.
+func (a *App) reconnectAndResume() {
+	if a.conn != nil {
+		a.conn.Conn.Abort()
+	}
+	a.conn = nil
+	a.connected = false
+	a.connectFailed = false
+	a.onConnect = nil
+	a.Connect()
+	if a.current != nil {
+		a.resumeCurrent()
+	}
+}
+
+// resumeCurrent replaces the in-flight main stream with a resumed segment
+// at the current rung's bitrate: position and buffered-ahead media are
+// converted to seconds (bitrate-independent), the retained buffer is
+// credited in new-bitrate bytes, and the server is asked for the
+// remaining duration from where the buffer ends. Client and server
+// compute the remainder with the same expression, so the byte counts
+// agree exactly.
+func (a *App) resumeCurrent() {
+	old := a.current
+	v := a.nativeInfo
+	durS := float64(v.DurationS)
+
+	var segPlayedS, aheadS float64
+	if old.haveInfo && old.info.BitrateBps > 0 {
+		oldBps := float64(old.info.BitrateBps)
+		segPlayedS = a.playedBytes * 8 / oldBps
+		aheadS = (float64(old.buffered) - a.playedBytes) * 8 / oldBps
+		if aheadS < 0 {
+			aheadS = 0
+		}
+	}
+	posS := a.posBaseS + segPlayedS
+	fromS := posS + aheadS
+	if fromS > durS {
+		fromS = durS
+	}
+
+	bps := rungBps(v, a.rung)
+	if bps == 0 {
+		bps = v.BitrateBps
+	}
+	credit := int(aheadS * float64(bps) / 8)
+	remain := int((durS - fromS) * float64(bps) / 8)
+	if remain < 0 {
+		remain = 0
+	}
+
+	st := &stream{
+		info:       v,
+		haveInfo:   true,
+		buffered:   credit,
+		total:      credit + remain,
+		fixedTotal: true,
+	}
+	st.info.BitrateBps = bps
+	st.onHeader = func() { a.maybeStartMain() }
+	st.onChunk = func() { a.onMainChunk() }
+	if remain == 0 {
+		st.ended = true
+	}
+	a.streams[v.ID] = st
+	a.current = st
+	a.posBaseS = posS
+	a.playedBytes = 0
+	a.lastTick = a.k.Now()
+	if remain > 0 {
+		a.sendPlay(v.ID, bps, fromS)
+	}
+	if a.playing {
+		a.scheduleDry()
+	}
+}
+
 // --- network ---
 
 func (a *App) onMessage(kind byte, payload []byte) {
@@ -582,7 +783,9 @@ func (a *App) onMessage(kind byte, payload []byte) {
 		if st, ok := a.streams[v.ID]; ok {
 			st.info = v
 			st.haveInfo = true
-			st.total = v.TotalBytes()
+			if !st.fixedTotal {
+				st.total = v.TotalBytes()
+			}
 			if st.onHeader != nil {
 				st.onHeader()
 			}

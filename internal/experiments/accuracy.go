@@ -307,7 +307,7 @@ func accuracyMapping(seed int64, opts ...analyzer.Option) (ul, dl float64) {
 }
 
 // RunAccuracy regenerates Table 3 and Fig. 6.
-func RunAccuracy(seed int64, opts ...analyzer.Option) *Result {
+func RunAccuracy(seed int64, p Params, opts ...analyzer.Option) *Result {
 	r := &Result{ID: "table3", Title: "Tool accuracy and overhead (Table 3, Fig. 6)"}
 
 	postErr, cpu := accuracyPostUpdates(seed, 15)

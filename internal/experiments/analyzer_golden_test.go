@@ -30,8 +30,8 @@ func TestAnalyzerEngineGolden(t *testing.T) {
 			t.Fatalf("unknown experiment %q", id)
 		}
 		t.Run(id, func(t *testing.T) {
-			want := e.Run(77, analyzer.WithEngine(analyzer.EngineSerial))
-			got := e.Run(77, analyzer.WithEngine(analyzer.EngineParallel))
+			want := e.Run(77, Params{}, analyzer.WithEngine(analyzer.EngineSerial))
+			got := e.Run(77, Params{}, analyzer.WithEngine(analyzer.EngineParallel))
 			if got.Render() != want.Render() {
 				t.Errorf("%s: render diverges between engines:\n--- serial ---\n%s\n--- parallel ---\n%s",
 					id, want.Render(), got.Render())

@@ -9,10 +9,76 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core/analyzer"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 )
+
+// Params carries the scenario knobs shared by every experiment: how long to
+// run, how many devices and cells, how hard to impair the network, and
+// whether the remediation controller is in the loop. The zero value always
+// reproduces the experiment's paper-exact defaults (golden outputs are
+// asserted against it); a non-zero field overrides only the knob it names,
+// and experiments ignore knobs that have no meaning for them (a single-UE
+// paper figure has no population to scale).
+type Params struct {
+	// Horizon bounds the run's virtual time (0 = experiment default).
+	Horizon time.Duration
+	// UEs overrides the fleet population of multi-UE experiments.
+	UEs int
+	// Cells overrides the topology size of multi-cell experiments.
+	Cells int
+	// SpeedMps overrides the mobility speed of handover experiments.
+	SpeedMps float64
+	// LossRate overrides the injected mean loss rate of impairment
+	// experiments (the sweep collapses to {0, LossRate}).
+	LossRate float64
+	// ThrottleBps overrides the carrier throttle rate of throttling
+	// experiments (sweeps collapse to the one rate).
+	ThrottleBps float64
+	// Remedy puts the fleet's remediation controller in the loop for
+	// experiments that support it (nil = controller-free).
+	Remedy *fleet.RemedySpec
+}
+
+// Per-experiment default resolution: each helper returns the override when
+// set, the experiment's own default otherwise.
+func (p Params) horizon(def time.Duration) time.Duration {
+	if p.Horizon > 0 {
+		return p.Horizon
+	}
+	return def
+}
+
+func (p Params) ues(def int) int {
+	if p.UEs > 0 {
+		return p.UEs
+	}
+	return def
+}
+
+func (p Params) cells(def int) int {
+	if p.Cells > 0 {
+		return p.Cells
+	}
+	return def
+}
+
+func (p Params) speed(def float64) float64 {
+	if p.SpeedMps > 0 {
+		return p.SpeedMps
+	}
+	return def
+}
+
+func (p Params) throttle(def float64) float64 {
+	if p.ThrottleBps > 0 {
+		return p.ThrottleBps
+	}
+	return def
+}
 
 // Result is one experiment's output.
 type Result struct {
@@ -58,15 +124,15 @@ func (r *Result) Render() string {
 }
 
 // Experiment is a registered, reproducible experiment. Run is a pure
-// function of the seed; the optional analyzer options select the
-// cross-layer engine per call (the engine-equivalence golden test runs
-// every experiment under both), replacing the retired process-wide
-// analyzer.SetEngine default.
+// function of the seed and Params (Params{} reproduces the paper-exact
+// defaults); the optional analyzer options select the cross-layer engine
+// per call (the engine-equivalence golden test runs every experiment under
+// both), replacing the retired process-wide analyzer.SetEngine default.
 type Experiment struct {
 	ID    string
 	Title string // the paper artifact it regenerates
 	Goal  string // Table 2's experiment-goal column
-	Run   func(seed int64, opts ...analyzer.Option) *Result
+	Run   func(seed int64, p Params, opts ...analyzer.Option) *Result
 }
 
 // Registry lists every experiment in paper order (Table 2 plus the tool
@@ -111,6 +177,8 @@ func Registry() []Experiment {
 			"Cross-UE contention on a shared cell", RunFleetContention},
 		{"handover", "QoE under a handover storm (multi-cell mobility)",
 			"Handover interruption cost across a sharded multi-cell fleet", RunHandoverStorm},
+		{"remedy", "Closed-loop QoE remediation (counterfactual A/B)",
+			"Per-intervention QoE delta and energy cost of the control plane", RunRemedy},
 	}
 }
 

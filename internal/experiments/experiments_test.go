@@ -12,8 +12,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(reg))
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -58,7 +58,7 @@ func TestAccuracyShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunAccuracy(42)
+	r := RunAccuracy(42, Params{})
 	// Table 3: error <= 40 ms, mapping ~99.5%/~88.8%, CPU overhead single
 	// digits.
 	want(t, r, "latency_err_ms", 0, 40)
@@ -75,7 +75,7 @@ func TestPostBreakdownShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunPostBreakdown(42)
+	r := RunPostBreakdown(42, Params{})
 	// Finding 1: the network is off the critical path for status/check-in.
 	want(t, r, "3g_status_netshare", 0, 0.05)
 	want(t, r, "lte_status_netshare", 0, 0.05)
@@ -94,7 +94,7 @@ func TestRLCBreakdownShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunRLCBreakdown(42)
+	r := RunRLCBreakdown(42, Params{})
 	// Fig. 8: ~2.55x more PDUs on 3G; RLC transmission delay dominates and
 	// far exceeds LTE's.
 	want(t, r, "pdu_ratio_3g_over_lte", 1.8, 3.5)
@@ -114,7 +114,7 @@ func TestBackgroundDataShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunBackgroundData(42)
+	r := RunBackgroundData(42, Params{})
 	// Fig. 10: monotone in posting frequency, with a nonzero floor.
 	if !(r.Values["freq_0_total_kb"] > r.Values["freq_1_total_kb"] &&
 		r.Values["freq_1_total_kb"] > r.Values["freq_2_total_kb"] &&
@@ -129,7 +129,7 @@ func TestBackgroundEnergyShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunBackgroundEnergy(42)
+	r := RunBackgroundEnergy(42, Params{})
 	if r.Values["freq_0_total_j"] <= r.Values["freq_3_total_j"] {
 		t.Errorf("energy not increasing with post frequency: %v", r.Values)
 	}
@@ -141,10 +141,10 @@ func TestRefreshShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	d := RunRefreshData(42)
+	d := RunRefreshData(42, Params{})
 	// Finding 4: 2h vs default 1h saves >=20% data.
 	want(t, d, "saving_2h_vs_1h", 0.20, 0.40)
-	e := RunRefreshEnergy(42)
+	e := RunRefreshEnergy(42, Params{})
 	want(t, e, "saving_2h_vs_1h", 0.10, 0.35)
 }
 
@@ -152,18 +152,18 @@ func TestFeedDesignShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	cdf := RunFeedDesignCDF(42)
+	cdf := RunFeedDesignCDF(42, Params{})
 	// Fig. 14: WebView >2x slower, higher variance.
 	want(t, cdf, "wv_over_lv_lte", 2, 8)
 	if cdf.Values["wv_lte_stddev_s"] <= cdf.Values["lv_lte_stddev_s"] {
 		t.Errorf("WebView variance (%.3f) not above ListView (%.3f)",
 			cdf.Values["wv_lte_stddev_s"], cdf.Values["lv_lte_stddev_s"])
 	}
-	bd := RunFeedDesignBreakdown(42)
+	bd := RunFeedDesignBreakdown(42, Params{})
 	// Finding 5: device latency -67%+, network latency -30%+.
 	want(t, bd, "device_reduction_lte", 0.67, 1)
 	want(t, bd, "network_reduction_lte", 0.30, 1)
-	data := RunFeedDesignData(42)
+	data := RunFeedDesignData(42, Params{})
 	// Fig. 16: WebView downloads >=77% more per update.
 	want(t, data, "wv_dl_overhead_lte", 0.5, 2)
 }
@@ -172,7 +172,7 @@ func TestThrottleShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunThrottleCDF(42)
+	r := RunThrottleCDF(42, Params{})
 	// Finding 6: initial loading multiplied many-fold; rebuffering from ~0
 	// to >50%.
 	want(t, r, "init_multiplier_3g", 5, 40)
@@ -195,7 +195,7 @@ func TestShapeVsPoliceShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunShapeVsPolice(42)
+	r := RunShapeVsPolice(42, Params{})
 	// Finding 7: policing drops packets -> many TCP retransmissions;
 	// shaping queues them -> almost none.
 	if r.Values["lte_retransmissions"] < 10*max1(r.Values["3g_retransmissions"]) {
@@ -215,7 +215,7 @@ func TestRateSweepShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	rb := RunRebufferVsRate(42)
+	rb := RunRebufferVsRate(42, Params{})
 	// Fig. 19: rebuffering falls with rate; LTE >= 3G at every rate.
 	if rb.Values["3g_100k"] <= rb.Values["3g_500k"] {
 		t.Errorf("3G rebuffering not decreasing with rate: %v", rb.Values)
@@ -226,7 +226,7 @@ func TestRateSweepShapes(t *testing.T) {
 				rate, rb.Values["lte_"+rate], rb.Values["3g_"+rate])
 		}
 	}
-	il := RunInitLoadVsRate(42)
+	il := RunInitLoadVsRate(42, Params{})
 	// Fig. 20: loading falls with rate; LTE consistently above 3G.
 	if il.Values["3g_100k"] <= il.Values["3g_500k"] {
 		t.Errorf("3G init loading not decreasing with rate: %v", il.Values)
@@ -243,7 +243,7 @@ func TestAdsShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunAdsImpact(42)
+	r := RunAdsImpact(42, Params{})
 	// §7.6: on cellular, total spinner time roughly doubles with ads...
 	want(t, r, "lte_total_ratio_with_ads", 1.5, 3)
 	// ...while WiFi preloading keeps the main video's own loading at ~0.
@@ -258,7 +258,7 @@ func TestRRCSimplifyShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunRRCSimplify(42)
+	r := RunRRCSimplify(42, Params{})
 	// §7.7: ~22.8% page-load reduction from the simplified machine.
 	want(t, r, "reduction", 0.15, 0.32)
 	if r.Values["lte_mean_s"] >= r.Values["simplified3g_mean_s"] {

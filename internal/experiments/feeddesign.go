@@ -81,7 +81,7 @@ var feedConds = []struct {
 }
 
 // RunFeedDesignCDF regenerates Fig. 14: the updating-time distribution.
-func RunFeedDesignCDF(seed int64, opts ...analyzer.Option) *Result {
+func RunFeedDesignCDF(seed int64, p Params, opts ...analyzer.Option) *Result {
 	r := &Result{ID: "fig14", Title: "News feed updating time, WebView vs ListView (Fig. 14)"}
 	tbl := &metrics.Table{
 		Title:   "Fig. 14: pull-to-update latency distribution (seconds)",
@@ -118,7 +118,7 @@ func RunFeedDesignCDF(seed int64, opts ...analyzer.Option) *Result {
 
 // RunFeedDesignBreakdown regenerates Fig. 15: device vs network share of
 // the update time for both designs.
-func RunFeedDesignBreakdown(seed int64, opts ...analyzer.Option) *Result {
+func RunFeedDesignBreakdown(seed int64, p Params, opts ...analyzer.Option) *Result {
 	r := &Result{ID: "fig15", Title: "Feed update breakdown, WebView vs ListView (Fig. 15)"}
 	tbl := &metrics.Table{
 		Title:   "Fig. 15: update latency breakdown (mean seconds)",
@@ -143,7 +143,7 @@ func RunFeedDesignBreakdown(seed int64, opts ...analyzer.Option) *Result {
 }
 
 // RunFeedDesignData regenerates Fig. 16: network data per feed update.
-func RunFeedDesignData(seed int64, opts ...analyzer.Option) *Result {
+func RunFeedDesignData(seed int64, p Params, opts ...analyzer.Option) *Result {
 	r := &Result{ID: "fig16", Title: "Feed update data consumption, WebView vs ListView (Fig. 16)"}
 	tbl := &metrics.Table{
 		Title:   "Fig. 16: per-update Facebook data (KB)",

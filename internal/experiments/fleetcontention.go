@@ -18,27 +18,34 @@ import (
 // study supplies the carrier-scale context (ERRANT-style cell contention)
 // that makes the RRC findings matter — promotion storms and queueing delay
 // emerge from bearers competing for one air interface.
-func RunFleetContention(seed int64, opts ...analyzer.Option) *Result {
+func RunFleetContention(seed int64, p Params, opts ...analyzer.Option) *Result {
 	res := &Result{ID: "fleet", Title: "Per-UE QoE vs cell population (fleet contention)"}
 	tbl := &metrics.Table{Headers: []string{
 		"UEs", "Sched", "Pageload p50", "Pageload p95", "RRC trans (mean)", "Energy (mean)",
 	}}
 
-	for _, n := range []int{1, 8} {
+	for _, n := range []int{1, p.ues(8)} {
 		for _, policy := range []radio.SchedPolicy{radio.SchedRoundRobin, radio.SchedPropFair} {
 			if n == 1 && policy == radio.SchedPropFair {
 				continue // one bearer: scheduling policy cannot matter
 			}
+			ues := fleet.SpreadGains(fleet.UniformUEs(n), 0.6, 1.4)
+			if p.ThrottleBps > 0 {
+				for i := range ues {
+					ues[i].ThrottleBps = p.ThrottleBps
+				}
+			}
 			scen := fleet.Scenario{
 				Seed: seed,
 				Cell: fleet.CellSpec{Profile: radio.ProfileLTE(), Policy: policy},
-				UEs:  fleet.SpreadGains(fleet.UniformUEs(n), 0.6, 1.4),
+				UEs:  ues,
 				Workload: fleet.BrowseWorkload{
 					Pages:     3,
 					ThinkTime: 8 * time.Second,
 				},
+				Remedy: p.Remedy,
 			}
-			rep, err := fleet.Run(scen, fleet.WithHorizon(5*time.Minute), fleet.WithAnalyzer(opts...))
+			rep, err := fleet.Run(scen, fleet.WithHorizon(p.horizon(5*time.Minute)), fleet.WithAnalyzer(opts...))
 			if err != nil {
 				res.Set(fmt.Sprintf("error/%s/n%d", policy, n), 1)
 				continue

@@ -18,7 +18,7 @@ import (
 // compares pageload percentiles and handover counts; the sharded multi-cell
 // fleet (one kernel per cell, lockstep-synchronized) makes the storm run
 // deterministic at any worker count.
-func RunHandoverStorm(seed int64, opts ...analyzer.Option) *Result {
+func RunHandoverStorm(seed int64, p Params, opts ...analyzer.Option) *Result {
 	res := &Result{ID: "handover", Title: "QoE under a handover storm (multi-cell mobility)"}
 	tbl := &metrics.Table{Headers: []string{
 		"Mobility", "Pageload p50", "Pageload p95", "Latency p95", "HO+resel (mean)",
@@ -27,18 +27,19 @@ func RunHandoverStorm(seed int64, opts ...analyzer.Option) *Result {
 	for _, mode := range []struct {
 		name  string
 		speed float64
-	}{{"static", 0}, {"storm", 30}} {
+	}{{"static", 0}, {"storm", p.speed(30)}} {
 		scen := fleet.Scenario{
 			Seed:     seed,
 			Cell:     fleet.CellSpec{Profile: radio.ProfileLTE(), Policy: radio.SchedPropFair},
-			Topology: &fleet.TopologySpec{Cells: 4, SpacingM: 300},
-			UEs:      fleet.UniformUEs(12),
+			Topology: &fleet.TopologySpec{Cells: p.cells(4), SpacingM: 300},
+			UEs:      fleet.UniformUEs(p.ues(12)),
 			Workload: fleet.BrowseWorkload{Pages: 3, ThinkTime: 4 * time.Second},
+			Remedy:   p.Remedy,
 		}
 		if mode.speed > 0 {
 			scen.Mobility = &fleet.MobilitySpec{SpeedMps: mode.speed, TTT: 240 * time.Millisecond}
 		}
-		rep, err := fleet.Run(scen, fleet.WithHorizon(3*time.Minute), fleet.WithAnalyzer(opts...))
+		rep, err := fleet.Run(scen, fleet.WithHorizon(p.horizon(3*time.Minute)), fleet.WithAnalyzer(opts...))
 		if err != nil {
 			res.Set(fmt.Sprintf("error/%s", mode.name), 1)
 			continue

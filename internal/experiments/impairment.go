@@ -101,7 +101,7 @@ func impairStart(seed int64, plan *faults.Plan, throttleBps float64, opts ...ana
 // layers. This is not a paper figure: it is the robustness scenario the
 // fault-injection subsystem exists for, demonstrating that every layer of
 // the pipeline degrades gracefully instead of hanging or crashing.
-func RunImpairmentSweep(seed int64, opts ...analyzer.Option) *Result {
+func RunImpairmentSweep(seed int64, p Params, opts ...analyzer.Option) *Result {
 	r := &Result{ID: "faults", Title: "QoE vs injected network impairment (loss and outage sweep)"}
 
 	lossTbl := &metrics.Table{
@@ -109,6 +109,9 @@ func RunImpairmentSweep(seed int64, opts ...analyzer.Option) *Result {
 		Headers: []string{"Mean loss", "Init load", "Rebuf ratio", "Stalls", "TCP retx", "Chain drops", "Energy"},
 	}
 	losses := []float64{0, 0.01, 0.02, 0.05}
+	if p.LossRate > 0 {
+		losses = []float64{0, p.LossRate}
+	}
 	// Each cell's simulation overlaps the previous cell's analysis: the
 	// starts run back-to-back, the collects drain in order.
 	lossFinish := make([]func() impairOutcome, len(losses))
@@ -145,7 +148,7 @@ func RunImpairmentSweep(seed int64, opts ...analyzer.Option) *Result {
 		if dur > 0 {
 			plan.Outages = []faults.Outage{{Start: impairOutageStart, Duration: dur}}
 		}
-		outageFinish[i] = impairStart(seed+100+int64(i), plan, 450e3, opts...)
+		outageFinish[i] = impairStart(seed+100+int64(i), plan, p.throttle(450e3), opts...)
 	}
 	for i, dur := range durations {
 		o := outageFinish[i]()

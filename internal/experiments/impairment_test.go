@@ -119,7 +119,7 @@ func TestImpairmentSweepSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy experiment")
 	}
-	r := RunImpairmentSweep(11)
+	r := RunImpairmentSweep(11, Params{})
 	if r.Values["loss_0pct_retx"] > 0 {
 		t.Fatalf("retransmissions on a perfect network: %v", r.Values["loss_0pct_retx"])
 	}

@@ -69,7 +69,7 @@ func splitOver(cl *analyzer.CrossLayer, entries []qoe.BehaviorEntry) splitStats 
 
 // RunPostBreakdown regenerates Fig. 7: device vs network delay for posting
 // 2 photos, a check-in, and a status, on C1 3G and C1 LTE.
-func RunPostBreakdown(seed int64, opts ...analyzer.Option) *Result {
+func RunPostBreakdown(seed int64, p Params, opts ...analyzer.Option) *Result {
 	r := &Result{ID: "fig7", Title: "Device and network delay breakdown for post uploads (Fig. 7)"}
 	const reps = 20
 
@@ -101,7 +101,7 @@ func RunPostBreakdown(seed int64, opts ...analyzer.Option) *Result {
 
 // RunRLCBreakdown regenerates Fig. 8/9: the fine-grained network latency
 // breakdown for the 2-photo upload, comparing 3G and LTE RLC behaviour.
-func RunRLCBreakdown(seed int64, opts ...analyzer.Option) *Result {
+func RunRLCBreakdown(seed int64, p Params, opts ...analyzer.Option) *Result {
 	r := &Result{ID: "fig8", Title: "Fine-grained network latency breakdown, 2-photo upload (Fig. 8/9)"}
 	const reps = 10
 

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestRemedyABImproves is the closed-loop acceptance gate: on the default
+// throttled-streaming scenario the remediation controller must improve at
+// least one fleet QoE metric against the same-seed baseline, every
+// intervention must be ledgered with its energy cost, and the counterfactual
+// structure (baseline vs remediated key pairs) must be intact.
+func TestRemedyABImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remedy A/B runs two multi-minute fleet simulations")
+	}
+	r := RunRemedy(7, Params{})
+
+	if r.Values["interventions"] == 0 {
+		t.Fatal("controller issued no interventions on the stalling scenario")
+	}
+	if r.Values["interventions_applied"] == 0 {
+		t.Fatal("no intervention actually actuated")
+	}
+	if r.Values["remedy_energy_j"] <= 0 {
+		t.Fatal("applied interventions charged no energy")
+	}
+	// The headline claim: closing the loop reduces mean rebuffering.
+	want(t, r, "rebuffer_improvement", 0.01, 1)
+	base := r.Values["baseline/rebuffer_ratio_mean"]
+	rem := r.Values["remedied/rebuffer_ratio_mean"]
+	if rem >= base {
+		t.Fatalf("remediated rebuffer %.4f not below baseline %.4f", rem, base)
+	}
+	// Both A/B tables rendered: the KPI comparison and the ledger.
+	if len(r.Tables) != 2 {
+		t.Fatalf("want 2 tables (A/B + ledger), got %d", len(r.Tables))
+	}
+}

@@ -104,7 +104,7 @@ func collect(outs []watchOutcome) (init, rebuf []float64) {
 
 // RunThrottleCDF regenerates Fig. 17: initial-loading-time and
 // rebuffering-ratio distributions, throttled vs unthrottled, 3G vs LTE.
-func RunThrottleCDF(seed int64, opts ...analyzer.Option) *Result {
+func RunThrottleCDF(seed int64, p Params, opts ...analyzer.Option) *Result {
 	r := &Result{ID: "fig17", Title: "Throttling impact on video QoE (Fig. 17)"}
 	const nVideos = 30 // scaled from the paper's 100 (see EXPERIMENTS.md)
 	ids := videoSample(seed, nVideos)
@@ -116,9 +116,9 @@ func RunThrottleCDF(seed int64, opts ...analyzer.Option) *Result {
 		throttle float64
 	}{
 		{"3g_free", "3G unthrottled", radio.Profile3G, 0},
-		{"3g_capped", "3G throttled", radio.Profile3G, ThrottleRateBps},
+		{"3g_capped", "3G throttled", radio.Profile3G, p.throttle(ThrottleRateBps)},
 		{"lte_free", "LTE unthrottled", radio.ProfileLTE, 0},
-		{"lte_capped", "LTE throttled", radio.ProfileLTE, ThrottleRateBps},
+		{"lte_capped", "LTE throttled", radio.ProfileLTE, p.throttle(ThrottleRateBps)},
 	}
 	initTbl := &metrics.Table{
 		Title:   "Fig. 17 (bottom): initial loading time (s)",
@@ -195,7 +195,7 @@ func analyzerFlows(sess *qoe.Session) []*flowView {
 // RunShapeVsPolice regenerates Fig. 18: downlink throughput over time under
 // 3G traffic shaping vs LTE traffic policing, plus the TCP retransmission
 // counts that explain the difference (Finding 7).
-func RunShapeVsPolice(seed int64, opts ...analyzer.Option) *Result {
+func RunShapeVsPolice(seed int64, p Params, opts ...analyzer.Option) *Result {
 	r := &Result{ID: "fig18", Title: "3G traffic shaping vs LTE traffic policing (Fig. 18)"}
 	const horizon = 300 * time.Second
 
@@ -203,7 +203,7 @@ func RunShapeVsPolice(seed int64, opts ...analyzer.Option) *Result {
 		b := testbed.MustNew(testbed.Options{Seed: seed, Profile: prof, DisableQxDM: true})
 		b.YouTube.Connect()
 		b.K.RunUntil(2 * time.Second)
-		b.Throttle(ThrottleRateBps)
+		b.Throttle(p.throttle(ThrottleRateBps))
 		log := &qoe.BehaviorLog{}
 		c := controller.New(b.K, b.YouTube.Screen, log)
 		c.Timeout = 30 * time.Minute
@@ -256,21 +256,24 @@ func RunShapeVsPolice(seed int64, opts ...analyzer.Option) *Result {
 
 // RunRebufferVsRate regenerates Fig. 19: rebuffering ratio vs throttled
 // bandwidth (100-500 kbps), 3G shaping vs LTE policing.
-func RunRebufferVsRate(seed int64, opts ...analyzer.Option) *Result {
-	return rateSweep(seed, "fig19", "Rebuffering ratio vs throttled bandwidth (Fig. 19)", true)
+func RunRebufferVsRate(seed int64, p Params, opts ...analyzer.Option) *Result {
+	return rateSweep(seed, p, "fig19", "Rebuffering ratio vs throttled bandwidth (Fig. 19)", true)
 }
 
 // RunInitLoadVsRate regenerates Fig. 20: initial loading time vs throttled
 // bandwidth.
-func RunInitLoadVsRate(seed int64, opts ...analyzer.Option) *Result {
-	return rateSweep(seed, "fig20", "Initial loading time vs throttled bandwidth (Fig. 20)", false)
+func RunInitLoadVsRate(seed int64, p Params, opts ...analyzer.Option) *Result {
+	return rateSweep(seed, p, "fig20", "Initial loading time vs throttled bandwidth (Fig. 20)", false)
 }
 
-func rateSweep(seed int64, id, title string, rebuf bool) *Result {
+func rateSweep(seed int64, p Params, id, title string, rebuf bool) *Result {
 	r := &Result{ID: id, Title: title}
 	const nVideos = 8
 	ids := videoSample(seed, nVideos)
 	rates := []float64{100e3, 200e3, 300e3, 400e3, 500e3}
+	if p.ThrottleBps > 0 {
+		rates = []float64{p.ThrottleBps}
+	}
 
 	hdr := []string{"Throttle rate", "3G shaping", "LTE policing"}
 	tbl := &metrics.Table{Title: title, Headers: hdr}

@@ -71,6 +71,18 @@ func EmitReport(em *qoestore.Emitter, f *Fleet, r *Report) int {
 			emit(at.At, cell, cohort, "attrib_transport_share", at.Share("transport"))
 			emit(at.At, cell, cohort, "attrib_server_share", at.Share("server"))
 		}
+		// Per-intervention events (controller runs only): the applied
+		// remediation as a count keyed by its moment and cell, plus its
+		// energy charge — the feed a live dashboard would plot against the
+		// QoE series to show each intervention's before/after.
+		for _, iv := range ur.Interventions {
+			at := time.Duration(iv.AppliedAt)
+			cell := cellLabel(ue, at)
+			emit(at, cell, cohort, "remedy_"+iv.Kind.String(), 1)
+			if iv.EnergyJ > 0 {
+				emit(at, cell, cohort, "remedy_energy_j", iv.EnergyJ)
+			}
+		}
 		endCell := cellLabel(ue, r.Horizon)
 		emit(r.Horizon, endCell, cohort, "mean_latency_s", ur.MeanLatency.Seconds())
 		emit(r.Horizon, endCell, cohort, "rebuffer_ratio", ur.RebufferRatio)

@@ -49,6 +49,12 @@ type UEReport struct {
 	// transport/server split of each observed action's latency), in
 	// behavior-log order. EmitReport streams these as attrib_* share events.
 	Attributions []analyzer.Attribution
+
+	// Interventions lists the remediations the control plane applied to
+	// this UE (nil without a controller); RemedyEnergyJ is their total
+	// energy charge, already included in EnergyJ.
+	Interventions []Intervention
+	RemedyEnergyJ float64
 }
 
 // Aggregate is one fleet-level KPI distribution over UEs.
@@ -135,6 +141,11 @@ func ueReport(ue *UE, cl *analyzer.CrossLayer, end simtime.Time) UEReport {
 		log := ue.QxDM.Log()
 		r.RRCTransitions = len(log.Transitions)
 		r.EnergyJ = power.Analyze(ue.Net.Bearer.Profile(), log, 0, end).ActiveJ()
+	}
+	if len(ue.Interventions) > 0 {
+		r.Interventions = ue.Interventions
+		r.RemedyEnergyJ = ue.RemedyEnergyJ
+		r.EnergyJ += ue.RemedyEnergyJ
 	}
 	return r
 }
@@ -227,5 +238,31 @@ func (r *Report) Render() string {
 			fmt.Sprintf("%.4f", a.P95), fmt.Sprintf("%.4f", a.P99))
 	}
 	b.WriteString(atbl.String())
+
+	// The remediation section appears only when the control plane acted, so
+	// controller-free reports stay byte-identical to the legacy layout.
+	if n := r.totalInterventions(); n > 0 {
+		fmt.Fprintf(&b, "\n== Remediation: %d intervention(s) ==\n", n)
+		itbl := &metrics.Table{Headers: []string{"UE", "At", "Action", "Diagnosis", "Applied", "Energy", "Evidence"}}
+		for _, u := range r.UEs {
+			for _, iv := range u.Interventions {
+				itbl.AddRow(u.Name,
+					fmt.Sprintf("%.1fs", time.Duration(iv.AppliedAt).Seconds()),
+					iv.Kind.String(), iv.Layer.String(),
+					fmt.Sprintf("%v", iv.Applied),
+					fmt.Sprintf("%.2fJ", iv.EnergyJ), iv.Note)
+			}
+		}
+		b.WriteString(itbl.String())
+	}
 	return b.String()
+}
+
+// totalInterventions counts control-plane actions across the fleet.
+func (r *Report) totalInterventions() int {
+	n := 0
+	for _, u := range r.UEs {
+		n += len(u.Interventions)
+	}
+	return n
 }

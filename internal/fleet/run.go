@@ -32,6 +32,11 @@ type Fleet struct {
 	// airUL/airDL[c][s] is the barrier scratch for cell c's airtime on
 	// shard s over the last epoch.
 	airUL, airDL [][]simtime.Time
+
+	// controlState is the runtime-control surface: registered control
+	// hooks, the built-in remediation controller, and the cross-shard
+	// action mailbox (see control.go).
+	controlState
 }
 
 // Build assembles a fleet without running it. UEs are constructed in spec
@@ -95,6 +100,7 @@ func (f *Fleet) Drive() {
 // kernel, or in parallel lockstep epochs (window = X2 latency) across the
 // shards. Sharded results are byte-identical at any worker count.
 func (f *Fleet) RunTo(horizon time.Duration) {
+	f.installControl()
 	if len(f.Shards) == 0 {
 		f.K.RunUntil(horizon)
 		return
@@ -105,7 +111,10 @@ func (f *Fleet) RunTo(horizon time.Duration) {
 	}
 	ls := simtime.NewLockstep(kernels, f.opts.workers)
 	defer ls.Close()
-	ls.Run(horizon, f.Topo.X2Latency, f.exchange)
+	ls.Run(horizon, f.Topo.X2Latency, func(end simtime.Time) {
+		f.exchange(end)
+		f.deliverCrossShard(end)
+	})
 }
 
 // now returns the current virtual time across either mode.

@@ -119,6 +119,11 @@ type Scenario struct {
 	// Workload drives every UE (staggered by UESpec.StartAt). Nil means the
 	// caller drives the UEs itself (the legacy Bed pattern).
 	Workload Workload
+	// Remedy, when non-nil, runs the built-in root-cause-aware remediation
+	// controller (internal/remedy) over the fleet at control ticks. An
+	// Observe-only spec diagnoses without actuating and is byte-invisible
+	// to the run.
+	Remedy *RemedySpec
 }
 
 // sharded reports whether this scenario runs one kernel per cell.
@@ -163,6 +168,9 @@ func (s *Scenario) validate() error {
 			return fmt.Errorf("fleet: UE %d has negative start offset %v", i, ue.StartAt)
 		}
 	}
+	if s.Cell.CoreDelay < 0 {
+		return fmt.Errorf("fleet: negative core delay %v", s.Cell.CoreDelay)
+	}
 	if t := s.Topology; t != nil {
 		if t.Cells < 1 {
 			return fmt.Errorf("fleet: topology needs at least 1 cell, got %d", t.Cells)
@@ -173,6 +181,14 @@ func (s *Scenario) validate() error {
 		if t.X2Latency < 0 {
 			return fmt.Errorf("fleet: negative X2 latency %v", t.X2Latency)
 		}
+		if t.PathLossExp < 0 {
+			return fmt.Errorf("fleet: negative path-loss exponent %v", t.PathLossExp)
+		}
+		if t.Cells == 1 && (t.SpacingM > 0 || t.X2Latency > 0 || t.PathLossExp > 0) {
+			// A 1-cell topology runs on the legacy single-kernel path, where
+			// these knobs are silently meaningless — reject instead.
+			return fmt.Errorf("fleet: 1-cell topology ignores spacing/X2/path-loss settings; use Cells > 1 or drop them")
+		}
 	}
 	if m := s.Mobility; m != nil {
 		if !s.sharded() {
@@ -180,6 +196,32 @@ func (s *Scenario) validate() error {
 		}
 		if m.SpeedMps < 0 {
 			return fmt.Errorf("fleet: negative UE speed %v m/s", m.SpeedMps)
+		}
+		if m.Interval < 0 || m.TTT < 0 || m.Interruption < 0 {
+			return fmt.Errorf("fleet: negative mobility timing (interval %v, TTT %v, interruption %v)", m.Interval, m.TTT, m.Interruption)
+		}
+		if m.Hysteresis < 0 {
+			return fmt.Errorf("fleet: negative handover hysteresis %v", m.Hysteresis)
+		}
+	}
+	if r := s.Remedy; r != nil {
+		if r.Interval < 0 || r.ActionLatency < 0 || r.Cooldown < 0 || r.EdgeDelay < 0 {
+			return fmt.Errorf("fleet: negative remedy timing (interval %v, latency %v, cooldown %v, edge delay %v)",
+				r.Interval, r.ActionLatency, r.Cooldown, r.EdgeDelay)
+		}
+		if r.MaxActionsPerUE < 0 {
+			return fmt.Errorf("fleet: negative remedy action budget %d", r.MaxActionsPerUE)
+		}
+		if r.EnergyPerActionJ < 0 {
+			return fmt.Errorf("fleet: negative remedy action energy %v J", r.EnergyPerActionJ)
+		}
+		if r.DisableServerSwitch && r.DisableABR && r.DisableRRCRetune && !r.Observe {
+			return fmt.Errorf("fleet: remedy enabled with every actuator disabled; set Observe for a measure-only run")
+		}
+		for _, c := range r.Cells {
+			if c < 0 || c >= s.cellCount() {
+				return fmt.Errorf("fleet: remedy targets cell %d, but the scenario has %d cell(s)", c, s.cellCount())
+			}
 		}
 	}
 	return nil

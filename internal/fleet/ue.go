@@ -78,6 +78,14 @@ type UE struct {
 	// aggregation (rebuffer ratio).
 	Watch []controller.WatchStats
 
+	// Interventions records every remediation the control plane applied to
+	// this UE (empty without a controller); RemedyEnergyJ is the energy
+	// charged for them, and edgeActive marks the UE as re-homed onto the
+	// edge replica cluster.
+	Interventions []Intervention
+	RemedyEnergyJ float64
+	edgeActive    bool
+
 	// workState seeds the UE's deterministic workload variety (which video,
 	// which page) independently of the kernel's model randomness.
 	workState uint64

@@ -33,6 +33,11 @@ type Network struct {
 
 	servers map[netip.Addr]*Stack
 
+	// pathDelays overrides CoreDelay for specific server addresses —
+	// e.g. an edge replica closer than the primary CDN node. Nil until
+	// SetPathDelay is first called.
+	pathDelays map[netip.Addr]time.Duration
+
 	// wireFree recycles Marshal buffers for packets crossing the bearer. The
 	// bearer hands each buffer back via its payload-release hook as soon as
 	// RLC segmentation has copied the head bytes it keeps, so buffers cycle
@@ -114,12 +119,35 @@ func (n *Network) MustAddServer(addr netip.Addr) *Stack {
 // Server returns the stack at addr, or nil.
 func (n *Network) Server(addr netip.Addr) *Stack { return n.servers[addr] }
 
+// SetPathDelay overrides the one-way device<->server core latency for one
+// server address (an edge replica on a shorter path). A non-positive d
+// removes the override. Only packets in flight after the call see the new
+// delay; server-to-server traffic always uses CoreDelay.
+func (n *Network) SetPathDelay(addr netip.Addr, d time.Duration) {
+	if d <= 0 {
+		delete(n.pathDelays, addr)
+		return
+	}
+	if n.pathDelays == nil {
+		n.pathDelays = make(map[netip.Addr]time.Duration)
+	}
+	n.pathDelays[addr] = d
+}
+
+// pathDelay returns the device<->server one-way latency for addr.
+func (n *Network) pathDelay(addr netip.Addr) time.Duration {
+	if d, ok := n.pathDelays[addr]; ok {
+		return d
+	}
+	return n.CoreDelay
+}
+
 // uplink carries a device packet through the bearer and core to its server.
 func (n *Network) uplink(p *Packet) {
 	wire := n.marshalWire(p)
 	n.Bearer.SendUplink(wire, func() {
 		n.ULQdisc.Enqueue(len(wire), func() {
-			n.k.After(n.CoreDelay, func() {
+			n.k.After(n.pathDelay(p.Dst.Addr), func() {
 				if srv, ok := n.servers[p.Dst.Addr]; ok {
 					srv.Input(p)
 				}
@@ -132,7 +160,7 @@ func (n *Network) uplink(p *Packet) {
 // directly to another server.
 func (n *Network) fromServer(from *Stack, p *Packet) {
 	if p.Dst.Addr == n.Device.Addr() {
-		n.k.After(n.CoreDelay, func() {
+		n.k.After(n.pathDelay(from.Addr()), func() {
 			wire := n.marshalWire(p)
 			n.DLQdisc.Enqueue(len(wire), func() {
 				n.Bearer.SendDownlink(wire, func() {

@@ -111,6 +111,12 @@ type Machine struct {
 	state   State
 	readyAt simtime.Time // when the data plane becomes usable (promotion end)
 
+	// demoteScale multiplies the profile's demotion timers for this
+	// machine only (runtime retuning; 0 = untouched). The shared Profile
+	// is never mutated — it may be referenced by every UE in a fleet.
+	demoteScale float64
+	transitions int
+
 	demoteEv  simtime.Event
 	listeners []func(Transition)
 }
@@ -141,10 +147,33 @@ func (m *Machine) transition(to State, promotion bool) {
 	}
 	tr := Transition{At: m.k.Now(), From: m.state, To: to, Promotion: promotion}
 	m.state = to
+	m.transitions++
 	for _, fn := range m.listeners {
 		fn(tr)
 	}
 }
+
+// Transitions returns the cumulative number of state changes — a cheap
+// always-on RRC churn signal for runtime controllers when no QxDM monitor
+// is attached.
+func (m *Machine) Transitions() int { return m.transitions }
+
+// SetDemotionScale retunes this machine's inactivity timers: every
+// demotion timer is multiplied by s (> 1 = stay in high-power states
+// longer, fewer promotions; < 1 = demote eagerly, save energy). The scale
+// applies from the next (re)arming of the demotion chain; a timer already
+// pending keeps its original deadline. s <= 0 resets to the profile's
+// nominal timers.
+func (m *Machine) SetDemotionScale(s float64) {
+	if s <= 0 {
+		s = 0
+	}
+	m.demoteScale = s
+}
+
+// DemotionScale returns the current demotion-timer scale (0 when never
+// retuned; treat 0 and 1 as nominal).
+func (m *Machine) DemotionScale() float64 { return m.demoteScale }
 
 // OnActivity notifies the machine of a data transfer. It returns the virtual
 // time at which the data plane is usable: now if already in the active
@@ -191,6 +220,9 @@ func (m *Machine) scheduleNextDemotion() {
 	for _, d := range m.prof.Demotions {
 		if d.From == m.state {
 			step := d
+			if m.demoteScale > 0 && m.demoteScale != 1 {
+				step.Timer = time.Duration(float64(step.Timer) * m.demoteScale)
+			}
 			m.demoteEv = m.k.After(step.Timer, func() {
 				m.demoteEv = simtime.Event{}
 				m.transition(step.To, false)

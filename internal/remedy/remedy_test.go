@@ -1,0 +1,158 @@
+package remedy
+
+import (
+	"testing"
+	"time"
+)
+
+const tick = 2 * time.Second
+
+// feed pushes n signals derived from base (with At advanced per tick),
+// mutating via fn before each Decide, and returns the actions issued.
+func feed(c *Controller, n int, start time.Duration, fn func(i int) Signal) []Action {
+	var out []Action
+	for i := 0; i < n; i++ {
+		sig := fn(i)
+		sig.At = start + time.Duration(i)*tick
+		if a := c.Decide(sig); a != nil {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+func TestFirstTickEstablishesBaseline(t *testing.T) {
+	c := NewController(Config{}, 1)
+	if a := c.Decide(Signal{UE: 0, At: tick, VideoStalled: true, VideoActive: true}); a != nil {
+		t.Fatalf("first tick must not act, got %v", a.Kind)
+	}
+}
+
+func TestObserveNeverActs(t *testing.T) {
+	c := NewController(Config{Observe: true}, 1)
+	acts := feed(c, 20, tick, func(i int) Signal {
+		return Signal{UE: 0, VideoActive: true, VideoStalled: true, RadioDrops: i * 5}
+	})
+	if len(acts) != 0 {
+		t.Fatalf("observe mode issued %d actions", len(acts))
+	}
+}
+
+func TestRadioEvidenceStepsLadderDown(t *testing.T) {
+	c := NewController(Config{}, 1)
+	acts := feed(c, 6, tick, func(i int) Signal {
+		return Signal{UE: 0, VideoActive: true, VideoStalled: true, RadioDrops: i * 3}
+	})
+	if len(acts) != 1 {
+		t.Fatalf("want 1 action, got %d", len(acts))
+	}
+	if acts[0].Kind != ActionABRStepDown || acts[0].Diagnosis != LayerRadio {
+		t.Fatalf("want radio-diagnosed ABR step down, got %v/%v", acts[0].Kind, acts[0].Diagnosis)
+	}
+}
+
+func TestCleanRadioSwitchesServer(t *testing.T) {
+	c := NewController(Config{}, 1)
+	acts := feed(c, 6, tick, func(i int) Signal {
+		return Signal{UE: 0, VideoActive: true, VideoStalled: true}
+	})
+	if len(acts) != 1 || acts[0].Kind != ActionServerSwitch || acts[0].Diagnosis != LayerServer {
+		t.Fatalf("want server switch on clean radio, got %v", acts)
+	}
+}
+
+func TestPageStallSwitchesServer(t *testing.T) {
+	c := NewController(Config{}, 1)
+	acts := feed(c, 6, tick, func(i int) Signal {
+		return Signal{UE: 0, PageLoadAge: 10 * time.Second}
+	})
+	if len(acts) != 1 || acts[0].Kind != ActionServerSwitch {
+		t.Fatalf("want server switch on page stall, got %v", acts)
+	}
+}
+
+func TestRRCThrashRetunesOnce(t *testing.T) {
+	c := NewController(Config{Cooldown: time.Millisecond}, 1)
+	acts := feed(c, 12, tick, func(i int) Signal {
+		return Signal{UE: 0, VideoActive: true, VideoStalled: true, RRCTransitions: i * 10}
+	})
+	if len(acts) == 0 || acts[0].Kind != ActionRRCRetune {
+		t.Fatalf("want RRC retune first, got %v", acts)
+	}
+	if acts[0].Scale != 2 {
+		t.Fatalf("want default retune scale 2, got %v", acts[0].Scale)
+	}
+	for _, a := range acts[1:] {
+		if a.Kind == ActionRRCRetune {
+			t.Fatalf("RRC retune issued twice")
+		}
+	}
+}
+
+func TestCooldownAndBudget(t *testing.T) {
+	c := NewController(Config{Cooldown: 10 * time.Second, MaxActionsPerUE: 2}, 1)
+	acts := feed(c, 60, tick, func(i int) Signal {
+		return Signal{UE: 0, VideoActive: true, VideoStalled: true, RadioDrops: i, ServerSwitched: true}
+	})
+	if len(acts) != 2 {
+		t.Fatalf("budget 2: got %d actions", len(acts))
+	}
+	if gap := acts[1].UE; gap != 0 {
+		t.Fatalf("unexpected UE %d", gap)
+	}
+}
+
+func TestHealthyStreakStepsBackUp(t *testing.T) {
+	c := NewController(Config{Cooldown: time.Millisecond, RecoverTicks: 4, MaxActionsPerUE: 10}, 1)
+	// Burn first so the ladder is down one rung.
+	feed(c, 6, tick, func(i int) Signal {
+		return Signal{UE: 0, VideoActive: true, VideoStalled: true, RadioDrops: i * 2}
+	})
+	// Then a clean streak at rung 1.
+	acts := feed(c, 8, 100*time.Second, func(i int) Signal {
+		return Signal{UE: 0, VideoActive: true, VideoRung: 1}
+	})
+	found := false
+	for _, a := range acts {
+		if a.Kind == ActionABRStepUp {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("healthy streak never stepped ladder up: %v", acts)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Action {
+		c := NewController(Config{Cooldown: 4 * time.Second}, 3)
+		var out []Action
+		for i := 0; i < 40; i++ {
+			for ue := 0; ue < 3; ue++ {
+				sig := Signal{
+					UE: ue, At: time.Duration(i+1) * tick,
+					VideoActive:  true,
+					VideoStalled: (i+ue)%3 != 0,
+					RadioDrops:   i * (ue + 1),
+					VideoRung:    0,
+				}
+				if a := c.Decide(sig); a != nil {
+					out = append(out, *a)
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay divergence: %d vs %d actions", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay divergence at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatalf("scenario produced no actions")
+	}
+}

@@ -123,6 +123,14 @@ type Kernel struct {
 	// processed counts fired events, exposed for tests and budget guards.
 	processed uint64
 
+	// Control hook state: ctlFn, when set, runs between events at every
+	// multiple of ctlEvery during RunUntil (ctlNext is the next firing
+	// time). Hooks are not queued events — firing one does not advance the
+	// processed counter, draw from the RNG, or perturb event tie-breaking.
+	ctlEvery Time
+	ctlNext  Time
+	ctlFn    func(now Time)
+
 	// trace, when attached, receives kernel-layer spans for each Run /
 	// RunUntil plus periodic queue-depth counter samples (all virtual-time
 	// stamped, so attaching a trace never perturbs determinism).
@@ -341,6 +349,29 @@ func (k *Kernel) After(delay time.Duration, fn func()) Event {
 // event completes. Pending events remain queued.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// SetControlHook installs fn to run at every multiple of interval (first
+// firing one interval from now) while RunUntil advances virtual time. The
+// hook is the kernel-safe point for runtime control: it executes between
+// events — before any event scheduled at the same instant — with the clock
+// set to the firing time, and it may schedule or cancel events. Unlike a
+// Ticker, a hook is not itself an event: it does not advance the processed
+// counter, draw from the kernel RNG, or take part in event tie-breaking,
+// so an inert hook leaves a run byte-identical to one without it. One hook
+// per kernel; pass nil fn to remove it. Run (run-to-drain) ignores the
+// hook — without a horizon a periodic hook would never stop firing.
+func (k *Kernel) SetControlHook(interval Time, fn func(now Time)) {
+	if fn == nil {
+		k.ctlFn = nil
+		return
+	}
+	if interval <= 0 {
+		panic("simtime: control hook interval must be positive")
+	}
+	k.ctlEvery = interval
+	k.ctlNext = k.now + interval
+	k.ctlFn = fn
+}
+
 // Pending returns the number of live (not canceled) events currently queued.
 func (k *Kernel) Pending() int { return k.live }
 
@@ -391,6 +422,15 @@ func (k *Kernel) RunUntil(t Time) {
 	k.stopped = false
 	for !k.stopped {
 		e := k.peekLive()
+		if k.ctlFn != nil && k.ctlNext <= t && (e == nil || k.ctlNext <= e.when) {
+			// The control hook fires before events at its own instant; it
+			// may schedule new events, so re-peek on the next iteration.
+			k.now = k.ctlNext
+			at := k.ctlNext
+			k.ctlNext += k.ctlEvery
+			k.ctlFn(at)
+			continue
+		}
 		if e == nil || e.when > t {
 			break
 		}

@@ -22,9 +22,12 @@ import (
 )
 
 // Cell is one unit of sweep work: a registered experiment at one seed.
+// Params carries the scenario knobs handed to the experiment (the zero
+// value reproduces the paper-exact defaults).
 type Cell struct {
-	Exp  experiments.Experiment
-	Seed int64
+	Exp    experiments.Experiment
+	Seed   int64
+	Params experiments.Params
 }
 
 // Result is the outcome of one cell. Exactly one of Res and Err is set: a
@@ -167,7 +170,7 @@ func runCell(i int, c Cell) (r Result) {
 				c.Exp.ID, c.Seed, p, debug.Stack())
 		}
 	}()
-	r.Res = c.Exp.Run(c.Seed)
+	r.Res = c.Exp.Run(c.Seed, c.Params)
 	return r
 }
 

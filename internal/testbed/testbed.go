@@ -55,6 +55,11 @@ type Options struct {
 	// (0 = none) — the declarative form of the deprecated Throttle method.
 	ThrottleBps float64
 
+	// Remedy enables the fleet's built-in remediation controller on the
+	// single UE (nil = no controller). Drive the bed through Bed.RunTo so
+	// the control hooks are armed.
+	Remedy *fleet.RemedySpec
+
 	// Trace attaches the cross-layer trace bus (Bed.Trace): every layer
 	// emits virtual-time-stamped spans and instants correlated by user
 	// action. Off by default — detached instrumentation costs only nil
@@ -82,6 +87,7 @@ func (o Options) Scenario() fleet.Scenario {
 			DisableQxDM: o.DisableQxDM,
 			DisablePcap: o.DisablePcap,
 		}},
+		Remedy: o.Remedy,
 	}
 }
 
@@ -107,6 +113,19 @@ func New(opts Options) (*Bed, error) {
 // Fleet returns the underlying one-UE fleet (report aggregation, golden
 // comparisons against multi-UE runs).
 func (b *Bed) Fleet() *fleet.Fleet { return b.f }
+
+// RunTo advances the bed to horizon through the fleet's control-aware run
+// path: any configured remediation controller or OnControl hooks are armed
+// before the kernel runs. Equivalent to b.K.RunUntil when no control is
+// configured.
+func (b *Bed) RunTo(horizon time.Duration) { b.f.RunTo(horizon) }
+
+// OnControl registers a runtime-control hook on the bed's fleet (fired at
+// interval multiples during RunTo), giving single-UE experiments the same
+// control surface as fleet runs.
+func (b *Bed) OnControl(interval time.Duration, fn fleet.ControlHook) {
+	b.f.OnControl(interval, fn)
+}
 
 // NewScenario assembles a Bed directly from a one-UE fleet scenario — the
 // composable form of New for callers already speaking the Scenario API.
